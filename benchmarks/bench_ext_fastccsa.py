@@ -1,0 +1,40 @@
+"""Extension ablation — CCSA candidate pruning (the scaling knob).
+
+CCSA's per-round submodular minimization dominates its runtime.  Pruning
+each charger's oracle to its K cheapest-to-reach uncovered devices trades
+a sliver of cost for a large speedup.  Expected shape: ≤ ~3% cost
+regression and a multi-x speedup at n=100 for K = 2× slot capacity.
+"""
+
+import time
+
+from repro.core import ccsa, comprehensive_cost
+from repro.workloads import WorkloadSpec, generate_instance
+
+
+def run_pruning_ablation(budgets=(None, 24, 16, 10), seed=42):
+    spec = WorkloadSpec(n_devices=80, n_chargers=8, side=500.0, capacity=8)
+    instance = generate_instance(spec, seed=seed)
+    rows = []
+    for budget in budgets:
+        t0 = time.perf_counter()
+        schedule = ccsa(instance, max_candidates=budget)
+        elapsed = time.perf_counter() - t0
+        rows.append((budget, comprehensive_cost(schedule, instance), elapsed))
+    return rows
+
+
+def test_ccsa_pruning_ablation(benchmark, once):
+    rows = once(benchmark, run_pruning_ablation)
+    print()
+    print(f"{'K':>6} {'cost':>10} {'seconds':>9} {'cost vs full':>13} {'speedup':>8}")
+    full_cost, full_time = rows[0][1], rows[0][2]
+    for budget, cost, elapsed in rows:
+        label = "full" if budget is None else str(budget)
+        print(f"{label:>6} {cost:>10.1f} {elapsed:>9.2f} "
+              f"{100 * (cost - full_cost) / full_cost:>12.2f}% "
+              f"{full_time / elapsed:>7.1f}x")
+    for budget, cost, elapsed in rows[1:]:
+        assert cost <= 1.05 * full_cost  # at most 5% regression
+    # The tightest budget must be decisively faster than the full oracle.
+    assert rows[-1][2] < full_time / 2

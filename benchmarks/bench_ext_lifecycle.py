@@ -1,0 +1,33 @@
+"""Extension — steady-state lifecycle comparison on the testbed.
+
+Continuous operation with persistent batteries (see
+``repro.sim.lifecycle``): sensing drain triggers charging requests; the
+scheduler serves each wave.  Expected shape: cooperation wins in steady
+state too, with full survival for both schedulers at the default drain.
+"""
+
+from repro.core import ccsa, noncooperation
+from repro.sim import LifecycleConfig, run_lifecycle
+
+
+def run_comparison(epochs: int = 16, seed: int = 21):
+    cfg = LifecycleConfig(epochs=epochs, seed=seed)
+    return {
+        "CCSA": run_lifecycle(ccsa, cfg),
+        "NCA": run_lifecycle(noncooperation, cfg),
+    }
+
+
+def test_lifecycle_steady_state(benchmark, once):
+    results = once(benchmark, run_comparison, epochs=16, seed=21)
+    print()
+    print(f"{'scheduler':<10} {'rounds':>7} {'total cost':>11} "
+          f"{'energy kJ':>10} {'survival':>9}")
+    for name, res in results.items():
+        print(f"{name:<10} {res.charging_rounds:>7} {res.total_cost:>11.2f} "
+              f"{res.total_energy_delivered/1e3:>10.2f} {res.survival_rate:>9.2f}")
+    ccsa_res, nca_res = results["CCSA"], results["NCA"]
+    assert ccsa_res.charging_rounds == nca_res.charging_rounds
+    assert ccsa_res.total_cost < nca_res.total_cost
+    assert ccsa_res.survival_rate == 1.0
+    assert nca_res.survival_rate == 1.0

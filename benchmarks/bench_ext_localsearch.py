@@ -1,0 +1,35 @@
+"""Extension ablation — how much headroom does local search find?
+
+Quantifies the gap DESIGN.md's local-search extension closes: CCSA,
+CCSA + polish, and OPT on small instances.  Expected shape: polish never
+hurts, lands between CCSA and OPT, and the remaining gap is small.
+"""
+
+from repro.core import ccsa, comprehensive_cost, improve_schedule, optimal_schedule
+from repro.workloads import SMALL_SCALE_SPEC, generate_instance
+
+
+def run_ablation(trials: int = 8):
+    rows = []
+    for t in range(trials):
+        inst = generate_instance(SMALL_SCALE_SPEC.with_(n_devices=10), seed=900 + t)
+        c_ccsa = comprehensive_cost(ccsa(inst), inst)
+        c_polished = comprehensive_cost(improve_schedule(ccsa(inst), inst), inst)
+        c_opt = comprehensive_cost(optimal_schedule(inst), inst)
+        rows.append((c_ccsa, c_polished, c_opt))
+    return rows
+
+
+def test_local_search_ablation(benchmark, once):
+    rows = once(benchmark, run_ablation, trials=8)
+    print()
+    print(f"{'trial':>5} {'CCSA':>9} {'CCSA+ls':>9} {'OPT':>9} {'gap before':>11} {'gap after':>10}")
+    for t, (a, p, o) in enumerate(rows):
+        print(f"{t:>5} {a:>9.2f} {p:>9.2f} {o:>9.2f} "
+              f"{100*(a-o)/o:>10.2f}% {100*(p-o)/o:>9.2f}%")
+    for a, p, o in rows:
+        assert o - 1e-9 <= p <= a + 1e-9
+    mean_before = sum((a - o) / o for a, p, o in rows) / len(rows)
+    mean_after = sum((p - o) / o for a, p, o in rows) / len(rows)
+    print(f"mean gap vs OPT: {100*mean_before:.2f}% -> {100*mean_after:.2f}%")
+    assert mean_after <= mean_before

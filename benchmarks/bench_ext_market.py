@@ -1,0 +1,34 @@
+"""Extension — operator price competition.
+
+Best-response posted-price dynamics over the charging-service market with
+device-side CCSGA responses.  Expected shape: the dynamics converge, base
+fees fall from the monopoly level, and consumer cost falls with them
+(Bertrand-style pressure).
+"""
+
+from repro.market import CompetitionConfig, best_response_competition
+from repro.workloads import quick_instance
+
+
+def run_market(seed=9):
+    instance = quick_instance(
+        n_devices=20, n_chargers=3, seed=seed,
+        heterogeneous_prices=False, base_price=45.0,
+    )
+    return best_response_competition(
+        instance,
+        CompetitionConfig(candidate_bases=(0.0, 10.0, 20.0, 30.0, 45.0), max_rounds=8),
+    )
+
+
+def test_price_competition(benchmark, once):
+    result = once(benchmark, run_market, seed=9)
+    print()
+    print(f"{'round':>5} {'posted base fees':<24} {'consumer cost':>14}")
+    for k, (prices, cost) in enumerate(
+        zip(result.price_history, result.consumer_cost_history)
+    ):
+        print(f"{k:>5} {str([f'{p:.0f}' for p in prices]):<24} {cost:>14.1f}")
+    assert result.converged
+    assert sum(result.final_prices) < sum(result.price_history[0])
+    assert result.consumer_cost_history[-1] <= result.consumer_cost_history[0] + 1e-9

@@ -1,0 +1,49 @@
+"""Extension — merge-and-split vs switch dynamics (CCSGA).
+
+Two classical coalition-formation operator families on the same
+instances.  Expected shape: both land far below noncooperation and within
+a modest band of each other; merge-and-split performs coarser moves (few
+whole-coalition operations) while CCSGA performs many single-device
+switches.
+"""
+
+from repro.core import ccsga, comprehensive_cost, noncooperation
+from repro.game import merge_and_split
+from repro.workloads import quick_instance
+
+
+def run_comparison(sizes=(10, 20, 30), seed=77):
+    rows = []
+    for n in sizes:
+        inst = quick_instance(n_devices=n, n_chargers=4, seed=seed + n, capacity=6)
+        nca = comprehensive_cost(noncooperation(inst), inst)
+        ga = ccsga(inst, certify=False)
+        ms = merge_and_split(inst)
+        rows.append(
+            (
+                n,
+                nca,
+                comprehensive_cost(ga.schedule, inst),
+                ga.switches,
+                ms.total_cost,
+                ms.merges + ms.splits,
+                ms.stable,
+            )
+        )
+    return rows
+
+
+def test_mergesplit_vs_ccsga(benchmark, once):
+    rows = once(benchmark, run_comparison)
+    print()
+    print(f"{'n':>4} {'NCA':>9} {'CCSGA':>9} {'switches':>9} "
+          f"{'merge-split':>12} {'ops':>5} {'stable':>7}")
+    for n, nca, ga, sw, ms, ops, stable in rows:
+        print(f"{n:>4} {nca:>9.1f} {ga:>9.1f} {sw:>9} {ms:>12.1f} {ops:>5} {stable!s:>7}")
+    for n, nca, ga, sw, ms, ops, stable in rows:
+        assert stable
+        assert ga <= nca + 1e-9 and ms <= nca + 1e-9
+        # Same ballpark: neither dynamic collapses.
+        assert ms <= 1.3 * ga and ga <= 1.3 * ms
+        # Merge-split uses far fewer (coarser) operations than switches.
+        assert ops <= sw

@@ -1,0 +1,61 @@
+"""Extension — charger placement strategies under the cooperative objective.
+
+Compares greedy (cost-aware), k-means (geometry-only), grid, and random
+placements of k pads for a clustered device population, each evaluated by
+the scheduled comprehensive cost.  Expected shape: cost-aware greedy and
+k-means (which finds the clusters) clearly beat grid and random; more
+pads never hurt.
+"""
+
+from repro.core import CCSInstance, Device, ccsga, comprehensive_cost
+from repro.geometry import Field, Point, cluster_deployment, grid_deployment
+from repro.planning import (
+    candidate_sites,
+    greedy_placement,
+    kmeans_placement,
+    random_placement,
+)
+from repro.wpt import Charger, PowerLawTariff
+
+FIELD = Field.square(300.0)
+PROTO = Charger(
+    "proto", Point(0, 0),
+    tariff=PowerLawTariff(base=30.0, unit=2e-3, exponent=0.9),
+    efficiency=0.8, capacity=6,
+)
+
+
+def run_placement(k=3, n_devices=24, seed=4):
+    pts = cluster_deployment(FIELD, n_devices, n_clusters=3, rng=seed)
+    devices = [
+        Device(f"d{i}", p, demand=20e3, moving_rate=0.05) for i, p in enumerate(pts)
+    ]
+
+    def cost_of(chargers):
+        inst = CCSInstance(devices=devices, chargers=list(chargers))
+        return comprehensive_cost(ccsga(inst, certify=False).schedule, inst)
+
+    import dataclasses
+
+    grid = [
+        dataclasses.replace(PROTO, charger_id=f"grid{i}", position=p)
+        for i, p in enumerate(grid_deployment(FIELD, k))
+    ]
+    return {
+        "greedy": greedy_placement(
+            devices, candidate_sites(FIELD, 5), k=k, prototype=PROTO
+        ).final_cost,
+        "kmeans": cost_of(kmeans_placement(devices, k, PROTO, rng=1)),
+        "grid": cost_of(grid),
+        "random": cost_of(random_placement(FIELD, k, PROTO, rng=1)),
+    }
+
+
+def test_placement_strategies(benchmark, once):
+    costs = once(benchmark, run_placement, k=3, n_devices=24, seed=4)
+    print()
+    for name, cost in sorted(costs.items(), key=lambda kv: kv[1]):
+        print(f"{name:<8} {cost:>9.1f}")
+    assert costs["greedy"] <= costs["random"] + 1e-6
+    assert costs["greedy"] <= costs["grid"] + 1e-6
+    assert costs["kmeans"] <= costs["random"] + 1e-6

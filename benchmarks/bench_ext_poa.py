@@ -1,0 +1,32 @@
+"""Extension — empirical price of anarchy of the coalition game.
+
+Samples Nash equilibria via random CCSGA sweep orders and compares worst
+and best against the exact optimum (small n) or the certified lower bound
+(large n).  Expected shape: PoS ≈ 1 (some equilibrium is near-optimal),
+PoA modest (< 1.5 against OPT on these workloads).
+"""
+
+from repro.game import equilibrium_quality
+from repro.workloads import quick_instance
+
+
+def run_poa():
+    rows = []
+    for n, samples in ((8, 8), (10, 8), (12, 6), (30, 3)):
+        inst = quick_instance(n_devices=n, n_chargers=3, seed=100 + n, capacity=5)
+        rows.append((n, equilibrium_quality(inst, samples=samples, seed=1)))
+    return rows
+
+
+def test_price_of_anarchy(benchmark, once):
+    rows = once(benchmark, run_poa)
+    print()
+    print(f"{'n':>4} {'baseline':<12} {'PoA':>6} {'PoS':>6} {'NE spread':>10}")
+    for n, q in rows:
+        print(f"{n:>4} {q.baseline:<12} {q.price_of_anarchy:>6.3f} "
+              f"{q.price_of_stability:>6.3f} {q.spread:>9.2%}")
+    for n, q in rows:
+        assert q.price_of_anarchy >= q.price_of_stability
+        if q.baseline == "optimal":
+            assert q.price_of_stability >= 1.0 - 1e-9
+            assert q.price_of_anarchy < 1.6

@@ -1,0 +1,21 @@
+"""Fig 10 — CCSGA convergence to a pure Nash equilibrium.
+
+Abstract claim reproduced here: "CCSGA finally converges to a pure Nash
+Equilibrium."  The experiment certifies every terminal state by exhaustive
+deviation enumeration and asserts the potential descended strictly; this
+benchmark reports how many switches/sweeps that took as n grows.
+"""
+
+from repro.experiments import fig10_convergence, render_series
+
+
+def test_fig10_convergence(benchmark, once):
+    result = once(benchmark, fig10_convergence, values=(10, 25, 50, 100), trials=2)
+    print()
+    print(render_series(result))
+    switches = result.series["switches"]
+    sweeps = result.series["sweeps"]
+    # Switches grow with instance size but stay far from combinatorial blowup.
+    assert switches[-1] >= switches[0]
+    assert switches[-1] <= 10 * 100  # well under 10 switches per device
+    assert all(s <= 50 for s in sweeps)

@@ -1,0 +1,21 @@
+"""Fig 11 — the intragroup cost-sharing schemes compared.
+
+Expected shape: total efficiency (mean member cost) is similar across
+schemes, but the per-joule price dispersion — the fairness metric — is
+far higher under egalitarian sharing than under proportional or Shapley
+sharing on heterogeneous demands.
+"""
+
+from repro.experiments import fig11_sharing_fairness, render_series
+
+
+def test_fig11_sharing_schemes(benchmark, once):
+    result = once(benchmark, fig11_sharing_fairness, trials=4)
+    print()
+    print(render_series(result, precision=3))
+    disp = {label: series[1] for label, series in result.series.items()}
+    assert disp["proportional"] < disp["egalitarian"]
+    assert disp["shapley"] < disp["egalitarian"]
+    # Mean member cost within 25% across schemes (same dynamics, same economics).
+    means = [series[0] for series in result.series.values()]
+    assert max(means) <= 1.25 * min(means)

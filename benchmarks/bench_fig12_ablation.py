@@ -1,0 +1,41 @@
+"""Fig 12 — ablation: how tariff concavity drives the value of cooperation.
+
+Expected shape: CCSA's saving over NCA decreases monotonically (in trend)
+as the tariff exponent rises toward 1, but remains positive even for the
+linear tariff because the base fee is still shared.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig12_ablation_capacity,
+    fig12_ablation_tariff,
+    render_series,
+)
+
+
+def test_fig12_tariff_ablation(benchmark, once):
+    result = once(
+        benchmark, fig12_ablation_tariff, exponents=(0.6, 0.8, 1.0), trials=3
+    )
+    print()
+    print(render_series(result))
+    savings = result.series["CCSA saving %"]
+    assert savings[0] > savings[-1]
+    assert all(s > 0 for s in savings)
+
+
+def test_fig12_capacity_ablation(benchmark, once):
+    result = once(
+        benchmark, fig12_ablation_capacity, capacities=(1, 2, 4, 8), trials=3
+    )
+    print()
+    print(render_series(result))
+    savings = result.series["CCSA saving %"]
+    sizes = result.series["mean group size"]
+    # Capacity 1 forbids cooperation: zero saving, singleton groups.
+    assert savings[0] == pytest.approx(0.0, abs=1e-9)
+    assert sizes[0] == pytest.approx(1.0)
+    # Savings and group sizes grow with capacity, with diminishing returns.
+    assert savings[-1] > savings[1] > savings[0]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,19 @@
+"""Fig 5 — comprehensive cost vs number of devices.
+
+Expected shape: all curves grow with n; CCSA/CCSGA stay below NCA at
+every point, with CCSGA tracking CCSA closely.
+"""
+
+from repro.experiments import fig5_cost_vs_devices, render_series
+
+
+def test_fig5_cost_vs_devices(benchmark, once):
+    result = once(
+        benchmark, fig5_cost_vs_devices, values=(10, 20, 40, 60, 80), trials=3
+    )
+    print()
+    print(render_series(result))
+    nca, ccsa_, ccsga_ = result.series["NCA"], result.series["CCSA"], result.series["CCSGA"]
+    assert all(a <= b + 1e-9 for a, b in zip(ccsa_, nca))
+    assert all(a <= b + 1e-9 for a, b in zip(ccsga_, nca))
+    assert nca == sorted(nca)  # cost grows with n

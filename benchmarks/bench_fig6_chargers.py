@@ -1,0 +1,18 @@
+"""Fig 6 — comprehensive cost vs number of chargers.
+
+Expected shape: more chargers = shorter trips and better prices, so every
+algorithm's cost falls (weakly) with m, and cooperation stays ahead.
+"""
+
+from repro.experiments import fig6_cost_vs_chargers, render_series
+
+
+def test_fig6_cost_vs_chargers(benchmark, once):
+    result = once(benchmark, fig6_cost_vs_chargers, values=(2, 4, 8, 12, 16), trials=3)
+    print()
+    print(render_series(result))
+    nca, ccsa_ = result.series["NCA"], result.series["CCSA"]
+    assert all(a <= b + 1e-9 for a, b in zip(ccsa_, nca))
+    # Denser charger deployments never hurt (first vs last point).
+    assert nca[-1] <= nca[0]
+    assert ccsa_[-1] <= ccsa_[0]

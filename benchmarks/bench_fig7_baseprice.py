@@ -1,0 +1,21 @@
+"""Fig 7 — comprehensive cost vs session base price.
+
+Expected shape: the absolute gap between NCA and the cooperative
+algorithms widens as the base fee grows (NCA pays it per device,
+cooperation amortizes it per group).
+"""
+
+from repro.experiments import fig7_cost_vs_base_price, render_series
+
+
+def test_fig7_cost_vs_base_price(benchmark, once):
+    result = once(
+        benchmark, fig7_cost_vs_base_price, values=(0.0, 20.0, 40.0, 80.0), trials=3
+    )
+    print()
+    print(render_series(result))
+    gaps = [
+        n - c for n, c in zip(result.series["NCA"], result.series["CCSA"])
+    ]
+    assert gaps[-1] > gaps[0]
+    assert all(g >= -1e-9 for g in gaps)

@@ -1,0 +1,25 @@
+"""Fig 8 — comprehensive cost vs field side length.
+
+Expected shape: costs rise with the field (longer trips); cooperation's
+*relative* advantage narrows as moving costs dominate, but never inverts.
+"""
+
+from repro.experiments import fig8_cost_vs_field_side, render_series
+
+
+def test_fig8_cost_vs_field_side(benchmark, once):
+    result = once(
+        benchmark,
+        fig8_cost_vs_field_side,
+        values=(100.0, 300.0, 600.0, 1000.0),
+        trials=3,
+    )
+    print()
+    print(render_series(result))
+    nca, ccsa_ = result.series["NCA"], result.series["CCSA"]
+    assert all(a <= b + 1e-9 for a, b in zip(ccsa_, nca))
+    assert nca == sorted(nca)  # bigger field, higher cost
+    # Relative saving shrinks as moving costs dominate.
+    saving_small = (nca[0] - ccsa_[0]) / nca[0]
+    saving_large = (nca[-1] - ccsa_[-1]) / nca[-1]
+    assert saving_large < saving_small

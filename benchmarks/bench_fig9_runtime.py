@@ -1,0 +1,30 @@
+"""Fig 9 — solver runtime vs number of devices.
+
+Abstract claim reproduced here: "CCSGA is much faster than the
+approximation algorithm and is more suitable for large-scale cooperative
+charging scheduling."  Expected shape: CCSGA ≪ CCSA at large n, OPT
+explodes and is only measured on small instances.
+"""
+
+import math
+
+from repro.experiments import fig9_runtime, render_series
+
+
+def test_fig9_runtime(benchmark, once):
+    result = once(
+        benchmark,
+        fig9_runtime,
+        values=(10, 20, 40, 80),
+        trials=2,
+        include_optimal_upto=12,
+    )
+    print()
+    print(render_series(result, precision=4))
+    ccsa_t, ccsga_t = result.series["CCSA"], result.series["CCSGA"]
+    # At the largest size CCSGA must be decisively faster than CCSA.
+    assert ccsga_t[-1] < ccsa_t[-1]
+    # OPT is only measured where tractable.
+    opt_t = result.series["OPT"]
+    assert not math.isnan(opt_t[0])
+    assert math.isnan(opt_t[-1])

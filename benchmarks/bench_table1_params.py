@@ -1,0 +1,10 @@
+"""Table 1 — simulation parameter settings (the reconstruction record)."""
+
+from repro.experiments import render_table, table1_parameters
+
+
+def test_table1_parameters(benchmark, once):
+    result = once(benchmark, table1_parameters)
+    print()
+    print(render_table(result))
+    assert len(result.rows) >= 10

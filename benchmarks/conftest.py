@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the reconstructed
+evaluation (see DESIGN.md's experiment index) via ``benchmark.pedantic``
+with a single round — these are experiment reproductions, not
+microbenchmarks, so wall-clock is recorded but statistical repetition is
+left to the experiment's own ``trials`` parameter.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

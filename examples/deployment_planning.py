@@ -1,0 +1,81 @@
+"""Deployment planning: where should an operator install charging pads?
+
+Devices cluster around three work sites.  This example compares pad
+placements — cooperative-cost-aware greedy, geometry-only k-means, a
+uniform grid, and random — under the *scheduled* comprehensive cost, then
+shows the marginal value of each additional pad.
+
+Run with::
+
+    python examples/deployment_planning.py
+"""
+
+import dataclasses
+
+from repro.core import CCSInstance, Device, ccsga, comprehensive_cost
+from repro.geometry import Field, Point, cluster_deployment, grid_deployment
+from repro.planning import (
+    candidate_sites,
+    greedy_placement,
+    kmeans_placement,
+    random_placement,
+)
+from repro.wpt import Charger, PowerLawTariff
+
+FIELD = Field.square(400.0)
+PROTOTYPE = Charger(
+    "proto", Point(0, 0),
+    tariff=PowerLawTariff(base=30.0, unit=2e-3, exponent=0.9),
+    efficiency=0.8, capacity=6,
+)
+
+
+def scheduled_cost(devices, chargers) -> float:
+    instance = CCSInstance(devices=devices, chargers=list(chargers))
+    return comprehensive_cost(ccsga(instance, certify=False).schedule, instance)
+
+
+def main() -> None:
+    positions = cluster_deployment(FIELD, 30, n_clusters=3, rng=11)
+    devices = [
+        Device(f"bot{i:02d}", p, demand=20e3, moving_rate=0.05)
+        for i, p in enumerate(positions)
+    ]
+    sites = candidate_sites(FIELD, grid_side=5)
+    k = 3
+
+    grid_pads = [
+        dataclasses.replace(PROTOTYPE, charger_id=f"grid{i}", position=p)
+        for i, p in enumerate(grid_deployment(FIELD, k))
+    ]
+    strategies = {
+        "greedy (cost-aware)": greedy_placement(
+            devices, sites, k=k, prototype=PROTOTYPE
+        ).chargers,
+        "k-means (geometry)": kmeans_placement(devices, k, PROTOTYPE, rng=1),
+        "uniform grid": grid_pads,
+        "random": random_placement(FIELD, k, PROTOTYPE, rng=1),
+    }
+
+    print(f"30 clustered devices, {k} pads to place:\n")
+    print(f"{'strategy':<22} {'scheduled cost':>15}")
+    for name, chargers in strategies.items():
+        print(f"{name:<22} {scheduled_cost(devices, chargers):>15.1f}")
+
+    print("\nMarginal value of each additional pad (greedy trajectory):")
+    deep = greedy_placement(devices, sites, k=6, prototype=PROTOTYPE)
+    prev = None
+    for i, cost in enumerate(deep.cost_trajectory, start=1):
+        marginal = "" if prev is None else f"  (saves {prev - cost:7.1f})"
+        print(f"  {i} pad(s): {cost:8.1f}{marginal}")
+        prev = cost
+    print("\nReading: pads near clusters unlock large shared sessions, and")
+    print("returns diminish once every cluster is served.  Cluster-seeking")
+    print("strategies (greedy over candidate sites, k-means at the exact")
+    print("centroids) decisively beat cluster-blind grid/random layouts;")
+    print("k-means can edge out greedy here only because greedy is")
+    print("restricted to the candidate lattice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: schedule one round of cooperative charging.
+
+Builds a small random deployment, runs the paper's two algorithms plus
+the noncooperation baseline and the exact optimum, and prints what each
+device pays under the egalitarian cost-sharing scheme.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    EgalitarianSharing,
+    ccsa,
+    ccsga,
+    comprehensive_cost,
+    member_costs,
+    noncooperation,
+    optimal_schedule,
+    quick_instance,
+)
+
+
+def main() -> None:
+    instance = quick_instance(n_devices=12, n_chargers=3, seed=7, capacity=5)
+    print(instance.describe())
+    print()
+
+    schedules = {
+        "noncooperation": noncooperation(instance),
+        "CCSA": ccsa(instance),
+        "CCSGA": ccsga(instance).schedule,
+        "optimal": optimal_schedule(instance),
+    }
+
+    print(f"{'algorithm':<16} {'total cost':>12} {'sessions':>9} {'group sizes'}")
+    for name, sched in schedules.items():
+        cost = comprehensive_cost(sched, instance)
+        print(f"{name:<16} {cost:>12.2f} {sched.n_sessions:>9} {sched.group_sizes()}")
+
+    print()
+    from repro.experiments import field_map
+
+    print(field_map(instance, schedules["CCSA"], width=56, height=14))
+
+    print()
+    print("Per-device comprehensive cost under CCSA (egalitarian sharing):")
+    costs = member_costs(schedules["CCSA"], instance, EgalitarianSharing())
+    for i in sorted(costs):
+        device = instance.devices[i]
+        session = schedules["CCSA"].session_of(i)
+        charger = instance.chargers[session.charger]
+        alone = instance.standalone_cost(i)
+        print(
+            f"  {device.device_id}: pays {costs[i]:7.2f} at {charger.charger_id} "
+            f"(group of {session.size}); alone it would pay {alone:7.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` needs bdist_wheel; when that is unavailable,
+`python setup.py develop` installs the same editable package.
+All project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

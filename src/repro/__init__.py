@@ -1,0 +1,104 @@
+"""repro — Cooperative Charging as Service (ICDCS 2021) reproduction.
+
+A production-grade implementation of the paper's cooperative charging
+service model for mobile wireless rechargeable sensor networks:
+
+- the **CCS problem** (joint charging-cost + moving-cost minimization)
+  with concave charging tariffs and slot-capacitated chargers;
+- two **intragroup cost-sharing schemes** (egalitarian, proportional) plus
+  a Shapley-value extension;
+- **CCSA**, the greedy + submodular-function-minimization approximation
+  algorithm (Fujishige–Wolfe SFM implemented from scratch);
+- **CCSGA**, the coalition-formation-game algorithm with guaranteed
+  convergence to a pure Nash equilibrium;
+- exact optimal solvers, a noncooperation baseline, a discrete-event
+  testbed simulator reproducing the paper's 5-charger / 8-node field
+  experiment, and a benchmark harness regenerating every evaluation
+  table and figure.
+
+Quickstart::
+
+    from repro import quick_instance, ccsa, noncooperation, comprehensive_cost
+
+    inst = quick_instance(n_devices=20, n_chargers=4, seed=7)
+    coop = ccsa(inst)
+    solo = noncooperation(inst)
+    print(comprehensive_cost(coop, inst), comprehensive_cost(solo, inst))
+"""
+
+from .core import (
+    CCSGAResult,
+    CCSInstance,
+    Device,
+    EgalitarianSharing,
+    ProportionalSharing,
+    Schedule,
+    Session,
+    ShapleySharing,
+    ccsa,
+    ccsga,
+    comprehensive_cost,
+    demand_greedy,
+    member_costs,
+    nearest_charger,
+    noncooperation,
+    optimal_bell,
+    optimal_schedule,
+    random_grouping,
+    validate_schedule,
+)
+from .errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleError,
+    ReproError,
+    ScheduleValidationError,
+    SimulationError,
+)
+from .geometry import Field, Point
+from .wpt import Charger, LinearTariff, PiecewiseConcaveTariff, PowerLawTariff
+from .workloads import quick_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # problem
+    "Device",
+    "Charger",
+    "CCSInstance",
+    "Point",
+    "Field",
+    "LinearTariff",
+    "PowerLawTariff",
+    "PiecewiseConcaveTariff",
+    # solutions
+    "Session",
+    "Schedule",
+    "comprehensive_cost",
+    "validate_schedule",
+    "member_costs",
+    # sharing schemes
+    "EgalitarianSharing",
+    "ProportionalSharing",
+    "ShapleySharing",
+    # solvers
+    "ccsa",
+    "ccsga",
+    "CCSGAResult",
+    "optimal_schedule",
+    "optimal_bell",
+    "noncooperation",
+    "nearest_charger",
+    "random_grouping",
+    "demand_greedy",
+    # workloads
+    "quick_instance",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "ScheduleValidationError",
+    "ConvergenceError",
+    "SimulationError",
+]

@@ -1,0 +1,92 @@
+"""``ccs-bench`` — command-line entry point for the reconstructed evaluation.
+
+Examples::
+
+    ccs-bench --list
+    ccs-bench table2
+    ccs-bench fig5 fig9 --trials 5
+    ccs-bench --all --trials 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS, FIGURE_BUILDERS, ascii_plot, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ccs-bench",
+        description=(
+            "Regenerate the evaluation tables and figures of 'Cooperative "
+            "Charging as Service' (ICDCS 2021)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (available: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--trials", type=int, default=3, help="instances per sweep point (default 3)"
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="additionally render figure experiments as ASCII charts",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        help="also write the results to PATH as a Markdown report",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for eid in sorted(EXPERIMENTS):
+            print(eid)
+        return 0
+    ids = list(EXPERIMENTS) if args.all else args.experiments
+    if not ids:
+        print("nothing to run: pass experiment ids, --all, or --list", file=sys.stderr)
+        return 2
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    collected = {}
+    for eid in ids:
+        if args.plot and eid in FIGURE_BUILDERS:
+            result = FIGURE_BUILDERS[eid](args.trials)
+            from .experiments import render_series
+
+            text = render_series(result) + "\n\n" + ascii_plot(result)
+        else:
+            text = run_experiment(eid, trials=args.trials)
+        collected[eid] = text
+        print(text)
+        print()
+    if args.export:
+        from .experiments import results_markdown
+
+        with open(args.export, "w") as fh:
+            fh.write(results_markdown(collected, trials=args.trials))
+            fh.write("\n")
+        print(f"wrote {args.export}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The paper's core contribution: the CCS problem and its solvers.
+
+Public surface:
+
+- :class:`Device`, :class:`CCSInstance` — the problem;
+- :class:`Session`, :class:`Schedule` plus cost/validation helpers — the
+  solution format;
+- cost-sharing schemes (:class:`EgalitarianSharing`,
+  :class:`ProportionalSharing`, :class:`ShapleySharing`);
+- solvers: :func:`ccsa`, :func:`ccsga`, :func:`optimal_schedule`,
+  :func:`noncooperation` and friends.
+"""
+
+from .bounds import LowerBound, lower_bound
+from .baselines import demand_greedy, nearest_charger, noncooperation, random_grouping
+from .ccsa import ccsa
+from .ccsga import CCSGAResult, ccsga
+from .costsharing import (
+    CostSharingScheme,
+    EgalitarianSharing,
+    ProportionalSharing,
+    ShapleySharing,
+    MarginalCostSharing,
+    individual_cost,
+    member_costs,
+)
+from .density import GroupProposal, densest_group, group_cost_function
+from .device import Device
+from .instance import CCSInstance
+from .localsearch import improve_schedule
+from .optimal import optimal_bell, optimal_schedule
+from .schedule import (
+    Schedule,
+    Session,
+    comprehensive_cost,
+    singleton_schedule,
+    validate_schedule,
+)
+
+__all__ = [
+    "Device",
+    "CCSInstance",
+    "Session",
+    "Schedule",
+    "comprehensive_cost",
+    "validate_schedule",
+    "singleton_schedule",
+    "CostSharingScheme",
+    "EgalitarianSharing",
+    "ProportionalSharing",
+    "ShapleySharing",
+    "MarginalCostSharing",
+    "member_costs",
+    "individual_cost",
+    "GroupProposal",
+    "densest_group",
+    "group_cost_function",
+    "ccsa",
+    "ccsga",
+    "CCSGAResult",
+    "optimal_schedule",
+    "optimal_bell",
+    "improve_schedule",
+    "LowerBound",
+    "lower_bound",
+    "noncooperation",
+    "nearest_charger",
+    "random_grouping",
+    "demand_greedy",
+]

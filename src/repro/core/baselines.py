@@ -1,0 +1,121 @@
+"""Baseline schedulers the paper compares against.
+
+- :func:`noncooperation` — the paper's main baseline (NCA): every device
+  ignores the others and buys a private session at its cheapest charger.
+- :func:`nearest_charger` — geography-only: private session at the closest
+  charger regardless of price.
+- :func:`random_grouping` — sanity baseline: a random capacity-respecting
+  partition, each group sent to its cheapest charger.  Shows how much of
+  CCSA's win comes from *which* groups form rather than grouping per se.
+- :func:`demand_greedy` — naive cooperation: devices sorted by demand are
+  packed onto their nearest charger up to capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..rng import RandomState, ensure_rng
+from .instance import CCSInstance
+from .schedule import Schedule, Session, singleton_schedule, validate_schedule
+
+__all__ = ["noncooperation", "nearest_charger", "random_grouping", "demand_greedy"]
+
+
+def noncooperation(instance: CCSInstance) -> Schedule:
+    """Each device charges alone at the charger minimizing its private cost."""
+    assignment = []
+    for i in range(instance.n_devices):
+        best_j = min(
+            range(instance.n_chargers),
+            key=lambda j: (instance.group_cost([i], j), j),
+        )
+        assignment.append(best_j)
+    schedule = singleton_schedule(instance, assignment, solver="noncooperation")
+    validate_schedule(schedule, instance)
+    return schedule
+
+
+def nearest_charger(instance: CCSInstance) -> Schedule:
+    """Each device charges alone at its geographically nearest charger."""
+    assignment = []
+    for i in range(instance.n_devices):
+        best_j = min(
+            range(instance.n_chargers),
+            key=lambda j: (instance.distance(i, j), j),
+        )
+        assignment.append(best_j)
+    schedule = singleton_schedule(instance, assignment, solver="nearest")
+    validate_schedule(schedule, instance)
+    return schedule
+
+
+def _best_charger_for(instance: CCSInstance, group: List[int]) -> int:
+    """Cheapest charger that admits *group*, falling back to argmin if none does."""
+    admitting = [
+        j for j in range(instance.n_chargers)
+        if instance.chargers[j].admits(len(group))
+    ]
+    pool = admitting or list(range(instance.n_chargers))
+    return min(pool, key=lambda j: (instance.group_cost(group, j), j))
+
+
+def random_grouping(instance: CCSInstance, rng: RandomState = None) -> Schedule:
+    """Randomly partition devices into feasible groups, each at its best charger.
+
+    Group sizes are drawn uniformly from ``[1, max_feasible]`` where
+    ``max_feasible`` is the largest slot capacity (or the device count when
+    capacities are unbounded).
+    """
+    gen = ensure_rng(rng)
+    caps = [c.capacity for c in instance.chargers]
+    max_size = instance.n_devices
+    if all(c is not None for c in caps):
+        max_size = max(c for c in caps)
+
+    order = list(gen.permutation(instance.n_devices))
+    sessions = []
+    k = 0
+    while k < len(order):
+        size = int(gen.integers(1, max_size + 1))
+        group = [int(i) for i in order[k : k + size]]
+        k += len(group)
+        charger = _best_charger_for(instance, group)
+        sessions.append(Session(charger=charger, members=frozenset(group)))
+    schedule = Schedule(sessions, solver="random")
+    validate_schedule(schedule, instance)
+    return schedule
+
+
+def demand_greedy(instance: CCSInstance) -> Schedule:
+    """Pack devices (heaviest demand first) onto their nearest charger's sessions.
+
+    Each charger accumulates one open session; when the session hits the
+    slot capacity a new one opens.  A deliberately naive cooperative
+    heuristic: it groups, but without any cost reasoning.
+    """
+    order = sorted(
+        range(instance.n_devices),
+        key=lambda i: (-instance.devices[i].demand, i),
+    )
+    open_sessions: dict = {}
+    sessions = []
+    for i in order:
+        j = min(
+            range(instance.n_chargers),
+            key=lambda c: (instance.distance(i, c), c),
+        )
+        bucket = open_sessions.setdefault(j, [])
+        bucket.append(i)
+        cap = instance.capacity_of(j)
+        if cap is not None and len(bucket) >= cap:
+            sessions.append(Session(charger=j, members=frozenset(bucket)))
+            open_sessions[j] = []
+    for j, bucket in open_sessions.items():
+        if bucket:
+            sessions.append(Session(charger=j, members=frozenset(bucket)))
+    schedule = Schedule(sessions, solver="demand-greedy")
+    validate_schedule(schedule, instance)
+    return schedule

@@ -1,0 +1,165 @@
+"""Densest-group oracles: the inner step of CCSA.
+
+Given a charger ``j`` and a candidate set ``U`` of still-uncovered devices,
+find a nonempty group ``S ⊆ U`` (respecting the charger's slot capacity)
+minimizing the average cost ``f_j(S) / |S|`` where ``f_j`` is the session
+cost (price + members' moving costs).
+
+Three interchangeable strategies, chosen automatically by instance shape:
+
+``prefix``
+    Exact when all demands are equal: the session price then depends only
+    on ``|S|``, so for each size ``t`` the optimal group is the ``t``
+    candidates with the smallest moving costs — a sort and a prefix scan.
+    Also serves as a cheap heuristic for heterogeneous demands.
+
+``exhaustive``
+    Enumerate all subsets up to the capacity cap.  Exact for any demand
+    profile; used when the candidate set is small (the common case late in
+    the greedy cover, and for paper-scale instances throughout).
+
+``sfm``
+    Dinkelbach density search over the submodular ``f_j`` using the
+    Fujishige–Wolfe engine (:mod:`repro.submodular`).  Exact without a
+    capacity cap; capacity is repaired by greedy peeling.  This is the
+    strategy the paper's CCSA description names, and the one that scales.
+
+``auto`` combines them: exact strategies when applicable, otherwise the
+better of ``sfm`` and ``prefix``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..submodular import SetFunction, densest_subset
+from .instance import CCSInstance
+
+__all__ = ["GroupProposal", "densest_group", "group_cost_function"]
+
+#: Candidate-set size at or below which exhaustive enumeration is used.
+EXHAUSTIVE_LIMIT = 12
+
+_METHODS = ("auto", "prefix", "exhaustive", "sfm")
+
+
+@dataclass(frozen=True)
+class GroupProposal:
+    """A candidate session: charger, members, total cost, and cost density."""
+
+    charger: int
+    members: FrozenSet[int]
+    cost: float
+    density: float
+    method: str
+
+
+def group_cost_function(
+    instance: CCSInstance, charger: int, candidates: Sequence[int]
+) -> SetFunction:
+    """The submodular session cost ``f_j`` restricted to *candidates*.
+
+    Ground element ``k`` of the returned function corresponds to device
+    index ``candidates[k]``.
+    """
+    members = list(candidates)
+
+    def fn(subset):
+        return instance.group_cost([members[k] for k in subset], charger)
+
+    cid = instance.chargers[charger].charger_id
+    return SetFunction(len(members), fn, name=f"f[{cid}]")
+
+
+def _demands_uniform(instance: CCSInstance, candidates: Sequence[int], rel_tol: float = 1e-9) -> bool:
+    demands = [instance.devices[i].demand for i in candidates]
+    lo, hi = min(demands), max(demands)
+    return hi - lo <= rel_tol * max(1.0, hi)
+
+
+def _prefix_scan(
+    instance: CCSInstance, charger: int, candidates: Sequence[int], cap: Optional[int]
+) -> GroupProposal:
+    """Best prefix of candidates sorted by moving cost, over all sizes."""
+    order = sorted(candidates, key=lambda i: (instance.moving_cost(i, charger), i))
+    max_t = len(order) if cap is None else min(cap, len(order))
+    best: Optional[GroupProposal] = None
+    for t in range(1, max_t + 1):
+        group = frozenset(order[:t])
+        cost = instance.group_cost(group, charger)
+        density = cost / t
+        if best is None or density < best.density:
+            best = GroupProposal(charger, group, cost, density, "prefix")
+    assert best is not None  # candidates is nonempty by caller contract
+    return best
+
+
+def _exhaustive(
+    instance: CCSInstance, charger: int, candidates: Sequence[int], cap: Optional[int]
+) -> GroupProposal:
+    """Enumerate every subset up to the capacity cap; exact but exponential."""
+    pool = sorted(candidates)
+    max_t = len(pool) if cap is None else min(cap, len(pool))
+    best: Optional[GroupProposal] = None
+    for t in range(1, max_t + 1):
+        for combo in itertools.combinations(pool, t):
+            group = frozenset(combo)
+            cost = instance.group_cost(group, charger)
+            density = cost / t
+            if best is None or density < best.density - 1e-15:
+                best = GroupProposal(charger, group, cost, density, "exhaustive")
+    assert best is not None
+    return best
+
+
+def _sfm(
+    instance: CCSInstance, charger: int, candidates: Sequence[int], cap: Optional[int]
+) -> GroupProposal:
+    """Dinkelbach + Fujishige–Wolfe density minimization."""
+    pool = sorted(candidates)
+    f = group_cost_function(instance, charger, pool)
+    result = densest_subset(f, max_size=cap)
+    group = frozenset(pool[k] for k in result.subset)
+    cost = instance.group_cost(group, charger)
+    return GroupProposal(charger, group, cost, cost / len(group), "sfm")
+
+
+def densest_group(
+    instance: CCSInstance,
+    charger: int,
+    candidates: Sequence[int],
+    method: str = "auto",
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+) -> GroupProposal:
+    """Minimum-density group among *candidates* at *charger*.
+
+    *candidates* must be a nonempty collection of distinct device indices.
+    See the module docstring for the strategy semantics.
+    """
+    if method not in _METHODS:
+        raise ConfigurationError(f"unknown density method {method!r}; choose from {_METHODS}")
+    pool = sorted(set(candidates))
+    if not pool:
+        raise ValueError("densest_group requires at least one candidate device")
+    if len(pool) != len(list(candidates)):
+        raise ValueError("candidate device indices must be distinct")
+    cap = instance.capacity_of(charger)
+
+    if method == "prefix":
+        return _prefix_scan(instance, charger, pool, cap)
+    if method == "exhaustive":
+        return _exhaustive(instance, charger, pool, cap)
+    if method == "sfm":
+        return _sfm(instance, charger, pool, cap)
+
+    # auto
+    if _demands_uniform(instance, pool):
+        return _prefix_scan(instance, charger, pool, cap)
+    if len(pool) <= exhaustive_limit:
+        return _exhaustive(instance, charger, pool, cap)
+    sfm_prop = _sfm(instance, charger, pool, cap)
+    prefix_prop = _prefix_scan(instance, charger, pool, cap)
+    return sfm_prop if sfm_prop.density <= prefix_prop.density else prefix_prop

@@ -1,0 +1,199 @@
+"""The Cooperative Charging Scheduling (CCS) problem instance.
+
+A :class:`CCSInstance` bundles everything a scheduler needs: the devices
+asking for energy, the chargers selling it, the mobility model pricing the
+trips, and precomputed device-to-charger moving costs.  All solvers
+(:mod:`.ccsa`, :mod:`.ccsga`, :mod:`.optimal`, :mod:`.baselines`) consume
+instances through this one type, so experiments can swap algorithms without
+touching workload code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, InfeasibleError
+from ..geometry import Field, distance_matrix
+from ..mobility import LinearMobility, MobilityModel
+from ..wpt import Charger, is_concave_nondecreasing
+from .device import Device
+
+__all__ = ["CCSInstance"]
+
+
+@dataclass
+class CCSInstance:
+    """One round of the cooperative charging scheduling problem.
+
+    Construction validates identifier uniqueness and (in strict mode) that
+    every tariff is concave — the property all submodularity-based
+    guarantees rest on.  Instances are immutable in spirit: solvers never
+    mutate them, and the precomputed matrices are private caches.
+
+    Parameters
+    ----------
+    devices / chargers:
+        The market participants.  Both lists must be nonempty with unique
+        identifiers.
+    mobility:
+        Moving-cost and travel-time model; defaults to the paper's linear
+        cost-per-meter model.
+    field:
+        Optional deployment field (used by the simulator and for
+        reporting); scheduling itself only needs positions.
+    strict:
+        When true (default), verify each charger's tariff is concave and
+        nondecreasing over the instance's total-demand range and that total
+        slot capacity can hold all devices.
+    """
+
+    devices: Sequence[Device]
+    chargers: Sequence[Charger]
+    mobility: MobilityModel = field(default_factory=LinearMobility)
+    field_area: Optional[Field] = None
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        self.devices = tuple(self.devices)
+        self.chargers = tuple(self.chargers)
+        if not self.devices:
+            raise ConfigurationError("an instance needs at least one device")
+        if not self.chargers:
+            raise ConfigurationError("an instance needs at least one charger")
+
+        device_ids = [d.device_id for d in self.devices]
+        if len(set(device_ids)) != len(device_ids):
+            raise ConfigurationError("device identifiers must be unique")
+        charger_ids = [c.charger_id for c in self.chargers]
+        if len(set(charger_ids)) != len(charger_ids):
+            raise ConfigurationError("charger identifiers must be unique")
+
+        self._device_index: Dict[str, int] = {d: k for k, d in enumerate(device_ids)}
+        self._charger_index: Dict[str, int] = {c: k for k, c in enumerate(charger_ids)}
+
+        # Moving costs are evaluated O(n*m) times by every solver; cache the
+        # full matrix once.  Row = device, column = charger.
+        self._moving_cost = np.array(
+            [
+                [
+                    self.mobility.moving_cost(d.position, c.position, d.moving_rate)
+                    for c in self.chargers
+                ]
+                for d in self.devices
+            ],
+            dtype=float,
+        )
+        self._distance = distance_matrix(
+            [d.position for d in self.devices], [c.position for c in self.chargers]
+        )
+
+        if self.strict:
+            self._validate_strict()
+
+    # ------------------------------------------------------------------ #
+    # validation
+
+    def _validate_strict(self) -> None:
+        total_demand = sum(d.demand for d in self.devices)
+        for charger in self.chargers:
+            e_max = max(total_demand / charger.efficiency, 1e-9)
+            if not is_concave_nondecreasing(charger.tariff, e_max):
+                raise ConfigurationError(
+                    f"charger {charger.charger_id!r}: tariff is not concave "
+                    "nondecreasing over the instance demand range; CCSA's "
+                    "submodularity guarantee would not hold (pass strict=False "
+                    "to accept heuristically)"
+                )
+        capacities = [c.capacity for c in self.chargers]
+        if all(cap is not None for cap in capacities):
+            # With finite capacities a charger can still host several
+            # sessions, so feasibility only requires a positive capacity
+            # somewhere — already enforced by Charger. Nothing more to check.
+            pass
+
+    # ------------------------------------------------------------------ #
+    # sizes and lookups
+
+    @property
+    def n_devices(self) -> int:
+        """Number of devices in the instance."""
+        return len(self.devices)
+
+    @property
+    def n_chargers(self) -> int:
+        """Number of chargers in the instance."""
+        return len(self.chargers)
+
+    def device_index(self, device_id: str) -> int:
+        """Index of the device with identifier *device_id*."""
+        try:
+            return self._device_index[device_id]
+        except KeyError:
+            raise KeyError(f"unknown device {device_id!r}") from None
+
+    def charger_index(self, charger_id: str) -> int:
+        """Index of the charger with identifier *charger_id*."""
+        try:
+            return self._charger_index[charger_id]
+        except KeyError:
+            raise KeyError(f"unknown charger {charger_id!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # cost primitives — everything downstream composes these three
+
+    def moving_cost(self, device: int, charger: int) -> float:
+        """Monetary moving cost of device index *device* to charger index *charger*."""
+        return float(self._moving_cost[device, charger])
+
+    def distance(self, device: int, charger: int) -> float:
+        """Euclidean distance in meters between device and charger indices."""
+        return float(self._distance[device, charger])
+
+    def charging_price(self, group: Iterable[int], charger: int) -> float:
+        """Session price when device-index *group* shares one session at *charger*.
+
+        Zero for an empty group (no session happens).
+        """
+        members = list(group)
+        ch = self.chargers[charger]
+        return ch.session_price(self.devices[i].demand for i in members)
+
+    def group_cost(self, group: Iterable[int], charger: int) -> float:
+        """Full cost of one session: session price plus members' moving costs.
+
+        This is the submodular block cost ``f_j(S)`` at the heart of the CCS
+        objective.
+        """
+        members = list(group)
+        if not members:
+            return 0.0
+        price = self.charging_price(members, charger)
+        move = float(self._moving_cost[members, charger].sum())
+        return price + move
+
+    def standalone_cost(self, device: int) -> float:
+        """Best cost the device achieves alone — its noncooperative fallback."""
+        return min(self.group_cost([device], j) for j in range(self.n_chargers))
+
+    def total_demand(self, group: Iterable[int]) -> float:
+        """Sum of stored-energy demands over device indices in *group*."""
+        return sum(self.devices[i].demand for i in group)
+
+    # ------------------------------------------------------------------ #
+    # convenience
+
+    def capacity_of(self, charger: int) -> Optional[int]:
+        """Slot capacity of charger index *charger* (``None`` = unbounded)."""
+        return self.chargers[charger].capacity
+
+    def describe(self) -> str:
+        """One-line human-readable summary for logs and reports."""
+        caps = {c.capacity for c in self.chargers}
+        cap_txt = "unbounded" if caps == {None} else f"capacities {sorted(str(c) for c in caps)}"
+        return (
+            f"CCSInstance({self.n_devices} devices, {self.n_chargers} chargers, "
+            f"{cap_txt}, mobility={type(self.mobility).__name__})"
+        )

@@ -1,0 +1,172 @@
+"""Exact optimal CCS schedules for small instances.
+
+Two independent exact solvers back the paper's "optimal" comparison line:
+
+- :func:`optimal_schedule` — dynamic programming over device subsets.
+  ``best(S)`` is the cheapest way to cover subset ``S``; it splits off the
+  session containing the lowest-indexed device of ``S``, giving the
+  recurrence ``best(S) = min over T ∋ lowbit(S), T ⊆ S of
+  session_cost(T) + best(S \\ T)`` evaluated over all ``3^n`` submask pairs.
+  Practical to ``n ≈ 16``.
+- :func:`optimal_bell` — literal enumeration of all set partitions
+  (Bell-number many); hopeless beyond ``n ≈ 9`` but an independent
+  implementation, so the test suite cross-checks the two.
+
+Both respect slot capacities and price each block at its cheapest
+admitting charger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InfeasibleError
+from .instance import CCSInstance
+from .schedule import Schedule, Session, validate_schedule
+
+__all__ = ["optimal_schedule", "optimal_bell", "MAX_DP_DEVICES"]
+
+#: Hard ceiling for the subset DP; 3^n submask iterations beyond this are
+#: impractical in pure Python.
+MAX_DP_DEVICES = 18
+
+_INF = float("inf")
+
+
+def _block_costs(instance: CCSInstance) -> Tuple[List[float], List[int]]:
+    """For every nonempty device bitmask: cheapest admitting session cost and charger.
+
+    Demand and per-charger moving-cost sums are built incrementally from
+    each mask's lowest set bit, so the whole table costs ``O(2^n * m)``.
+    """
+    n = instance.n_devices
+    m = instance.n_chargers
+    size = 1 << n
+    demands = [instance.devices[i].demand for i in range(n)]
+
+    demand_sum = [0.0] * size
+    move_sum = [[0.0] * size for _ in range(m)]
+    popcount = [0] * size
+    best_cost = [_INF] * size
+    best_charger = [-1] * size
+
+    for mask in range(1, size):
+        low = (mask & -mask).bit_length() - 1
+        rest = mask & (mask - 1)
+        demand_sum[mask] = demand_sum[rest] + demands[low]
+        popcount[mask] = popcount[rest] + 1
+        for j in range(m):
+            move_sum[j][mask] = move_sum[j][rest] + instance.moving_cost(low, j)
+        t = popcount[mask]
+        for j in range(m):
+            charger = instance.chargers[j]
+            if not charger.admits(t):
+                continue
+            price = charger.tariff.session_price(demand_sum[mask] / charger.efficiency)
+            cost = price + move_sum[j][mask]
+            if cost < best_cost[mask]:
+                best_cost[mask] = cost
+                best_charger[mask] = j
+    return best_cost, best_charger
+
+
+def optimal_schedule(instance: CCSInstance, max_devices: int = MAX_DP_DEVICES) -> Schedule:
+    """Exact minimum-comprehensive-cost schedule via subset DP.
+
+    Raises ``ValueError`` when the instance exceeds *max_devices* (the DP
+    is exponential by nature) and :class:`~repro.errors.InfeasibleError`
+    when capacities make full coverage impossible.
+    """
+    n = instance.n_devices
+    if n > max_devices:
+        raise ValueError(
+            f"optimal_schedule is exponential; {n} devices exceed the "
+            f"max_devices={max_devices} guard"
+        )
+    block_cost, block_charger = _block_costs(instance)
+
+    size = 1 << n
+    best = [_INF] * size
+    choice = [0] * size
+    best[0] = 0.0
+    for mask in range(1, size):
+        low_bit = mask & -mask
+        # Enumerate submasks of mask that contain the lowest set bit.
+        sub = mask
+        while sub:
+            if sub & low_bit:
+                c = block_cost[sub]
+                if c < _INF:
+                    total = c + best[mask ^ sub]
+                    if total < best[mask]:
+                        best[mask] = total
+                        choice[mask] = sub
+            sub = (sub - 1) & mask
+
+    full = size - 1
+    if best[full] == _INF:
+        raise InfeasibleError(
+            "no capacity-feasible partition covers all devices"
+        )
+
+    sessions = []
+    mask = full
+    while mask:
+        sub = choice[mask]
+        members = frozenset(i for i in range(n) if sub >> i & 1)
+        sessions.append(Session(charger=block_charger[sub], members=members))
+        mask ^= sub
+
+    schedule = Schedule(
+        sessions, solver="optimal", metadata={"dp_states": float(size)}
+    )
+    validate_schedule(schedule, instance)
+    return schedule
+
+
+def _partitions(items: List[int]):
+    """Yield all set partitions of *items* (each a list of lists)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        # first joins an existing block...
+        for k in range(len(partition)):
+            yield partition[:k] + [[first] + partition[k]] + partition[k + 1 :]
+        # ...or starts its own.
+        yield [[first]] + partition
+
+
+def optimal_bell(instance: CCSInstance, max_devices: int = 9) -> Schedule:
+    """Exact solver by brute-force partition enumeration (cross-check only)."""
+    n = instance.n_devices
+    if n > max_devices:
+        raise ValueError(
+            f"optimal_bell enumerates Bell({n}) partitions; limit is {max_devices}"
+        )
+    best_cost = _INF
+    best_sessions: Optional[List[Session]] = None
+    for partition in _partitions(list(range(n))):
+        cost = 0.0
+        sessions = []
+        feasible = True
+        for block in partition:
+            admitting = [
+                j for j in range(instance.n_chargers)
+                if instance.chargers[j].admits(len(block))
+            ]
+            if not admitting:
+                feasible = False
+                break
+            j = min(admitting, key=lambda c: (instance.group_cost(block, c), c))
+            cost += instance.group_cost(block, j)
+            sessions.append(Session(charger=j, members=frozenset(block)))
+        if feasible and cost < best_cost:
+            best_cost = cost
+            best_sessions = sessions
+    if best_sessions is None:
+        raise InfeasibleError("no capacity-feasible partition covers all devices")
+    schedule = Schedule(best_sessions, solver="optimal-bell")
+    validate_schedule(schedule, instance)
+    return schedule

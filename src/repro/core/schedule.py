@@ -1,0 +1,164 @@
+"""Schedules: the output format shared by every CCS solver.
+
+A :class:`Schedule` is a set of charging :class:`Session`\\ s — each a group
+of devices assigned to one charger — that together partition the device
+set.  A charger may host any number of sessions (each pays its own base
+fee); a single session is bounded by the charger's slot capacity.
+
+The module also centralizes cost accounting (:func:`comprehensive_cost`)
+and feasibility checking (:func:`validate_schedule`) so solvers cannot
+drift apart on what "cost" and "feasible" mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ScheduleValidationError
+from .instance import CCSInstance
+
+__all__ = [
+    "Session",
+    "Schedule",
+    "validate_schedule",
+    "comprehensive_cost",
+    "singleton_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One charging session: a device group served together at one charger.
+
+    Device and charger references are *indices into the instance*, which
+    keeps sessions cheap to hash and compare inside solvers; rendering to
+    identifiers happens at the reporting layer.
+    """
+
+    charger: int
+    members: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", frozenset(self.members))
+        if not self.members:
+            raise ScheduleValidationError("a session must have at least one member")
+        if self.charger < 0:
+            raise ScheduleValidationError(f"invalid charger index {self.charger}")
+
+    @property
+    def size(self) -> int:
+        """Number of devices sharing the session."""
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of every device to exactly one session.
+
+    Immutable; solvers build lists of sessions and freeze them here.
+    ``metadata`` carries solver diagnostics (iterations, switches, SFM
+    calls) for the experiment harness.
+    """
+
+    sessions: Tuple[Session, ...]
+    solver: str = "unknown"
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        sessions: Iterable[Session],
+        solver: str = "unknown",
+        metadata: Optional[Dict[str, float]] = None,
+    ):
+        object.__setattr__(self, "sessions", tuple(sessions))
+        object.__setattr__(self, "solver", solver)
+        object.__setattr__(self, "metadata", dict(metadata or {}))
+
+    def session_of(self, device: int) -> Session:
+        """The session containing device index *device*."""
+        for s in self.sessions:
+            if device in s.members:
+                return s
+        raise KeyError(f"device index {device} not scheduled")
+
+    def covered_devices(self) -> FrozenSet[int]:
+        """All device indices appearing in some session."""
+        out: set = set()
+        for s in self.sessions:
+            out |= s.members
+        return frozenset(out)
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of charging sessions."""
+        return len(self.sessions)
+
+    def group_sizes(self) -> List[int]:
+        """Sorted session sizes — the coalition-structure fingerprint."""
+        return sorted(s.size for s in self.sessions)
+
+    def canonical(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        """Order-independent canonical form, for equality checks in tests."""
+        return tuple(
+            sorted((s.charger, tuple(sorted(s.members))) for s in self.sessions)
+        )
+
+
+def validate_schedule(schedule: Schedule, instance: CCSInstance) -> None:
+    """Raise :class:`ScheduleValidationError` unless *schedule* is feasible.
+
+    Feasible means: sessions reference valid charger indices, every device
+    index is valid and appears in exactly one session, every device is
+    covered, and no session exceeds its charger's slot capacity.
+    """
+    seen: Dict[int, int] = {}
+    for k, session in enumerate(schedule.sessions):
+        if not 0 <= session.charger < instance.n_chargers:
+            raise ScheduleValidationError(
+                f"session {k}: charger index {session.charger} out of range"
+            )
+        cap = instance.capacity_of(session.charger)
+        if cap is not None and session.size > cap:
+            raise ScheduleValidationError(
+                f"session {k}: {session.size} devices exceed capacity {cap} of "
+                f"charger {instance.chargers[session.charger].charger_id!r}"
+            )
+        for dev in session.members:
+            if not 0 <= dev < instance.n_devices:
+                raise ScheduleValidationError(
+                    f"session {k}: device index {dev} out of range"
+                )
+            if dev in seen:
+                raise ScheduleValidationError(
+                    f"device index {dev} appears in sessions {seen[dev]} and {k}"
+                )
+            seen[dev] = k
+    missing = set(range(instance.n_devices)) - set(seen)
+    if missing:
+        raise ScheduleValidationError(
+            f"devices {sorted(missing)} are not covered by any session"
+        )
+
+
+def comprehensive_cost(schedule: Schedule, instance: CCSInstance) -> float:
+    """Total comprehensive cost of *schedule*: all session prices + all moving costs.
+
+    The quantity every algorithm in the paper minimizes and every
+    experiment reports.
+    """
+    return sum(
+        instance.group_cost(s.members, s.charger) for s in schedule.sessions
+    )
+
+
+def singleton_schedule(instance: CCSInstance, assignment: Sequence[int], solver: str) -> Schedule:
+    """Build the schedule where device ``i`` charges alone at ``assignment[i]``."""
+    if len(assignment) != instance.n_devices:
+        raise ScheduleValidationError(
+            f"assignment length {len(assignment)} != {instance.n_devices} devices"
+        )
+    sessions = [
+        Session(charger=int(j), members=frozenset({i})) for i, j in enumerate(assignment)
+    ]
+    return Schedule(sessions, solver=solver)

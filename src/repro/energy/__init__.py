@@ -1,0 +1,21 @@
+"""Energy substrate: batteries, consumption models, demand generation."""
+
+from .battery import Battery
+from .consumption import (
+    ConstantPowerConsumption,
+    ConsumptionModel,
+    DutyCycleConsumption,
+    LocomotionModel,
+)
+from .demand import demand_from_battery, lognormal_demands, uniform_demands
+
+__all__ = [
+    "Battery",
+    "ConsumptionModel",
+    "ConstantPowerConsumption",
+    "DutyCycleConsumption",
+    "LocomotionModel",
+    "demand_from_battery",
+    "uniform_demands",
+    "lognormal_demands",
+]

@@ -1,0 +1,73 @@
+"""Battery model for rechargeable sensor nodes.
+
+The testbed simulator tracks each node's battery through sensing drain,
+travel drain, and WPT recharge; the scheduling layer reads the battery to
+derive an energy *demand* (how many joules the node wants to buy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["Battery"]
+
+
+@dataclass
+class Battery:
+    """A finite-capacity energy store, in joules.
+
+    The battery clamps at ``[0, capacity]`` on both charge and discharge and
+    reports how much energy actually flowed, so callers can account for
+    truncated transfers (e.g. a charging session ending early because the
+    battery filled up).
+    """
+
+    capacity: float
+    level: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"battery capacity must be positive, got {self.capacity}")
+        if self.level < 0:  # default: start full
+            self.level = self.capacity
+        if self.level > self.capacity:
+            raise ConfigurationError(
+                f"battery level {self.level} exceeds capacity {self.capacity}"
+            )
+
+    @property
+    def headroom(self) -> float:
+        """Energy the battery can still absorb, in joules."""
+        return self.capacity - self.level
+
+    @property
+    def state_of_charge(self) -> float:
+        """Fractional fill level in ``[0, 1]``."""
+        return self.level / self.capacity
+
+    def is_depleted(self, threshold: float = 0.0) -> bool:
+        """True if the level is at or below *threshold* joules."""
+        return self.level <= threshold
+
+    def charge(self, energy: float) -> float:
+        """Add up to *energy* joules; return the amount actually stored."""
+        if energy < 0:
+            raise ValueError(f"charge() takes nonnegative energy, got {energy}")
+        stored = min(energy, self.headroom)
+        self.level += stored
+        return stored
+
+    def discharge(self, energy: float) -> float:
+        """Remove up to *energy* joules; return the amount actually drawn.
+
+        Draining past empty is clamped rather than raised: a sensor node that
+        runs out of energy mid-task simply dies, which the simulator detects
+        via :meth:`is_depleted`.
+        """
+        if energy < 0:
+            raise ValueError(f"discharge() takes nonnegative energy, got {energy}")
+        drawn = min(energy, self.level)
+        self.level -= drawn
+        return drawn

@@ -1,0 +1,103 @@
+"""Energy consumption models for sensing, radio duty, and locomotion.
+
+The scheduling problem only needs each device's *demand*; the testbed
+simulator additionally needs to know how fast batteries drain between
+charging rounds.  These models are deliberately simple affine forms — the
+standard first-order models in the WRSN literature — but live behind a
+small protocol so experiments can substitute richer ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ConsumptionModel",
+    "ConstantPowerConsumption",
+    "DutyCycleConsumption",
+    "LocomotionModel",
+]
+
+
+@runtime_checkable
+class ConsumptionModel(Protocol):
+    """Anything that can report joules consumed over a time interval."""
+
+    def energy_over(self, duration: float) -> float:
+        """Energy consumed over *duration* seconds, in joules."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantPowerConsumption:
+    """A node that draws a fixed *power* (watts) continuously."""
+
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ConfigurationError(f"power must be nonnegative, got {self.power}")
+
+    def energy_over(self, duration: float) -> float:
+        if duration < 0:
+            raise ValueError(f"duration must be nonnegative, got {duration}")
+        return self.power * duration
+
+
+@dataclass(frozen=True)
+class DutyCycleConsumption:
+    """Active/sleep duty cycling: ``active_power`` a fraction of the time.
+
+    ``energy_over`` uses the long-run average power, which is exact whenever
+    the interval spans many duty cycles — the regime the testbed operates in
+    (charging rounds are minutes; duty cycles are seconds).
+    """
+
+    active_power: float
+    sleep_power: float
+    duty_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.active_power < 0 or self.sleep_power < 0:
+            raise ConfigurationError("powers must be nonnegative")
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ConfigurationError(f"duty_cycle must be in [0, 1], got {self.duty_cycle}")
+        if self.sleep_power > self.active_power:
+            raise ConfigurationError("sleep_power must not exceed active_power")
+
+    @property
+    def average_power(self) -> float:
+        """Long-run mean power draw, in watts."""
+        return self.duty_cycle * self.active_power + (1.0 - self.duty_cycle) * self.sleep_power
+
+    def energy_over(self, duration: float) -> float:
+        if duration < 0:
+            raise ValueError(f"duration must be nonnegative, got {duration}")
+        return self.average_power * duration
+
+
+@dataclass(frozen=True)
+class LocomotionModel:
+    """Energy cost of moving: ``energy_per_meter`` joules per meter travelled.
+
+    This is the *energy* side of mobility; the monetary moving cost used by
+    the CCS objective lives in :mod:`repro.mobility` (they need not agree —
+    a device may value its travel above the pure energy price).
+    """
+
+    energy_per_meter: float
+
+    def __post_init__(self) -> None:
+        if self.energy_per_meter < 0:
+            raise ConfigurationError(
+                f"energy_per_meter must be nonnegative, got {self.energy_per_meter}"
+            )
+
+    def energy_for(self, distance: float) -> float:
+        """Joules consumed travelling *distance* meters."""
+        if distance < 0:
+            raise ValueError(f"distance must be nonnegative, got {distance}")
+        return self.energy_per_meter * distance

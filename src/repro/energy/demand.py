@@ -1,0 +1,63 @@
+"""Energy-demand derivation and synthetic demand generators.
+
+A device's *demand* is the number of joules it wants to buy in the next
+charging round.  In the simulator this is derived from battery state; in
+pure-scheduling experiments it is sampled from a distribution, matching how
+the paper's simulations parameterise device heterogeneity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import RandomState, ensure_rng
+from .battery import Battery
+
+__all__ = ["demand_from_battery", "uniform_demands", "lognormal_demands"]
+
+
+def demand_from_battery(battery: Battery, target_soc: float = 1.0) -> float:
+    """Joules needed to raise *battery* to ``target_soc`` of capacity.
+
+    Returns zero when the battery already meets the target — a device with
+    no demand simply does not participate in the round.
+    """
+    if not 0.0 < target_soc <= 1.0:
+        raise ConfigurationError(f"target_soc must be in (0, 1], got {target_soc}")
+    return max(0.0, target_soc * battery.capacity - battery.level)
+
+
+def uniform_demands(
+    n: int, low: float, high: float, rng: RandomState = None
+) -> List[float]:
+    """Sample *n* demands uniformly from ``[low, high]`` joules."""
+    if n < 0:
+        raise ConfigurationError(f"n must be nonnegative, got {n}")
+    if low < 0 or high < low:
+        raise ConfigurationError(f"need 0 <= low <= high, got [{low}, {high}]")
+    gen = ensure_rng(rng)
+    return [float(d) for d in gen.uniform(low, high, size=n)]
+
+
+def lognormal_demands(
+    n: int, mean: float, sigma: float = 0.5, rng: RandomState = None
+) -> List[float]:
+    """Sample *n* heavy-tailed demands with the given arithmetic *mean*.
+
+    Lognormal heterogeneity stresses the proportional cost-sharing scheme:
+    a few devices want far more energy than the rest, so equal sharing would
+    be unfair to light users.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be nonnegative, got {n}")
+    if mean <= 0:
+        raise ConfigurationError(f"mean must be positive, got {mean}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be nonnegative, got {sigma}")
+    gen = ensure_rng(rng)
+    # Choose mu so that E[lognormal(mu, sigma)] == mean.
+    mu = np.log(mean) - 0.5 * sigma**2
+    return [float(d) for d in gen.lognormal(mu, sigma, size=n)]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from bad
+call sites, ``KeyError`` from internal bugs) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "ScheduleValidationError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model object was constructed with invalid parameters.
+
+    Raised eagerly at construction time (e.g. a negative energy demand, a
+    charger with zero efficiency) so that bad configurations fail close to
+    their source rather than deep inside a solver.
+    """
+
+
+class InfeasibleError(ReproError):
+    """The problem instance admits no feasible schedule.
+
+    For example: total charger slot capacity is smaller than the number of
+    devices that must be charged in one round.
+    """
+
+
+class ScheduleValidationError(ReproError):
+    """A schedule violates the CCS feasibility rules.
+
+    Raised by :func:`repro.core.schedule.validate_schedule` when a schedule
+    does not partition the device set, exceeds a charger's slot capacity,
+    or references unknown devices/chargers.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget.
+
+    Carries the iteration count reached so callers can report how far the
+    algorithm got before giving up.
+    """
+
+    def __init__(self, message: str, iterations: int = 0):
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class SimulationError(ReproError):
+    """The discrete-event testbed simulator reached an inconsistent state."""

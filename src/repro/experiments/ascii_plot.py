@@ -1,0 +1,76 @@
+"""ASCII line charts for figure series.
+
+Matplotlib is unavailable in offline reproduction environments, so the
+harness renders figures as terminal plots: each series gets a glyph,
+points are placed on a character canvas with linear x/y scaling, and the
+legend maps glyphs back to algorithms.  Intended for the CLI and bench
+output next to the exact numeric tables from :mod:`.report`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .report import SeriesResult
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _finite(values: List[float]) -> List[float]:
+    return [v for v in values if not math.isnan(v) and not math.isinf(v)]
+
+
+def ascii_plot(result: SeriesResult, width: int = 64, height: int = 16) -> str:
+    """Render *result* as an ASCII chart with axes and a legend.
+
+    NaN points (e.g. OPT beyond its tractable range) are simply skipped.
+    Raises ``ValueError`` if there is nothing finite to plot.
+    """
+    if width < 16 or height < 4:
+        raise ValueError(f"canvas too small: {width}x{height}")
+    if not result.series:
+        raise ValueError("nothing to plot: result has no series")
+
+    xs = [float(x) for x in result.x_values]
+    all_y = _finite([y for ys in result.series.values() for y in ys])
+    if not all_y or not xs:
+        raise ValueError("nothing finite to plot")
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        canvas[height - 1 - row][col] = glyph
+
+    legend = []
+    for k, (label, ys) in enumerate(result.series.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        legend.append(f"{glyph} {label}")
+        for x, y in zip(xs, ys):
+            if math.isnan(y) or math.isinf(y):
+                continue
+            put(x, y, glyph)
+
+    y_top = f"{y_hi:.4g}"
+    y_bot = f"{y_lo:.4g}"
+    margin = max(len(y_top), len(y_bot))
+    lines = [result.title]
+    for r, row in enumerate(canvas):
+        prefix = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{prefix:>{margin}} |{''.join(row)}")
+    lines.append(f"{'':>{margin}} +{'-' * width}")
+    x_axis = f"{x_lo:.4g}".ljust(width - len(f"{x_hi:.4g}")) + f"{x_hi:.4g}"
+    lines.append(f"{'':>{margin}}  {x_axis}")
+    lines.append(f"{'':>{margin}}  {result.x_label}   [{',  '.join(legend)}]")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Export evaluation results to a Markdown report.
+
+``ccs-bench --all`` prints to the terminal; :func:`export_markdown` writes
+the same results as a self-contained Markdown file with a header that
+records *how* they were produced (library version, trials, experiment
+ids) so a results file is reproducible from its own preamble.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .runner import EXPERIMENTS, run_all
+
+__all__ = ["results_markdown", "export_markdown"]
+
+
+def results_markdown(
+    results: Dict[str, str],
+    trials: int,
+    title: str = "CCS reproduction results",
+) -> str:
+    """Render already-computed experiment outputs as one Markdown document."""
+    from .. import __version__
+
+    lines = [
+        f"# {title}",
+        "",
+        f"- library version: `{__version__}`",
+        f"- trials per sweep point: {trials}",
+        f"- experiments: {', '.join(sorted(results))}",
+        "- regenerate: `ccs-bench "
+        + " ".join(sorted(results))
+        + f" --trials {trials}`",
+        "",
+    ]
+    for eid in sorted(results):
+        lines.append(f"## {eid}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(results[eid].rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def export_markdown(
+    path: str,
+    trials: int = 3,
+    only: Optional[List[str]] = None,
+) -> Dict[str, str]:
+    """Run experiments (all, or the ids in *only*) and write them to *path*.
+
+    Returns the raw results dict so callers can also assert on them.
+    Unknown ids fail before any experiment runs.
+    """
+    ids = only if only is not None else list(EXPERIMENTS)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    results = run_all(trials=trials, only=ids)
+    with open(path, "w") as fh:
+        fh.write(results_markdown(results, trials=trials))
+        fh.write("\n")
+    return results

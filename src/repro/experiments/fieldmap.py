@@ -1,0 +1,98 @@
+"""ASCII maps of deployments and schedules.
+
+Renders a bird's-eye view of an instance on a character grid: chargers as
+uppercase letters, devices as the lowercase letter of the charger their
+session was assigned to (or ``.`` when no schedule is given).  One glance
+shows whether a scheduler formed geographically sensible coalitions —
+the debugging view every example and bug report wants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import CCSInstance, Schedule
+from ..geometry import Field
+
+__all__ = ["field_map"]
+
+_CHARGER_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def field_map(
+    instance: CCSInstance,
+    schedule: Optional[Schedule] = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render *instance* (and optionally *schedule*) as an ASCII map.
+
+    Uses the instance's field when present, otherwise the bounding box of
+    all positions.  Chargers overwrite devices on collisions (they are the
+    landmarks).  Raises ``ValueError`` for canvases too small to be
+    legible or for more chargers than glyphs.
+    """
+    if width < 10 or height < 5:
+        raise ValueError(f"canvas too small: {width}x{height}")
+    if instance.n_chargers > len(_CHARGER_GLYPHS):
+        raise ValueError(
+            f"cannot label {instance.n_chargers} chargers with "
+            f"{len(_CHARGER_GLYPHS)} glyphs"
+        )
+
+    if instance.field_area is not None:
+        x0, y0 = 0.0, 0.0
+        x1, y1 = instance.field_area.width, instance.field_area.height
+    else:
+        xs = [p.x for p in (
+            [d.position for d in instance.devices]
+            + [c.position for c in instance.chargers]
+        )]
+        ys = [p.y for p in (
+            [d.position for d in instance.devices]
+            + [c.position for c in instance.chargers]
+        )]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, glyph: str) -> None:
+        col = round((x - x0) / (x1 - x0) * (width - 1))
+        row = round((y - y0) / (y1 - y0) * (height - 1))
+        canvas[height - 1 - row][col] = glyph
+
+    assigned = {}
+    if schedule is not None:
+        for session in schedule.sessions:
+            for i in session.members:
+                assigned[i] = session.charger
+
+    for i, device in enumerate(instance.devices):
+        if i in assigned:
+            glyph = _CHARGER_GLYPHS[assigned[i]].lower()
+        else:
+            glyph = "."
+        put(device.position.x, device.position.y, glyph)
+    for j, charger in enumerate(instance.chargers):
+        put(charger.position.x, charger.position.y, _CHARGER_GLYPHS[j])
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in canvas)
+    lines.append(border)
+
+    legend = ", ".join(
+        f"{_CHARGER_GLYPHS[j]}={c.charger_id}" for j, c in enumerate(instance.chargers)
+    )
+    lines.append(f"chargers: {legend}")
+    lines.append(
+        "devices: lowercase letter = assigned charger"
+        if schedule is not None
+        else "devices: ."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment results.
+
+The reproduction reports tables and figure-series as aligned text — the
+form EXPERIMENTS.md and the benchmark console output use.  Rendering is
+separated from experiment logic so tests can assert on numbers without
+parsing strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["SeriesResult", "TableResult", "render_series", "render_table"]
+
+
+@dataclass
+class SeriesResult:
+    """A figure: one x-axis and one y-series per algorithm/configuration."""
+
+    name: str
+    title: str
+    x_label: str
+    x_values: Sequence[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        """Attach a named series; must align with the x axis."""
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(self.x_values)} x values"
+            )
+        self.series[label] = values
+
+
+@dataclass
+class TableResult:
+    """A table: a header row and uniform data rows of strings."""
+
+    name: str
+    title: str
+    header: Sequence[str]
+    rows: List[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row, formatting floats to 4 significant digits."""
+        formatted = [
+            f"{c:.4g}" if isinstance(c, float) else str(c) for c in cells
+        ]
+        if len(formatted) != len(self.header):
+            raise ValueError(
+                f"row has {len(formatted)} cells for {len(self.header)} columns"
+            )
+        self.rows.append(formatted)
+
+
+def _render_grid(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(result: SeriesResult, precision: int = 2) -> str:
+    """Render a figure-series as an aligned text table (x column first)."""
+    header = [result.x_label] + list(result.series)
+    rows = []
+    for k, x in enumerate(result.x_values):
+        row = [f"{x:g}"]
+        for label in result.series:
+            row.append(f"{result.series[label][k]:.{precision}f}")
+        rows.append(row)
+    return f"{result.title}\n{_render_grid(header, rows)}"
+
+
+def render_table(result: TableResult) -> str:
+    """Render a table result as aligned text."""
+    return f"{result.title}\n{_render_grid(result.header, result.rows)}"

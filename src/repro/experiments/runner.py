@@ -1,0 +1,88 @@
+"""Run the whole reconstructed evaluation in one call.
+
+:func:`run_all` executes every table and figure at the requested scale and
+returns rendered text blocks keyed by experiment id — what the CLI prints
+and what EXPERIMENTS.md is distilled from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .figures import (
+    fig5_cost_vs_devices,
+    fig6_cost_vs_chargers,
+    fig7_cost_vs_base_price,
+    fig8_cost_vs_field_side,
+    fig9_runtime,
+    fig10_convergence,
+    fig11_sharing_fairness,
+    fig12_ablation_capacity,
+    fig12_ablation_tariff,
+)
+from .report import render_series, render_table
+from .tables import table1_parameters, table2_optimality, table3_field
+
+__all__ = ["EXPERIMENTS", "FIGURE_BUILDERS", "run_experiment", "run_all"]
+
+
+def _table1() -> str:
+    return render_table(table1_parameters())
+
+
+def _table2(trials: int) -> str:
+    return render_table(table2_optimality(trials=trials).table)
+
+
+def _table3(trials: int) -> str:
+    return render_table(table3_field(rounds=max(3, trials)).table)
+
+
+#: Experiment id → callable(trials) → rendered text.
+EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+    "table1": lambda trials: _table1(),
+    "table2": _table2,
+    "table3": _table3,
+    "fig5": lambda trials: render_series(fig5_cost_vs_devices(trials=trials)),
+    "fig6": lambda trials: render_series(fig6_cost_vs_chargers(trials=trials)),
+    "fig7": lambda trials: render_series(fig7_cost_vs_base_price(trials=trials)),
+    "fig8": lambda trials: render_series(fig8_cost_vs_field_side(trials=trials)),
+    "fig9": lambda trials: render_series(fig9_runtime(trials=max(1, trials // 2)), precision=4),
+    "fig10": lambda trials: render_series(fig10_convergence(trials=trials)),
+    "fig11": lambda trials: render_series(fig11_sharing_fairness(trials=trials)),
+    "fig12": lambda trials: (
+        render_series(fig12_ablation_tariff(trials=trials))
+        + "\n\n"
+        + render_series(fig12_ablation_capacity(trials=trials))
+    ),
+}
+
+
+#: Figure id → callable(trials) → raw :class:`SeriesResult` (for plotting).
+FIGURE_BUILDERS = {
+    "fig5": lambda trials: fig5_cost_vs_devices(trials=trials),
+    "fig6": lambda trials: fig6_cost_vs_chargers(trials=trials),
+    "fig7": lambda trials: fig7_cost_vs_base_price(trials=trials),
+    "fig8": lambda trials: fig8_cost_vs_field_side(trials=trials),
+    "fig9": lambda trials: fig9_runtime(trials=max(1, trials // 2)),
+    "fig10": lambda trials: fig10_convergence(trials=trials),
+    "fig11": lambda trials: fig11_sharing_fairness(trials=trials),
+    "fig12": lambda trials: fig12_ablation_tariff(trials=trials),
+}
+
+
+def run_experiment(experiment_id: str, trials: int = 3) -> str:
+    """Run one experiment by id and return its rendered text."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(trials)
+
+
+def run_all(trials: int = 3, only: Optional[List[str]] = None) -> Dict[str, str]:
+    """Run every experiment (or the ids in *only*) and return their outputs."""
+    ids = only if only is not None else list(EXPERIMENTS)
+    return {eid: run_experiment(eid, trials=trials) for eid in ids}

@@ -1,0 +1,111 @@
+"""Parameter-sweep machinery shared by all simulation figures.
+
+Every cost-vs-parameter figure in the evaluation has the same shape: vary
+one :class:`~repro.workloads.generators.WorkloadSpec` field, generate
+several seeded instances per value, run each algorithm, and average the
+comprehensive cost.  :func:`sweep_costs` is that loop, once.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core import CCSInstance, Schedule, comprehensive_cost
+from ..workloads import WorkloadSpec, generate_instance
+from .report import SeriesResult
+
+__all__ = ["Algorithm", "sweep_costs", "sweep_runtime"]
+
+#: An algorithm under sweep: instance in, schedule out.
+Algorithm = Callable[[CCSInstance], Schedule]
+
+
+def _default_algorithms() -> Dict[str, Algorithm]:
+    # Imported lazily to keep this module import-light for the harness.
+    from ..core import ccsa, ccsga, noncooperation
+
+    return {
+        "NCA": noncooperation,
+        "CCSA": ccsa,
+        "CCSGA": lambda inst: ccsga(inst, certify=False).schedule,
+    }
+
+
+def _algorithms(algorithms: Optional[Mapping[str, Algorithm]]) -> Mapping[str, Algorithm]:
+    if algorithms is not None:
+        return algorithms
+    return _default_algorithms()
+
+
+def sweep_costs(
+    name: str,
+    title: str,
+    base_spec: WorkloadSpec,
+    param: str,
+    values: Sequence,
+    algorithms: Optional[Mapping[str, Algorithm]] = None,
+    trials: int = 5,
+    seed: int = 0,
+    x_label: Optional[str] = None,
+) -> SeriesResult:
+    """Average comprehensive cost of each algorithm across a parameter sweep.
+
+    For each value ``v`` of *param*, generates *trials* instances from
+    ``base_spec.with_(param=v)`` with seeds ``seed + trial`` (identical
+    across algorithms — a paired comparison) and records the mean cost.
+    """
+    algos = _algorithms(algorithms)
+    result = SeriesResult(
+        name=name, title=title, x_label=x_label or param, x_values=list(values)
+    )
+    sums = {label: [] for label in algos}
+    for v in values:
+        spec = base_spec.with_(**{param: v})
+        totals = {label: 0.0 for label in algos}
+        for t in range(trials):
+            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
+            for label, algo in algos.items():
+                totals[label] += comprehensive_cost(algo(instance), instance)
+        for label in algos:
+            sums[label].append(totals[label] / trials)
+    for label, ys in sums.items():
+        result.add(label, ys)
+    return result
+
+
+def sweep_runtime(
+    name: str,
+    title: str,
+    base_spec: WorkloadSpec,
+    param: str,
+    values: Sequence,
+    algorithms: Optional[Mapping[str, Algorithm]] = None,
+    trials: int = 3,
+    seed: int = 0,
+    x_label: Optional[str] = None,
+) -> SeriesResult:
+    """Mean wall-clock seconds of each algorithm across a parameter sweep.
+
+    Same pairing discipline as :func:`sweep_costs`; timing covers only the
+    solver call, not instance generation.
+    """
+    algos = _algorithms(algorithms)
+    result = SeriesResult(
+        name=name, title=title, x_label=x_label or param, x_values=list(values)
+    )
+    sums = {label: [] for label in algos}
+    for v in values:
+        spec = base_spec.with_(**{param: v})
+        totals = {label: 0.0 for label in algos}
+        for t in range(trials):
+            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
+            for label, algo in algos.items():
+                t0 = time.perf_counter()
+                algo(instance)
+                totals[label] += time.perf_counter() - t0
+        for label in algos:
+            sums[label].append(totals[label] / trials)
+    for label, ys in sums.items():
+        result.add(label, ys)
+    return result

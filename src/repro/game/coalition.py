@@ -1,0 +1,249 @@
+"""Mutable coalition structures — the state CCSGA's dynamics walk over.
+
+A :class:`CoalitionStructure` is a partition of the device set into
+coalitions, each bound to a charger.  Unlike the frozen
+:class:`~repro.core.schedule.Schedule`, it supports the cheap incremental
+moves the game dynamics perform thousands of times: remove a device from
+its coalition, drop it into another (or a fresh singleton), and report
+costs without recomputing the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..core.costsharing import CostSharingScheme
+from ..core.instance import CCSInstance
+from ..core.schedule import Schedule, Session
+
+__all__ = ["Coalition", "CoalitionStructure"]
+
+
+@dataclass
+class Coalition:
+    """One coalition: a device group bound to a charger.
+
+    Mutable by design; only :class:`CoalitionStructure` should touch
+    :attr:`members`.
+    """
+
+    cid: int
+    charger: int
+    members: Set[int]
+
+    @property
+    def size(self) -> int:
+        """Number of member devices."""
+        return len(self.members)
+
+
+class CoalitionStructure:
+    """A partition of all devices into charger-bound coalitions.
+
+    Maintains the invariants (checked by :meth:`check_invariants`):
+
+    - every device belongs to exactly one coalition;
+    - no coalition is empty;
+    - no coalition exceeds its charger's slot capacity.
+
+    Total comprehensive cost is cached and updated incrementally on moves —
+    the potential function of the socially-aware game dynamics.
+    """
+
+    def __init__(self, instance: CCSInstance, scheme: CostSharingScheme):
+        self.instance = instance
+        self.scheme = scheme
+        self._coalitions: Dict[int, Coalition] = {}
+        self._of_device: Dict[int, int] = {}
+        self._next_cid = 0
+        self._total_cost = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @classmethod
+    def singletons(
+        cls, instance: CCSInstance, scheme: CostSharingScheme
+    ) -> "CoalitionStructure":
+        """The noncooperative start state: each device alone at its best charger."""
+        cs = cls(instance, scheme)
+        for i in range(instance.n_devices):
+            best_j = min(
+                range(instance.n_chargers),
+                key=lambda j: (instance.group_cost([i], j), j),
+            )
+            cs._create(best_j, {i})
+        return cs
+
+    @classmethod
+    def from_schedule(
+        cls, instance: CCSInstance, scheme: CostSharingScheme, schedule: Schedule
+    ) -> "CoalitionStructure":
+        """Seed the game state from an existing schedule (e.g. a CCSA warm start)."""
+        cs = cls(instance, scheme)
+        for session in schedule.sessions:
+            cs._create(session.charger, set(session.members))
+        return cs
+
+    def _create(self, charger: int, members: Set[int]) -> Coalition:
+        coalition = Coalition(self._next_cid, charger, set(members))
+        self._next_cid += 1
+        self._coalitions[coalition.cid] = coalition
+        for i in members:
+            if i in self._of_device:
+                raise ValueError(f"device {i} already placed")
+            self._of_device[i] = coalition.cid
+        self._total_cost += self.instance.group_cost(members, charger)
+        return coalition
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def total_cost(self) -> float:
+        """Comprehensive cost of the current structure (incrementally maintained)."""
+        return self._total_cost
+
+    def coalitions(self) -> Iterator[Coalition]:
+        """Iterate over the live coalitions."""
+        return iter(self._coalitions.values())
+
+    @property
+    def n_coalitions(self) -> int:
+        """Number of live coalitions."""
+        return len(self._coalitions)
+
+    def coalition_of(self, device: int) -> Coalition:
+        """The coalition currently containing *device*."""
+        return self._coalitions[self._of_device[device]]
+
+    def individual_cost(self, device: int) -> float:
+        """The device's current comprehensive cost: price share + moving cost."""
+        coalition = self.coalition_of(device)
+        shares = self.scheme.shares(
+            self.instance, sorted(coalition.members), coalition.charger
+        )
+        return shares[device] + self.instance.moving_cost(device, coalition.charger)
+
+    def cost_if_joined(self, device: int, target: Optional[int], charger: int) -> float:
+        """Hypothetical cost of *device* after moving to coalition *target*.
+
+        ``target=None`` means founding a fresh singleton at *charger*.
+        Returns ``inf`` when the move is inadmissible (capacity, or the
+        device already sits there).
+        """
+        if target is None:
+            members = [device]
+        else:
+            coalition = self._coalitions[target]
+            if device in coalition.members:
+                return float("inf")
+            if charger != coalition.charger:
+                raise ValueError("target coalition is bound to a different charger")
+            if not self.instance.chargers[charger].admits(coalition.size + 1):
+                return float("inf")
+            members = sorted(coalition.members | {device})
+        shares = self.scheme.shares(self.instance, members, charger)
+        return shares[device] + self.instance.moving_cost(device, charger)
+
+    def total_cost_if_moved(
+        self, device: int, target: Optional[int], charger: int
+    ) -> float:
+        """Hypothetical total cost after the move (``inf`` if inadmissible)."""
+        src = self.coalition_of(device)
+        if target is not None:
+            tgt = self._coalitions[target]
+            if device in tgt.members:
+                return float("inf")
+            if not self.instance.chargers[tgt.charger].admits(tgt.size + 1):
+                return float("inf")
+        delta = 0.0
+        old_src = self.instance.group_cost(src.members, src.charger)
+        new_src = self.instance.group_cost(src.members - {device}, src.charger)
+        delta += new_src - old_src
+        if target is None:
+            delta += self.instance.group_cost([device], charger)
+        else:
+            tgt = self._coalitions[target]
+            old_tgt = self.instance.group_cost(tgt.members, tgt.charger)
+            new_tgt = self.instance.group_cost(tgt.members | {device}, tgt.charger)
+            delta += new_tgt - old_tgt
+        return self._total_cost + delta
+
+    # ------------------------------------------------------------------ #
+    # moves
+
+    def move(self, device: int, target: Optional[int], charger: int) -> None:
+        """Move *device* to coalition *target* (or a new singleton at *charger*).
+
+        Updates the cached total cost incrementally and drops the source
+        coalition if it empties.  Raises on inadmissible moves — callers
+        screen with :meth:`cost_if_joined` first.
+        """
+        src = self.coalition_of(device)
+        if target is not None and self._coalitions[target] is src:
+            raise ValueError(f"device {device} is already in coalition {target}")
+
+        old_src = self.instance.group_cost(src.members, src.charger)
+        src.members.discard(device)
+        new_src = self.instance.group_cost(src.members, src.charger)
+        self._total_cost += new_src - old_src
+        if not src.members:
+            del self._coalitions[src.cid]
+
+        if target is None:
+            dest = Coalition(self._next_cid, charger, set())
+            self._next_cid += 1
+            self._coalitions[dest.cid] = dest
+        else:
+            dest = self._coalitions[target]
+            if not self.instance.chargers[dest.charger].admits(dest.size + 1):
+                raise ValueError(
+                    f"coalition {target} is at capacity on charger {dest.charger}"
+                )
+            charger = dest.charger
+        old_dst = self.instance.group_cost(dest.members, dest.charger)
+        dest.members.add(device)
+        new_dst = self.instance.group_cost(dest.members, dest.charger)
+        self._total_cost += new_dst - old_dst
+        self._of_device[device] = dest.cid
+
+    # ------------------------------------------------------------------ #
+    # export / verification
+
+    def to_schedule(self, solver: str, metadata: Optional[Dict[str, float]] = None) -> Schedule:
+        """Freeze the structure into an immutable schedule."""
+        sessions = [
+            Session(charger=c.charger, members=frozenset(c.members))
+            for c in self._coalitions.values()
+        ]
+        return Schedule(sessions, solver=solver, metadata=metadata)
+
+    def state_key(self) -> FrozenSet[Tuple[int, FrozenSet[int]]]:
+        """Hashable canonical form — used for cycle detection in selfish dynamics."""
+        return frozenset(
+            (c.charger, frozenset(c.members)) for c in self._coalitions.values()
+        )
+
+    def check_invariants(self) -> None:
+        """Assert partition, nonemptiness, capacity, and cost-cache coherence."""
+        seen: Set[int] = set()
+        recomputed = 0.0
+        for c in self._coalitions.values():
+            if not c.members:
+                raise AssertionError(f"coalition {c.cid} is empty")
+            cap = self.instance.capacity_of(c.charger)
+            if cap is not None and c.size > cap:
+                raise AssertionError(f"coalition {c.cid} exceeds capacity {cap}")
+            overlap = seen & c.members
+            if overlap:
+                raise AssertionError(f"devices {sorted(overlap)} in multiple coalitions")
+            seen |= c.members
+            recomputed += self.instance.group_cost(c.members, c.charger)
+        if seen != set(range(self.instance.n_devices)):
+            raise AssertionError("coalition structure does not cover all devices")
+        if abs(recomputed - self._total_cost) > 1e-6 * max(1.0, abs(recomputed)):
+            raise AssertionError(
+                f"cached total cost {self._total_cost} drifted from {recomputed}"
+            )

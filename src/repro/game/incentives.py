@@ -1,0 +1,165 @@
+"""Incentive analysis: can a device profit by misreporting its demand?
+
+The service model bills devices through a cost-sharing scheme applied to
+*reported* demands.  A strategic device might under-report (pay a smaller
+share now, top up the shortfall privately later) or over-report (distort
+the group price others share).  This module quantifies those incentives:
+
+- a device reporting ``r = factor · d`` receives ``r`` joules in the
+  cooperative round;
+- a shortfall ``d − r > 0`` must be bought later in a **private** top-up
+  session at the device's standalone rate (its cheapest solo
+  price-plus-trip for the missing energy) — the realistic cost of lying
+  low;
+- surplus energy (``r > d``) is paid for but wasted (batteries clamp).
+
+``misreport_gain`` searches a factor grid for one device's best deviation
+against a fixed scheduler; ``incentive_profile`` aggregates over all
+devices.  The fig-style comparison (bench ``bench_ext_incentives.py``)
+shows the schemes differ: proportional sharing ties your bill to your
+report and so rewards under-reporting more than egalitarian sharing does,
+while both are disciplined by the private top-up price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["MisreportOutcome", "misreport_gain", "IncentiveProfile", "incentive_profile"]
+
+DEFAULT_FACTORS: Tuple[float, ...] = (0.25, 0.5, 0.75, 0.9, 1.1, 1.25, 1.5)
+
+
+@dataclass(frozen=True)
+class MisreportOutcome:
+    """Best deviation found for one device."""
+
+    device: int
+    truthful_cost: float
+    best_cost: float
+    best_factor: float
+
+    @property
+    def gain(self) -> float:
+        """Money saved by the best misreport (0 when truth is optimal)."""
+        return max(0.0, self.truthful_cost - self.best_cost)
+
+    @property
+    def profitable(self) -> bool:
+        """True if some tested misreport strictly beats truth-telling."""
+        return self.gain > 1e-9
+
+
+def _reported_instance(instance, device: int, factor: float):
+    import dataclasses
+
+    from ..core import CCSInstance
+
+    devices = list(instance.devices)
+    original = devices[device]
+    devices[device] = dataclasses.replace(
+        original, demand=max(original.demand * factor, 1e-9)
+    )
+    return CCSInstance(
+        devices=devices,
+        chargers=list(instance.chargers),
+        mobility=instance.mobility,
+        field_area=instance.field_area,
+    )
+
+
+def _topup_cost(instance, device: int, shortfall: float) -> float:
+    """Cheapest private session buying *shortfall* joules for *device*."""
+    import dataclasses
+
+    from ..core import CCSInstance
+
+    if shortfall <= 0:
+        return 0.0
+    devices = [dataclasses.replace(instance.devices[device], demand=shortfall)]
+    solo = CCSInstance(
+        devices=devices, chargers=list(instance.chargers), mobility=instance.mobility
+    )
+    return solo.standalone_cost(0)
+
+
+def _realized_cost(instance, reported, device: int, factor: float, scheme, scheduler) -> float:
+    from ..core import member_costs
+
+    schedule = scheduler(reported)
+    billed = member_costs(schedule, reported, scheme)[device]
+    true_demand = instance.devices[device].demand
+    shortfall = true_demand - true_demand * factor
+    return billed + _topup_cost(instance, device, shortfall)
+
+
+def misreport_gain(
+    instance,
+    device: int,
+    scheme=None,
+    scheduler: Optional[Callable] = None,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+) -> MisreportOutcome:
+    """Best demand-misreport for *device* against the given scheduler.
+
+    The scheduler defaults to CCSGA (the equilibrium response); the scheme
+    defaults to egalitarian.  Factors must be positive; 1.0 (truth) is
+    always evaluated as the baseline.
+    """
+    from ..core import ccsga
+    from ..core.costsharing import EgalitarianSharing
+
+    if any(f <= 0 for f in factors):
+        raise ValueError("misreport factors must be positive")
+    scheme = scheme if scheme is not None else EgalitarianSharing()
+    scheduler = scheduler or (lambda inst: ccsga(inst, certify=False).schedule)
+
+    truthful = _realized_cost(instance, instance, device, 1.0, scheme, scheduler)
+    best_cost, best_factor = truthful, 1.0
+    for factor in factors:
+        if factor == 1.0:
+            continue
+        reported = _reported_instance(instance, device, factor)
+        cost = _realized_cost(instance, reported, device, factor, scheme, scheduler)
+        if cost < best_cost - 1e-12:
+            best_cost, best_factor = cost, factor
+    return MisreportOutcome(
+        device=device,
+        truthful_cost=truthful,
+        best_cost=best_cost,
+        best_factor=best_factor,
+    )
+
+
+@dataclass(frozen=True)
+class IncentiveProfile:
+    """Population-level misreporting incentives under one scheme."""
+
+    outcomes: Tuple[MisreportOutcome, ...]
+
+    @property
+    def manipulable_fraction(self) -> float:
+        """Fraction of devices with a strictly profitable misreport."""
+        return sum(o.profitable for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_gain_pct(self) -> float:
+        """Average gain as a percentage of truthful cost."""
+        return 100.0 * sum(
+            o.gain / o.truthful_cost for o in self.outcomes
+        ) / len(self.outcomes)
+
+
+def incentive_profile(
+    instance,
+    scheme=None,
+    scheduler: Optional[Callable] = None,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+) -> IncentiveProfile:
+    """Run :func:`misreport_gain` for every device and aggregate."""
+    outcomes = tuple(
+        misreport_gain(instance, i, scheme=scheme, scheduler=scheduler, factors=factors)
+        for i in range(instance.n_devices)
+    )
+    return IncentiveProfile(outcomes=outcomes)

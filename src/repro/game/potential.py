@@ -1,0 +1,57 @@
+"""Potential-function tracking for the game dynamics.
+
+For the socially-aware rule the total comprehensive cost is an exact
+potential; recording its trajectory gives the convergence curve (Fig 10)
+and a machine-checkable monotonicity invariant for the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["PotentialTrace"]
+
+
+@dataclass
+class PotentialTrace:
+    """The potential value after each applied switch, plus the start state."""
+
+    values: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        """Append the potential observed after a switch (or at initialization)."""
+        self.values.append(float(value))
+
+    @property
+    def n_switches(self) -> int:
+        """Number of switches recorded (excludes the initial state)."""
+        return max(0, len(self.values) - 1)
+
+    @property
+    def initial(self) -> float:
+        """Potential of the start structure."""
+        if not self.values:
+            raise ValueError("empty trace")
+        return self.values[0]
+
+    @property
+    def final(self) -> float:
+        """Potential at convergence."""
+        if not self.values:
+            raise ValueError("empty trace")
+        return self.values[-1]
+
+    def is_strictly_decreasing(self, tol: float = 1e-12) -> bool:
+        """True iff every recorded switch strictly lowered the potential.
+
+        The defining property of an exact-potential dynamic; asserted by
+        property tests on every CCSGA run under the socially-aware rule.
+        """
+        return all(
+            b < a - tol for a, b in zip(self.values, self.values[1:])
+        ) or len(self.values) <= 1
+
+    def total_descent(self) -> float:
+        """How much the potential dropped from start to convergence."""
+        return self.initial - self.final

@@ -1,0 +1,109 @@
+"""Equilibrium quality: empirical price of anarchy and stability.
+
+CCSGA converges to *a* pure Nash equilibrium, but the game usually has
+many; how bad can the worst one be, and how good the best?  This module
+samples equilibria by rerunning the dynamics under random device orders
+and reports
+
+- **price of anarchy (PoA)**: worst sampled NE cost / optimal cost, and
+- **price of stability (PoS)**: best sampled NE cost / optimal cost,
+
+both lower bounds on the true ratios (sampling can miss extreme
+equilibria, never invent them).  For instances beyond the exact solver's
+reach, the certified lower bound from :mod:`repro.core.bounds` replaces
+OPT, making the reported PoA an upper-bound-flavoured estimate — the
+``baseline`` field records which was used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from typing import TYPE_CHECKING
+
+from ..rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core import CCSInstance
+    from ..core.costsharing import CostSharingScheme
+
+# NOTE: repro.core imports repro.game (CCSGA uses the switch dynamics), so
+# this module pulls its core dependencies lazily inside the functions to
+# keep the package import graph acyclic.
+
+__all__ = ["EquilibriumQuality", "sample_equilibria", "equilibrium_quality"]
+
+
+@dataclass(frozen=True)
+class EquilibriumQuality:
+    """Sampled equilibrium-cost statistics against an optimality baseline."""
+
+    ne_costs: tuple
+    baseline_cost: float
+    baseline: str  # "optimal" or "lower-bound"
+
+    @property
+    def price_of_anarchy(self) -> float:
+        """Worst sampled equilibrium cost over the baseline."""
+        return max(self.ne_costs) / self.baseline_cost
+
+    @property
+    def price_of_stability(self) -> float:
+        """Best sampled equilibrium cost over the baseline."""
+        return min(self.ne_costs) / self.baseline_cost
+
+    @property
+    def spread(self) -> float:
+        """Relative gap between worst and best sampled equilibrium."""
+        return (max(self.ne_costs) - min(self.ne_costs)) / min(self.ne_costs)
+
+
+def sample_equilibria(
+    instance: "CCSInstance",
+    scheme: Optional["CostSharingScheme"] = None,
+    samples: int = 10,
+    seed: int = 0,
+) -> List[float]:
+    """Costs of *samples* certified Nash equilibria under random sweep orders."""
+    from ..core import ccsga, comprehensive_cost
+    from ..core.costsharing import EgalitarianSharing
+
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    scheme = scheme if scheme is not None else EgalitarianSharing()
+    master = ensure_rng(seed)
+    costs = []
+    for _ in range(samples):
+        run = ccsga(instance, scheme=scheme, rng=master, certify=True)
+        if not run.nash_certified:
+            raise AssertionError("sampled terminal state failed NE certification")
+        costs.append(comprehensive_cost(run.schedule, instance))
+    return costs
+
+
+def equilibrium_quality(
+    instance: "CCSInstance",
+    scheme: Optional["CostSharingScheme"] = None,
+    samples: int = 10,
+    seed: int = 0,
+    exact_limit: int = 14,
+) -> EquilibriumQuality:
+    """Empirical PoA/PoS of the CCS coalition game on *instance*.
+
+    Uses the exact optimum when the instance has at most *exact_limit*
+    devices and the certified lower bound beyond that.
+    """
+    from ..core import comprehensive_cost, optimal_schedule
+    from ..core.bounds import lower_bound
+
+    costs = sample_equilibria(instance, scheme=scheme, samples=samples, seed=seed)
+    if instance.n_devices <= exact_limit:
+        baseline_cost = comprehensive_cost(optimal_schedule(instance), instance)
+        baseline = "optimal"
+    else:
+        baseline_cost = lower_bound(instance).total
+        baseline = "lower-bound"
+    return EquilibriumQuality(
+        ne_costs=tuple(costs), baseline_cost=baseline_cost, baseline=baseline
+    )

@@ -1,0 +1,141 @@
+"""Switch rules — the deviation semantics of the coalition formation game.
+
+A switch rule decides which unilateral moves a device is *permitted* to
+make from the current coalition structure.  Two rules from the coalition-
+formation literature:
+
+- :class:`SociallyAwareSwitch` (CCSGA's default): a move is permitted when
+  it strictly lowers the device's own cost **and** strictly lowers the
+  total comprehensive cost.  The total cost is then an exact potential:
+  every permitted switch decreases it, no structure repeats, and since the
+  structure space is finite the dynamics reach a state with no permitted
+  switch — a pure Nash equilibrium of the induced game.  This is the
+  convergence argument behind the abstract's "CCSGA finally converges to a
+  pure Nash Equilibrium".
+- :class:`SelfishSwitch`: only the device's own cost must drop.  Under
+  egalitarian sharing of submodular costs such best-response dynamics can
+  cycle; CCSGA's driver therefore pairs this rule with cycle detection.
+  Kept for the ablation comparing the two dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .coalition import CoalitionStructure
+
+__all__ = ["SwitchMove", "SwitchRule", "SelfishSwitch", "SociallyAwareSwitch"]
+
+
+@dataclass(frozen=True)
+class SwitchMove:
+    """A contemplated deviation: *device* moves to *target* (None = new singleton).
+
+    ``charger`` is the charger of the destination coalition (or of the new
+    singleton).  ``own_delta``/``total_delta`` are the cost changes the
+    move would cause for the device and for the system.
+    """
+
+    device: int
+    target: Optional[int]
+    charger: int
+    own_delta: float
+    total_delta: float
+
+
+def candidate_moves(structure: CoalitionStructure, device: int) -> Iterator[SwitchMove]:
+    """Enumerate every admissible deviation of *device* with its cost deltas.
+
+    Candidates: joining any other live coalition with spare capacity, or
+    founding a singleton at any charger.  Moves "to where I already am" are
+    excluded.  Shared by every switch rule so they differ only in which
+    moves they *permit*.
+    """
+    own_now = structure.individual_cost(device)
+    total_now = structure.total_cost
+    src = structure.coalition_of(device)
+
+    for coalition in list(structure.coalitions()):
+        if coalition is src:
+            continue
+        own_new = structure.cost_if_joined(device, coalition.cid, coalition.charger)
+        if own_new == float("inf"):
+            continue
+        total_new = structure.total_cost_if_moved(device, coalition.cid, coalition.charger)
+        yield SwitchMove(
+            device, coalition.cid, coalition.charger,
+            own_new - own_now, total_new - total_now,
+        )
+
+    singleton_already = src.size == 1
+    for j in range(structure.instance.n_chargers):
+        if singleton_already and j == src.charger:
+            continue  # identical structure, not a move
+        own_new = structure.cost_if_joined(device, None, j)
+        total_new = structure.total_cost_if_moved(device, None, j)
+        yield SwitchMove(device, None, j, own_new - own_now, total_new - total_now)
+
+
+class SwitchRule:
+    """Base class: a predicate over :class:`SwitchMove` plus a tolerance.
+
+    ``tol`` guards against floating-point ping-pong: improvements smaller
+    than ``tol`` do not count as improvements.
+    """
+
+    name = "abstract"
+
+    def __init__(self, tol: float = 1e-9):
+        if tol < 0:
+            raise ValueError(f"tol must be nonnegative, got {tol}")
+        self.tol = tol
+
+    def permits(self, move: SwitchMove) -> bool:
+        """True if the rule allows this deviation."""
+        raise NotImplementedError
+
+    def best_move(
+        self, structure: CoalitionStructure, device: int
+    ) -> Optional[SwitchMove]:
+        """The permitted move minimizing the device's own cost, or ``None``.
+
+        Ties break toward smaller own_delta, then joining existing
+        coalitions over founding singletons, then lower charger index —
+        deterministic so experiments are reproducible.
+        """
+        best: Optional[SwitchMove] = None
+        for move in candidate_moves(structure, device):
+            if not self.permits(move):
+                continue
+            if best is None or self._better(move, best):
+                best = move
+        return best
+
+    @staticmethod
+    def _better(a: SwitchMove, b: SwitchMove) -> bool:
+        key_a = (a.own_delta, a.target is None, a.charger, a.target if a.target is not None else -1)
+        key_b = (b.own_delta, b.target is None, b.charger, b.target if b.target is not None else -1)
+        return key_a < key_b
+
+
+class SelfishSwitch(SwitchRule):
+    """Permit any move that strictly lowers the device's own cost."""
+
+    name = "selfish"
+
+    def permits(self, move: SwitchMove) -> bool:
+        return move.own_delta < -self.tol
+
+
+class SociallyAwareSwitch(SwitchRule):
+    """Permit moves lowering both the device's cost and the total cost.
+
+    The conjunction makes total comprehensive cost an exact potential of
+    the dynamics — the convergence engine of CCSGA.
+    """
+
+    name = "socially-aware"
+
+    def permits(self, move: SwitchMove) -> bool:
+        return move.own_delta < -self.tol and move.total_delta < -self.tol

@@ -1,0 +1,24 @@
+"""Planar geometry substrate: points, fields, deployments, distances."""
+
+from .deployment import (
+    cluster_deployment,
+    grid_deployment,
+    perimeter_deployment,
+    uniform_deployment,
+)
+from .distance import distance_matrix, nearest_index, pairwise_distances
+from .field import Field
+from .point import Point, centroid
+
+__all__ = [
+    "Point",
+    "centroid",
+    "Field",
+    "uniform_deployment",
+    "cluster_deployment",
+    "grid_deployment",
+    "perimeter_deployment",
+    "distance_matrix",
+    "pairwise_distances",
+    "nearest_index",
+]

@@ -1,0 +1,124 @@
+"""Position generators for devices and chargers.
+
+The paper's simulations deploy devices and chargers over a square field;
+its field experiment uses a small fixed topology.  This module provides the
+samplers the workload generators build on:
+
+- :func:`uniform_deployment` — i.i.d. uniform positions (the simulation
+  default in this literature);
+- :func:`cluster_deployment` — Gaussian clusters, modelling sensor hot-spots
+  where cooperation is most profitable;
+- :func:`grid_deployment` — an evenly spaced grid, the usual choice for
+  charger placement so that service coverage is uniform;
+- :func:`perimeter_deployment` — positions along the field boundary,
+  modelling chargers installed on walls/fences of a monitored area.
+
+All samplers take an explicit RNG (see :mod:`repro.rng`) and return plain
+lists of :class:`~repro.geometry.point.Point`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import RandomState, ensure_rng
+from .field import Field
+from .point import Point
+
+__all__ = [
+    "uniform_deployment",
+    "cluster_deployment",
+    "grid_deployment",
+    "perimeter_deployment",
+]
+
+
+def _check_count(n: int) -> None:
+    if n < 0:
+        raise ConfigurationError(f"cannot deploy a negative number of points: {n}")
+
+
+def uniform_deployment(field: Field, n: int, rng: RandomState = None) -> List[Point]:
+    """Sample *n* positions i.i.d. uniformly over *field*."""
+    _check_count(n)
+    gen = ensure_rng(rng)
+    xs = gen.uniform(0.0, field.width, size=n)
+    ys = gen.uniform(0.0, field.height, size=n)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def cluster_deployment(
+    field: Field,
+    n: int,
+    n_clusters: int = 3,
+    spread: float = 0.08,
+    rng: RandomState = None,
+) -> List[Point]:
+    """Sample *n* positions from *n_clusters* Gaussian hot-spots.
+
+    Cluster centers are drawn uniformly over the field; each point picks a
+    cluster uniformly and adds isotropic Gaussian noise with standard
+    deviation ``spread * min(width, height)``.  Samples are clamped to the
+    field so the deployment is always feasible.
+    """
+    _check_count(n)
+    if n_clusters <= 0:
+        raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
+    if spread < 0:
+        raise ConfigurationError(f"spread must be nonnegative, got {spread}")
+    gen = ensure_rng(rng)
+    centers = uniform_deployment(field, n_clusters, gen)
+    sigma = spread * min(field.width, field.height)
+    points = []
+    for _ in range(n):
+        c = centers[int(gen.integers(0, n_clusters))]
+        raw = Point(
+            float(c.x + gen.normal(0.0, sigma)),
+            float(c.y + gen.normal(0.0, sigma)),
+        )
+        points.append(field.clamp(raw))
+    return points
+
+
+def grid_deployment(field: Field, n: int) -> List[Point]:
+    """Place *n* points on a near-square grid covering *field*.
+
+    The grid has ``ceil(sqrt(n))`` columns, with cells centered so no point
+    sits on the boundary.  Deterministic — the canonical charger layout.
+    """
+    _check_count(n)
+    if n == 0:
+        return []
+    cols = math.ceil(math.sqrt(n))
+    rows = math.ceil(n / cols)
+    points = []
+    for k in range(n):
+        r, c = divmod(k, cols)
+        x = (c + 0.5) * field.width / cols
+        y = (r + 0.5) * field.height / rows
+        points.append(Point(x, y))
+    return points
+
+
+def perimeter_deployment(field: Field, n: int) -> List[Point]:
+    """Place *n* points evenly along the field boundary, clockwise from origin."""
+    _check_count(n)
+    if n == 0:
+        return []
+    perimeter = 2.0 * (field.width + field.height)
+    points = []
+    for k in range(n):
+        s = (k + 0.5) * perimeter / n
+        if s < field.width:
+            points.append(Point(s, 0.0))
+        elif s < field.width + field.height:
+            points.append(Point(field.width, s - field.width))
+        elif s < 2.0 * field.width + field.height:
+            points.append(Point(2.0 * field.width + field.height - s, field.height))
+        else:
+            points.append(Point(0.0, perimeter - s))
+    return points

@@ -1,0 +1,45 @@
+"""Vectorised distance computations between device and charger layouts.
+
+Solvers that repeatedly evaluate group costs need all device-to-charger
+distances up front; computing them once as a dense matrix keeps the inner
+loops of CCSA/CCSGA free of per-pair trigonometry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .point import Point
+
+__all__ = ["distance_matrix", "pairwise_distances", "nearest_index"]
+
+
+def _as_array(points: Sequence[Point]) -> np.ndarray:
+    return np.array([(p.x, p.y) for p in points], dtype=float).reshape(-1, 2)
+
+
+def distance_matrix(sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+    """Return the ``len(sources) x len(targets)`` Euclidean distance matrix."""
+    a = _as_array(sources)
+    b = _as_array(targets)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Symmetric distance matrix among *points* (zero diagonal)."""
+    return distance_matrix(points, points)
+
+
+def nearest_index(source: Point, targets: Sequence[Point]) -> int:
+    """Index of the target closest to *source*.
+
+    Raises ``ValueError`` for an empty target list — the caller is asking
+    for a nearest charger that does not exist.
+    """
+    if not targets:
+        raise ValueError("nearest_index() requires at least one target")
+    d = distance_matrix([source], targets)[0]
+    return int(np.argmin(d))

@@ -1,0 +1,77 @@
+"""Immutable 2D points for device and charger placement.
+
+The whole library works on a planar field, so a tiny dedicated point type
+keeps position arithmetic explicit and unit-checked instead of spreading
+bare ``(x, y)`` tuples everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["Point", "centroid"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the plane, in meters.
+
+    Frozen so points can be dictionary keys and shared between model objects
+    without defensive copying.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*, in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance to *other*; used by grid-constrained mobility models."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def towards(self, other: "Point", distance: float) -> "Point":
+        """Return the point *distance* meters from ``self`` on the segment to *other*.
+
+        If *distance* exceeds the separation, returns *other* (travel never
+        overshoots its destination).  A zero-length segment returns ``self``.
+        """
+        total = self.distance_to(other)
+        if total == 0.0 or distance >= total:
+            return other
+        if distance <= 0.0:
+            return self
+        frac = distance / total
+        return Point(self.x + frac * (other.x - self.x), self.y + frac * (other.y - self.y))
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` for interop with numpy and plotting code."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of *points*.
+
+    Used by rendezvous planners to propose a meeting location for a group.
+    Raises ``ValueError`` on an empty iterable: the centroid of nothing is
+    undefined and silently returning the origin would hide bugs.
+    """
+    xs, ys, n = 0.0, 0.0, 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid() of an empty point collection is undefined")
+    return Point(xs / n, ys / n)

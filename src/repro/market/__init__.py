@@ -1,0 +1,17 @@
+"""Operator economics (extension): revenue accounting and price competition."""
+
+from .competition import (
+    CompetitionConfig,
+    CompetitionResult,
+    best_response_competition,
+)
+from .operator import charger_revenues, charger_utilization, with_base_price
+
+__all__ = [
+    "charger_revenues",
+    "charger_utilization",
+    "with_base_price",
+    "CompetitionConfig",
+    "CompetitionResult",
+    "best_response_competition",
+]

@@ -1,0 +1,137 @@
+"""Price competition between charging-service operators.
+
+The paper's service model has one implicit market question: what base fee
+*should* an operator post, given that devices respond by re-forming
+coalitions?  This module answers it with **best-response dynamics**:
+
+1. Operators take turns.  The active operator evaluates each candidate
+   base fee by re-running the device-side scheduler (CCSGA by default —
+   the devices' equilibrium response) and measuring its own revenue.
+2. It posts the revenue-maximizing fee; ties keep the current fee, and a
+   new fee must beat the incumbent revenue by a relative margin
+   (``improvement_tol``) so the dynamics cannot dither on noise.
+3. Rounds repeat until a full round changes no price — a pure-strategy
+   price equilibrium of the posted-price game — or ``max_rounds`` hits.
+
+The result records the full price/revenue trajectory, so experiments can
+show the classic outcome: competition compresses fees, and device-side
+cooperation strengthens operators with good locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core import CCSInstance, Schedule, ccsga, comprehensive_cost
+from ..errors import ConfigurationError
+from .operator import charger_revenues, with_base_price
+
+__all__ = ["CompetitionConfig", "CompetitionResult", "best_response_competition"]
+
+
+def _default_device_response(instance: CCSInstance) -> Schedule:
+    return ccsga(instance, certify=False).schedule
+
+
+@dataclass(frozen=True)
+class CompetitionConfig:
+    """Knobs of the posted-price best-response dynamics."""
+
+    candidate_bases: Tuple[float, ...] = (0.0, 10.0, 20.0, 30.0, 45.0, 60.0)
+    max_rounds: int = 10
+    improvement_tol: float = 1e-6
+    device_response: Callable[[CCSInstance], Schedule] = _default_device_response
+
+    def __post_init__(self) -> None:
+        if not self.candidate_bases:
+            raise ConfigurationError("need at least one candidate base price")
+        if any(b < 0 for b in self.candidate_bases):
+            raise ConfigurationError("candidate base prices must be nonnegative")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+@dataclass
+class CompetitionResult:
+    """Outcome of one competition run."""
+
+    final_instance: CCSInstance
+    final_schedule: Schedule
+    price_history: List[List[float]] = field(default_factory=list)
+    revenue_history: List[List[float]] = field(default_factory=list)
+    consumer_cost_history: List[float] = field(default_factory=list)
+    rounds: int = 0
+    converged: bool = False
+
+    @property
+    def final_prices(self) -> List[float]:
+        """Posted base fees at the end of the dynamics."""
+        return self.price_history[-1]
+
+    @property
+    def final_revenues(self) -> List[float]:
+        """Operator revenues at the end of the dynamics."""
+        return self.revenue_history[-1]
+
+
+def _snapshot(instance: CCSInstance, config: CompetitionConfig, result: CompetitionResult) -> Schedule:
+    schedule = config.device_response(instance)
+    result.price_history.append([c.tariff.base for c in instance.chargers])
+    result.revenue_history.append(charger_revenues(schedule, instance))
+    result.consumer_cost_history.append(comprehensive_cost(schedule, instance))
+    return schedule
+
+
+def best_response_competition(
+    instance: CCSInstance,
+    config: Optional[CompetitionConfig] = None,
+) -> CompetitionResult:
+    """Run posted-price best-response dynamics from *instance*'s tariffs.
+
+    Returns the trajectory and the final market state; ``converged`` is
+    False only if ``max_rounds`` expired with prices still moving.
+    """
+    config = config or CompetitionConfig()
+    result = CompetitionResult(final_instance=instance, final_schedule=None)
+    schedule = _snapshot(instance, config, result)
+
+    for round_idx in range(config.max_rounds):
+        result.rounds = round_idx + 1
+        changed = False
+        for j in range(instance.n_chargers):
+            current_base = instance.chargers[j].tariff.base
+            current_revenue = charger_revenues(config.device_response(instance), instance)[j]
+            best_base, best_revenue = current_base, current_revenue
+            for base in config.candidate_bases:
+                if base == current_base:
+                    continue
+                chargers = list(instance.chargers)
+                chargers[j] = with_base_price(chargers[j], base)
+                trial = CCSInstance(
+                    devices=list(instance.devices),
+                    chargers=chargers,
+                    mobility=instance.mobility,
+                    field_area=instance.field_area,
+                )
+                revenue = charger_revenues(config.device_response(trial), trial)[j]
+                if revenue > best_revenue * (1.0 + config.improvement_tol) + 1e-12:
+                    best_base, best_revenue = base, revenue
+            if best_base != current_base:
+                chargers = list(instance.chargers)
+                chargers[j] = with_base_price(chargers[j], best_base)
+                instance = CCSInstance(
+                    devices=list(instance.devices),
+                    chargers=chargers,
+                    mobility=instance.mobility,
+                    field_area=instance.field_area,
+                )
+                changed = True
+        schedule = _snapshot(instance, config, result)
+        if not changed:
+            result.converged = True
+            break
+
+    result.final_instance = instance
+    result.final_schedule = schedule
+    return result

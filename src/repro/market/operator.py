@@ -1,0 +1,47 @@
+"""Operator-side accounting: revenue and utilization of a charging service.
+
+The paper frames charging as a *commercial* service; this module provides
+the seller's view of a schedule — who earned what — which the price-
+competition dynamics in :mod:`.competition` optimize over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..core import CCSInstance, Schedule
+from ..wpt import Charger, PowerLawTariff
+
+__all__ = ["charger_revenues", "charger_utilization", "with_base_price"]
+
+
+def charger_revenues(schedule: Schedule, instance: CCSInstance) -> List[float]:
+    """Revenue each charger collects under *schedule* (indexed like the instance)."""
+    revenues = [0.0] * instance.n_chargers
+    for session in schedule.sessions:
+        revenues[session.charger] += instance.charging_price(
+            session.members, session.charger
+        )
+    return revenues
+
+
+def charger_utilization(schedule: Schedule, instance: CCSInstance) -> List[int]:
+    """Devices served by each charger under *schedule*."""
+    served = [0] * instance.n_chargers
+    for session in schedule.sessions:
+        served[session.charger] += session.size
+    return served
+
+
+def with_base_price(charger: Charger, base: float) -> Charger:
+    """A copy of *charger* whose tariff has the given session base price.
+
+    Only defined for tariffs with a replaceable ``base`` field (all
+    built-in tariffs); the competition dynamics adjust base fees, which is
+    the price dimension devices respond to most directly.
+    """
+    if base < 0:
+        raise ValueError(f"base price must be nonnegative, got {base}")
+    tariff = dataclasses.replace(charger.tariff, base=base)
+    return dataclasses.replace(charger, tariff=tariff)

@@ -1,0 +1,12 @@
+"""Mobility substrate: moving-cost models and trip kinematics."""
+
+from .model import LinearMobility, ManhattanMobility, MobilityModel, QuadraticMobility
+from .planner import Trip
+
+__all__ = [
+    "MobilityModel",
+    "LinearMobility",
+    "QuadraticMobility",
+    "ManhattanMobility",
+    "Trip",
+]

@@ -1,0 +1,51 @@
+"""Trip planning helpers for the testbed simulator.
+
+Scheduling decides *where* each device goes; the simulator still needs the
+kinematics of getting there.  :class:`Trip` tracks a straight-line journey
+with constant speed so the discrete-event engine can interpolate positions
+and charge travel energy as time advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..geometry import Point
+
+__all__ = ["Trip"]
+
+
+@dataclass
+class Trip:
+    """A straight-line trip from *origin* to *destination* at *speed* m/s."""
+
+    origin: Point
+    destination: Point
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {self.speed}")
+
+    @property
+    def length(self) -> float:
+        """Trip length in meters."""
+        return self.origin.distance_to(self.destination)
+
+    @property
+    def duration(self) -> float:
+        """Trip duration in seconds."""
+        return self.length / self.speed
+
+    def position_at(self, elapsed: float) -> Point:
+        """Position *elapsed* seconds after departure (clamped to endpoints)."""
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be nonnegative, got {elapsed}")
+        return self.origin.towards(self.destination, self.speed * elapsed)
+
+    def distance_travelled(self, elapsed: float) -> float:
+        """Meters covered after *elapsed* seconds (clamped to trip length)."""
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be nonnegative, got {elapsed}")
+        return min(self.length, self.speed * elapsed)

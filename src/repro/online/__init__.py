@@ -1,0 +1,20 @@
+"""Online cooperative charging (extension): requests arrive over time."""
+
+from .arrivals import Arrival, poisson_arrivals
+from .harness import OnlineOutcome, compare_policies, evaluate_policy
+from .traces import burst_arrivals, diurnal_arrivals
+from .scheduler import BatchScheduler, GreedyDispatch, OnlineRun, OpenSession
+
+__all__ = [
+    "Arrival",
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "burst_arrivals",
+    "OpenSession",
+    "OnlineRun",
+    "GreedyDispatch",
+    "BatchScheduler",
+    "OnlineOutcome",
+    "evaluate_policy",
+    "compare_policies",
+]

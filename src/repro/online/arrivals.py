@@ -1,0 +1,66 @@
+"""Arrival processes for online cooperative charging.
+
+The offline CCS problem assumes all charging requests are known up front.
+Real service systems see requests *arrive*: a device shows up at time t
+wanting energy, and the scheduler must commit it to a session without
+knowing who comes next.  This module generates such request streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core import Device
+from ..energy import uniform_demands
+from ..errors import ConfigurationError
+from ..geometry import Field, uniform_deployment
+from ..rng import RandomState, ensure_rng
+
+__all__ = ["Arrival", "poisson_arrivals"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One charging request: a device appearing at a point in time."""
+
+    time: float
+    device: Device
+
+
+def poisson_arrivals(
+    n: int,
+    rate: float,
+    field: Field,
+    demand_low: float = 10e3,
+    demand_high: float = 40e3,
+    moving_rate: float = 0.05,
+    rng: RandomState = None,
+) -> List[Arrival]:
+    """Generate *n* requests with exponential inter-arrival times.
+
+    Positions are uniform over *field* and demands uniform over the given
+    range — the online analogue of the simulation workload.  Returned
+    sorted by arrival time (trivially true for a Poisson stream).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be nonnegative, got {n}")
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+    gen = ensure_rng(rng)
+    gaps = gen.exponential(1.0 / rate, size=n)
+    times = gaps.cumsum()
+    positions = uniform_deployment(field, n, gen)
+    demands = uniform_demands(n, demand_low, demand_high, gen)
+    return [
+        Arrival(
+            time=float(t),
+            device=Device(
+                device_id=f"a{k:04d}",
+                position=p,
+                demand=d,
+                moving_rate=moving_rate,
+            ),
+        )
+        for k, (t, p, d) in enumerate(zip(times, positions, demands))
+    ]

@@ -1,0 +1,17 @@
+"""Deployment planning (extension): choosing charger locations."""
+
+from .placement import (
+    PlacementResult,
+    candidate_sites,
+    greedy_placement,
+    kmeans_placement,
+    random_placement,
+)
+
+__all__ = [
+    "PlacementResult",
+    "candidate_sites",
+    "greedy_placement",
+    "kmeans_placement",
+    "random_placement",
+]

@@ -1,0 +1,168 @@
+"""Charger placement: where should an operator install its pads?
+
+The paper takes charger locations as given; an operator rolling out the
+service must *choose* them.  Placement interacts with cooperation — a pad
+serving a device cluster amortizes its sessions across the whole cluster —
+so the right objective is the scheduled comprehensive cost, not raw
+distance.  This module provides:
+
+- :func:`candidate_sites` — a grid of admissible pad locations;
+- :func:`greedy_placement` — iteratively add the site whose addition most
+  reduces the *scheduled* cost (CCSGA response by default); the classic
+  greedy for facility location, here with a cooperative objective;
+- :func:`kmeans_placement` — geometry-only baseline (Lloyd's algorithm on
+  device positions, from scratch);
+- :func:`random_placement` — sanity baseline.
+
+All functions return charger lists ready to drop into a
+:class:`~repro.core.instance.CCSInstance`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import CCSInstance, Device, Schedule, ccsga, comprehensive_cost
+from ..errors import ConfigurationError
+from ..geometry import Field, Point, grid_deployment
+from ..rng import RandomState, ensure_rng
+from ..wpt import Charger
+
+__all__ = [
+    "PlacementResult",
+    "candidate_sites",
+    "greedy_placement",
+    "kmeans_placement",
+    "random_placement",
+]
+
+#: Evaluates a deployment: devices + chargers in, scheduled cost out.
+Evaluator = Callable[[CCSInstance], float]
+
+
+def _default_evaluator(instance: CCSInstance) -> float:
+    return comprehensive_cost(ccsga(instance, certify=False).schedule, instance)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Chosen pads plus the cost trajectory of the greedy additions."""
+
+    chargers: tuple
+    cost_trajectory: tuple
+
+    @property
+    def final_cost(self) -> float:
+        """Scheduled comprehensive cost with the full placement."""
+        return self.cost_trajectory[-1]
+
+
+def candidate_sites(field: Field, grid_side: int = 6) -> List[Point]:
+    """A ``grid_side**2`` lattice of admissible pad locations over *field*."""
+    if grid_side < 1:
+        raise ConfigurationError(f"grid_side must be >= 1, got {grid_side}")
+    return grid_deployment(field, grid_side * grid_side)
+
+
+def _materialize(prototype: Charger, position: Point, index: int) -> Charger:
+    return dataclasses.replace(
+        prototype, charger_id=f"site{index:03d}", position=position
+    )
+
+
+def greedy_placement(
+    devices: Sequence[Device],
+    sites: Sequence[Point],
+    k: int,
+    prototype: Charger,
+    evaluator: Optional[Evaluator] = None,
+) -> PlacementResult:
+    """Greedily pick *k* of *sites*, minimizing scheduled cost at each step.
+
+    Every candidate extension is evaluated by scheduling the devices
+    against the tentative pad set — expensive but faithful: a pad's value
+    depends on the coalitions it enables, which geometry alone cannot see.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if k > len(sites):
+        raise ConfigurationError(f"cannot place {k} pads on {len(sites)} sites")
+    evaluate = evaluator if evaluator is not None else _default_evaluator
+
+    chosen: List[Point] = []
+    remaining = list(sites)
+    trajectory: List[float] = []
+    for _ in range(k):
+        best_site, best_cost = None, None
+        for site in remaining:
+            chargers = [
+                _materialize(prototype, p, i) for i, p in enumerate(chosen + [site])
+            ]
+            cost = evaluate(CCSInstance(devices=list(devices), chargers=chargers))
+            if best_cost is None or cost < best_cost:
+                best_site, best_cost = site, cost
+        chosen.append(best_site)
+        remaining.remove(best_site)
+        trajectory.append(best_cost)
+
+    chargers = tuple(_materialize(prototype, p, i) for i, p in enumerate(chosen))
+    return PlacementResult(chargers=chargers, cost_trajectory=tuple(trajectory))
+
+
+def kmeans_placement(
+    devices: Sequence[Device],
+    k: int,
+    prototype: Charger,
+    max_iter: int = 100,
+    rng: RandomState = 0,
+) -> List[Charger]:
+    """Lloyd's k-means on device positions — the geometry-only baseline.
+
+    Initializes centers on random devices, iterates assign/update until
+    stable; empty clusters are reseeded on the farthest device.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if k > len(devices):
+        raise ConfigurationError(f"cannot place {k} pads for {len(devices)} devices")
+    gen = ensure_rng(rng)
+    points = np.array([(d.position.x, d.position.y) for d in devices])
+    centers = points[gen.choice(len(points), size=k, replace=False)].astype(float)
+
+    for _ in range(max_iter):
+        dists = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = dists.argmin(axis=1)
+        new_centers = centers.copy()
+        for c in range(k):
+            members = points[labels == c]
+            if len(members):
+                new_centers[c] = members.mean(axis=0)
+            else:
+                new_centers[c] = points[dists.min(axis=1).argmax()]
+        if np.allclose(new_centers, centers):
+            break
+        centers = new_centers
+
+    return [
+        _materialize(prototype, Point(float(x), float(y)), i)
+        for i, (x, y) in enumerate(centers)
+    ]
+
+
+def random_placement(
+    field: Field,
+    k: int,
+    prototype: Charger,
+    rng: RandomState = 0,
+) -> List[Charger]:
+    """*k* pads uniformly at random — the sanity baseline."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    from ..geometry import uniform_deployment
+
+    positions = uniform_deployment(field, k, ensure_rng(rng))
+    return [_materialize(prototype, p, i) for i, p in enumerate(positions)]

@@ -1,0 +1,39 @@
+"""Discrete-event testbed simulator — the field-experiment substitute."""
+
+from .chargersim import ChargerStation
+from .lifecycle import LifecycleConfig, LifecycleResult, run_lifecycle
+from .engine import Engine, EventHandle
+from .metrics import improvement_pct, paired_improvements, utilization_summary
+from .node import SimNode
+from .noise import NoiseModel
+from .testbed import (
+    FieldTrialConfig,
+    Scheduler,
+    TrialResult,
+    compare_field_trial,
+    execute_round,
+    run_field_trial,
+)
+from .trace import RoundOutcome, SessionRecord
+
+__all__ = [
+    "Engine",
+    "LifecycleConfig",
+    "LifecycleResult",
+    "run_lifecycle",
+    "EventHandle",
+    "ChargerStation",
+    "SimNode",
+    "NoiseModel",
+    "SessionRecord",
+    "RoundOutcome",
+    "Scheduler",
+    "FieldTrialConfig",
+    "TrialResult",
+    "execute_round",
+    "run_field_trial",
+    "compare_field_trial",
+    "improvement_pct",
+    "paired_improvements",
+    "utilization_summary",
+]

@@ -1,0 +1,82 @@
+"""Simulated charging stations with FIFO session queues.
+
+A physical pad serves one session at a time; when a schedule assigns a
+charger several sessions, later groups wait.  :class:`ChargerStation`
+owns that queueing discipline and the per-station utilization ledger.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Tuple
+
+from ..errors import SimulationError
+from ..wpt import Charger
+from .engine import Engine
+
+__all__ = ["ChargerStation", "SessionStart"]
+
+#: Callback fired when the pad frees up for a waiting session.  It performs
+#: the session-start physics (realized efficiency, billing computation) and
+#: returns ``(duration_seconds, on_complete)``; the station holds the pad
+#: for that duration, then fires ``on_complete`` before serving the next
+#: session in line.
+SessionStart = Callable[[], Tuple[float, Callable[[], None]]]
+
+
+@dataclass
+class ChargerStation:
+    """One pad's runtime state: busy flag, waiting sessions, usage ledger."""
+
+    charger: Charger
+    engine: Engine
+
+    busy: bool = False
+    _waiting: Deque[SessionStart] = field(default_factory=deque)
+    sessions_served: int = 0
+    busy_seconds: float = 0.0
+    energy_emitted: float = 0.0
+    revenue: float = 0.0
+
+    @property
+    def station_id(self) -> str:
+        """Identifier shared with the scheduling-layer charger."""
+        return self.charger.charger_id
+
+    @property
+    def queue_length(self) -> int:
+        """Sessions currently waiting for the pad."""
+        return len(self._waiting)
+
+    def submit(self, on_start: SessionStart) -> None:
+        """Enqueue a session; it starts as soon as the pad is free (FIFO)."""
+        self._waiting.append(on_start)
+        self._try_start()
+
+    def record_session(self, emitted: float, revenue: float) -> None:
+        """Add one completed session to the usage ledger."""
+        self.sessions_served += 1
+        self.energy_emitted += emitted
+        self.revenue += revenue
+
+    def _try_start(self) -> None:
+        if self.busy or not self._waiting:
+            return
+        on_start = self._waiting.popleft()
+        self.busy = True
+        duration, on_complete = on_start()
+        if duration < 0:
+            raise SimulationError(f"session reported negative duration {duration}")
+        self.busy_seconds += duration
+
+        def finish() -> None:
+            if not self.busy:
+                raise SimulationError(
+                    f"station {self.station_id}: finish event with no running session"
+                )
+            on_complete()
+            self.busy = False
+            self._try_start()
+
+        self.engine.schedule(duration, finish)

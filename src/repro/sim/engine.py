@@ -1,0 +1,124 @@
+"""A minimal discrete-event simulation engine.
+
+The field-experiment substitute (see DESIGN.md) needs ordered, timestamped
+execution of travel, queueing, and charging-session events.  This engine is
+deliberately small: a priority queue of ``(time, sequence, callback)``
+entries with deterministic FIFO tie-breaking, plus the invariant checks
+that keep simulated time honest.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["EventHandle", "Engine"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`, usable to cancel."""
+
+    _entry: _QueueEntry
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event was cancelled before firing."""
+        return self._entry.cancelled
+
+
+class Engine:
+    """Event loop with monotonically advancing simulated time.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO),
+    which makes simulations reproducible regardless of dict/hash ordering.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_QueueEntry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* to fire ``delay`` seconds from now.
+
+        Negative delays are rejected — time travel in a DES is always a
+        bug at the call site.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        entry = _QueueEntry(self._now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* at absolute simulated *time* (must be >= now)."""
+        return self.schedule(time - self._now, callback)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event; firing a cancelled event is a no-op."""
+        handle._entry.cancelled = True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Execute events until the queue drains or simulated time passes *until*.
+
+        ``max_events`` guards against non-terminating event chains; hitting
+        it raises :class:`~repro.errors.SimulationError` rather than hanging
+        the experiment.
+        """
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events — runaway event chain?"
+                )
+            entry = self._queue[0]
+            if until is not None and entry.time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if entry.time < self._now:
+                raise SimulationError(
+                    f"event queue corrupted: event at t={entry.time} < now={self._now}"
+                )
+            self._now = entry.time
+            self._fired += 1
+            executed += 1
+            entry.callback()
+        if until is not None:
+            self._now = max(self._now, until)

@@ -1,0 +1,172 @@
+"""Continuous WRSN operation: the lifecycle simulation (extension).
+
+The paper's field experiment measures isolated scheduling rounds.  A real
+deployment runs continuously: nodes drain while sensing, request charging
+when their battery falls below a threshold, and the scheduler serves each
+wave of requests.  This module simulates that loop on top of the testbed
+machinery, with **persistent node state across rounds** — the battery a
+node burns walking to a pad this round is energy it will miss next round.
+
+Metrics of interest beyond cost: *survival* (did any node die before
+reaching a pad?) and *service latency* (how long requests wait), both of
+which reward schedulers that keep nodes near their chargers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core import CCSInstance, Device, EgalitarianSharing, Schedule
+from ..energy import Battery, ConstantPowerConsumption, ConsumptionModel, LocomotionModel
+from ..errors import ConfigurationError
+from ..rng import ensure_rng
+from ..workloads.fieldtrial import testbed_chargers, testbed_devices
+from .node import SimNode
+from .testbed import FieldTrialConfig, Scheduler, execute_round
+from .trace import RoundOutcome
+
+__all__ = ["LifecycleConfig", "LifecycleResult", "run_lifecycle"]
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Parameters of a continuous-operation simulation."""
+
+    epochs: int = 20
+    epoch_seconds: float = 1800.0
+    soc_request_threshold: float = 0.5
+    target_soc: float = 0.95
+    sensing_power: float = 0.4
+    battery_capacity: float = 8000.0
+    initial_soc: float = 0.9
+    seed: int = 0
+    trial: FieldTrialConfig = field(default_factory=lambda: FieldTrialConfig(rounds=1))
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.epoch_seconds <= 0:
+            raise ConfigurationError("epoch_seconds must be positive")
+        if not 0.0 < self.soc_request_threshold < self.target_soc <= 1.0:
+            raise ConfigurationError(
+                "need 0 < soc_request_threshold < target_soc <= 1"
+            )
+        if not 0.0 < self.initial_soc <= 1.0:
+            raise ConfigurationError("initial_soc must be in (0, 1]")
+
+
+@dataclass
+class LifecycleResult:
+    """Everything measured over one lifecycle run."""
+
+    rounds: List[RoundOutcome] = field(default_factory=list)
+    requests_per_epoch: List[int] = field(default_factory=list)
+    deaths: List[str] = field(default_factory=list)
+    total_cost: float = 0.0
+    total_energy_delivered: float = 0.0
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of nodes alive at the end (dead nodes counted once)."""
+        return 1.0 - len(set(self.deaths)) / self._n_nodes if self._n_nodes else 1.0
+
+    _n_nodes: int = 0
+
+    @property
+    def charging_rounds(self) -> int:
+        """Epochs in which at least one node requested charging."""
+        return len(self.rounds)
+
+
+def run_lifecycle(
+    scheduler: Scheduler,
+    config: LifecycleConfig = LifecycleConfig(),
+    consumption: Optional[ConsumptionModel] = None,
+) -> LifecycleResult:
+    """Simulate continuous operation of the 5-charger / 8-node testbed.
+
+    Each epoch: nodes drain ``consumption`` for ``epoch_seconds``; nodes
+    below the state-of-charge threshold request charging; *scheduler*
+    serves the requesting set on the DES testbed with persistent batteries.
+    Nodes that die (battery empty mid-walk or mid-epoch) stay dead.
+    """
+    drain = consumption or ConstantPowerConsumption(config.sensing_power)
+    world_rng = ensure_rng(config.seed)
+    chargers = testbed_chargers()
+    loco = LocomotionModel(config.trial.locomotion_energy_per_meter)
+
+    nodes: Dict[str, SimNode] = {}
+    for proto in testbed_devices(rng=world_rng, demand_jitter=0.0, position_jitter=0.0):
+        nodes[proto.device_id] = SimNode(
+            device=proto,
+            battery=Battery(
+                capacity=config.battery_capacity,
+                level=config.battery_capacity * config.initial_soc,
+            ),
+            locomotion=loco,
+        )
+
+    result = LifecycleResult()
+    result._n_nodes = len(nodes)
+
+    for epoch in range(config.epochs):
+        # 1. Sensing drain; nodes that empty out die.
+        for node in nodes.values():
+            if node.died:
+                continue
+            needed = drain.energy_over(config.epoch_seconds)
+            drawn = node.battery.discharge(needed)
+            if drawn < needed:
+                node.died = True
+                result.deaths.append(node.node_id)
+
+        # 2. Collect charging requests from live nodes below threshold.
+        requesting = [
+            node
+            for node in nodes.values()
+            if not node.died
+            and node.battery.state_of_charge < config.soc_request_threshold
+        ]
+        result.requests_per_epoch.append(len(requesting))
+        if not requesting:
+            continue
+
+        # 3. Build the round's instance from *current* node state.
+        devices = [
+            Device(
+                device_id=node.node_id,
+                position=node.position,
+                demand=max(
+                    1.0,
+                    config.target_soc * node.battery.capacity - node.battery.level,
+                ),
+                moving_rate=node.device.moving_rate,
+                speed=node.device.speed,
+            )
+            for node in sorted(requesting, key=lambda n: n.node_id)
+        ]
+        instance = CCSInstance(devices=devices, chargers=chargers)
+
+        # Rebind round devices onto the persistent nodes (demands changed).
+        round_nodes = {}
+        for device in devices:
+            persistent = nodes[device.device_id]
+            persistent.device = device
+            round_nodes[device.device_id] = persistent
+
+        # 4. Schedule and execute with persistent state.
+        schedule: Schedule = scheduler(instance)
+        outcome = execute_round(
+            instance,
+            schedule,
+            config.trial,
+            round_index=epoch,
+            nodes=round_nodes,
+        )
+        result.rounds.append(outcome)
+        result.total_cost += outcome.total_cost
+        result.total_energy_delivered += sum(outcome.node_energy.values())
+        result.deaths.extend(outcome.deaths)
+
+    return result

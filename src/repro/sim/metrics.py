@@ -1,0 +1,53 @@
+"""Summary statistics over field-trial results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .testbed import TrialResult
+
+__all__ = ["improvement_pct", "paired_improvements", "utilization_summary"]
+
+
+def improvement_pct(baseline: float, candidate: float) -> float:
+    """Percentage by which *candidate* improves on (is below) *baseline*.
+
+    Positive when the candidate is cheaper; the statistic behind the
+    paper's "outperforms the noncooperation algorithm by 42.9%".
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline cost must be positive, got {baseline}")
+    return 100.0 * (baseline - candidate) / baseline
+
+
+def paired_improvements(
+    baseline: TrialResult, candidate: TrialResult
+) -> List[float]:
+    """Per-round improvement percentages between two paired trials.
+
+    Both trials must have run the same number of rounds (the harness
+    guarantees they faced identical worlds when sharing a config).
+    """
+    if len(baseline.rounds) != len(candidate.rounds):
+        raise ValueError(
+            f"trials have different lengths: {len(baseline.rounds)} vs "
+            f"{len(candidate.rounds)}"
+        )
+    return [
+        improvement_pct(b, c)
+        for b, c in zip(baseline.round_costs, candidate.round_costs)
+    ]
+
+
+def utilization_summary(result: TrialResult) -> Dict[str, float]:
+    """Aggregate session statistics of one trial, for reporting."""
+    n_sessions = sum(r.n_sessions for r in result.rounds)
+    makespans = [r.makespan for r in result.rounds]
+    sizes = [len(s.member_ids) for r in result.rounds for s in r.sessions]
+    return {
+        "rounds": float(len(result.rounds)),
+        "sessions": float(n_sessions),
+        "mean_makespan_s": sum(makespans) / len(makespans) if makespans else 0.0,
+        "mean_group_size": sum(sizes) / len(sizes) if sizes else 0.0,
+        "deaths": float(result.total_deaths),
+    }

@@ -1,0 +1,75 @@
+"""Simulated rechargeable sensor nodes.
+
+A :class:`SimNode` wraps a scheduling-layer :class:`~repro.core.device.Device`
+with the physical state the discrete-event testbed tracks: a battery, a
+locomotion energy model, a live position, and a running cost/energy ledger
+from which the field-trial metrics are read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import Device
+from ..energy import Battery, LocomotionModel
+from ..errors import SimulationError
+from ..geometry import Point
+
+__all__ = ["SimNode"]
+
+
+@dataclass
+class SimNode:
+    """Physical state and ledger of one node during a field trial."""
+
+    device: Device
+    battery: Battery
+    locomotion: LocomotionModel = field(default_factory=lambda: LocomotionModel(1.0))
+    position: Optional[Point] = None
+
+    # ledger — accumulated over a trial
+    distance_walked: float = 0.0
+    moving_cost_paid: float = 0.0
+    charging_cost_paid: float = 0.0
+    energy_received: float = 0.0
+    sessions_attended: int = 0
+    died: bool = False
+
+    def __post_init__(self) -> None:
+        if self.position is None:
+            self.position = self.device.position
+
+    @property
+    def node_id(self) -> str:
+        """Identifier shared with the scheduling-layer device."""
+        return self.device.device_id
+
+    @property
+    def comprehensive_cost(self) -> float:
+        """Total measured cost so far: charging shares + moving costs."""
+        return self.charging_cost_paid + self.moving_cost_paid
+
+    def walk(self, destination: Point, realized_length: float) -> None:
+        """Complete a walk to *destination* whose realized path was *realized_length*.
+
+        Charges the monetary moving cost at the device's rate, drains the
+        locomotion energy, and flags death if the battery empties en route.
+        """
+        if realized_length < 0:
+            raise SimulationError(f"negative path length {realized_length}")
+        self.distance_walked += realized_length
+        self.moving_cost_paid += self.device.moving_rate * realized_length
+        needed = self.locomotion.energy_for(realized_length)
+        drawn = self.battery.discharge(needed)
+        if drawn < needed:
+            self.died = True
+        self.position = destination
+
+    def receive_charge(self, energy: float, billed_share: float) -> None:
+        """Account one session's outcome: stored energy and this node's bill."""
+        if energy < 0 or billed_share < 0:
+            raise SimulationError("charge energy and bill must be nonnegative")
+        self.energy_received += self.battery.charge(energy)
+        self.charging_cost_paid += billed_share
+        self.sessions_attended += 1

@@ -1,0 +1,102 @@
+"""Measurement and process noise for the field-trial simulator.
+
+The paper's field experiment differs from its simulations exactly where
+the physical world intrudes: WPT efficiency wobbles with pad alignment,
+energy meters misread, travel paths are not perfectly straight.  The noise
+model injects those effects so that scheduling decisions made on *nominal*
+parameters are billed and timed on *realized* ones — the gap the field
+experiment (Table 3) measures.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import RandomState, ensure_rng
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class NoiseModel:
+    """Multiplicative lognormal-ish perturbations around nominal values.
+
+    Each factor is ``max(floor, 1 + N(0, sigma))`` — mean-one Gaussian
+    relative noise, floored away from zero so a realized efficiency or
+    distance can never go nonpositive.
+
+    Parameters
+    ----------
+    efficiency_sigma:
+        Relative spread of realized WPT efficiency per session
+        (pad alignment, coil temperature).
+    metering_sigma:
+        Relative spread of the billed emitted energy vs. true emitted
+        energy (meter accuracy).
+    travel_sigma:
+        Relative spread of realized path length vs. straight-line distance
+        (obstacle avoidance); applied one-sidedly — paths only get longer.
+    """
+
+    efficiency_sigma: float = 0.05
+    metering_sigma: float = 0.02
+    travel_sigma: float = 0.08
+    seed: RandomState = None
+
+    _FLOOR = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("efficiency_sigma", "metering_sigma", "travel_sigma"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be nonnegative")
+        self._rng = ensure_rng(self.seed)
+
+    @classmethod
+    def noiseless(cls) -> "NoiseModel":
+        """A model that perturbs nothing — simulations degenerate to the ideal."""
+        return cls(efficiency_sigma=0.0, metering_sigma=0.0, travel_sigma=0.0, seed=0)
+
+    def keyed(self, *key) -> "NoiseModel":
+        """A copy whose draws are a deterministic function of *key*.
+
+        The field-trial harness uses this for **paired comparisons**: the
+        travel stretch of ``node3`` in round 7 is keyed by
+        ``("travel", 7, "node3")``, so every scheduler faces the identical
+        realized world and cost differences are attributable to scheduling
+        alone.  Requires this model to have an integer base seed.
+        """
+        if not isinstance(self.seed, (int, np.integer)):
+            raise ConfigurationError(
+                "keyed() needs an integer base seed on the noise model"
+            )
+        digest = zlib.crc32(repr(key).encode()) & 0x7FFFFFFF
+        return NoiseModel(
+            efficiency_sigma=self.efficiency_sigma,
+            metering_sigma=self.metering_sigma,
+            travel_sigma=self.travel_sigma,
+            seed=int(self.seed) * 0x9E3779B1 % (2**31) ^ digest,
+        )
+
+    def _factor(self, sigma: float) -> float:
+        if sigma == 0.0:
+            return 1.0
+        return max(self._FLOOR, 1.0 + float(self._rng.normal(0.0, sigma)))
+
+    def realized_efficiency(self, nominal: float) -> float:
+        """Session efficiency actually achieved (clipped to (0, 1])."""
+        return min(1.0, nominal * self._factor(self.efficiency_sigma))
+
+    def metered_energy(self, true_energy: float) -> float:
+        """Energy the charger's meter reports (and bills) for *true_energy*."""
+        return true_energy * self._factor(self.metering_sigma)
+
+    def realized_path(self, straight_line: float) -> float:
+        """Path length actually walked for a straight-line *distance*."""
+        if self.travel_sigma == 0.0:
+            return straight_line
+        stretch = abs(float(self._rng.normal(0.0, self.travel_sigma)))
+        return straight_line * (1.0 + stretch)

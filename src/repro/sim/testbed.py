@@ -1,0 +1,330 @@
+"""The field-experiment harness: execute schedules on the simulated testbed.
+
+This is the reproduction's substitute for the paper's physical runs on
+5 chargers and 8 sensor nodes (see DESIGN.md, substitutions).  A *trial*
+is a sequence of scheduling rounds; in each round
+
+1. the world is realized (node positions/demands jittered from the nominal
+   testbed topology, deterministically per ``(seed, round)``);
+2. the scheduler under test produces a schedule from the *nominal*
+   instance — exactly the information a real scheduler would have;
+3. the discrete-event engine executes it: nodes walk realized (noisy)
+   paths, pads serve sessions FIFO with realized efficiency, meters misread
+   slightly, and bills are split by the active cost-sharing scheme;
+4. measured per-node comprehensive costs are collected.
+
+Noise draws are keyed by ``(round, entity)`` — never by the schedule — so
+two schedulers compared under the same config face the *identical*
+realized world: a paired experiment, like running both algorithms on the
+same physical afternoon.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..core import (
+    CCSInstance,
+    CostSharingScheme,
+    EgalitarianSharing,
+    Schedule,
+    validate_schedule,
+)
+from ..energy import Battery, LocomotionModel
+from ..errors import SimulationError
+from ..rng import ensure_rng
+from ..workloads.fieldtrial import testbed_instance
+from .chargersim import ChargerStation
+from .engine import Engine
+from .node import SimNode
+from .noise import NoiseModel
+from .trace import RoundOutcome, SessionRecord
+
+__all__ = [
+    "Scheduler",
+    "FieldTrialConfig",
+    "TrialResult",
+    "execute_round",
+    "run_field_trial",
+    "compare_field_trial",
+]
+
+#: A scheduling algorithm under test: instance in, schedule out.
+Scheduler = Callable[[CCSInstance], Schedule]
+
+
+@dataclass(frozen=True)
+class FieldTrialConfig:
+    """Knobs of one field trial (shared verbatim across compared schedulers)."""
+
+    rounds: int = 10
+    seed: int = 42
+    scheme: CostSharingScheme = field(default_factory=EgalitarianSharing)
+    noise: Optional[NoiseModel] = None
+    locomotion_energy_per_meter: float = 0.5
+    battery_reserve_factor: float = 1.5
+    #: Per-round probability that a charger is offline (failure injection).
+    #: Outages are keyed by (seed, round, charger) — identical across
+    #: compared schedulers — and at least one charger always stays up.
+    outage_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outage_prob < 1.0:
+            raise ValueError(
+                f"outage_prob must be in [0, 1), got {self.outage_prob}"
+            )
+
+    def noise_model(self) -> NoiseModel:
+        """The configured noise model, defaulting to calibrated field noise."""
+        if self.noise is not None:
+            return self.noise
+        return NoiseModel(seed=self.seed)
+
+
+@dataclass
+class TrialResult:
+    """All rounds of one scheduler's field trial."""
+
+    scheduler_name: str
+    rounds: List[RoundOutcome] = field(default_factory=list)
+
+    @property
+    def round_costs(self) -> List[float]:
+        """Measured comprehensive cost of each round."""
+        return [r.total_cost for r in self.rounds]
+
+    @property
+    def mean_cost(self) -> float:
+        """Average per-round comprehensive cost over the trial."""
+        costs = self.round_costs
+        if not costs:
+            raise ValueError("trial has no rounds")
+        return sum(costs) / len(costs)
+
+    @property
+    def total_deaths(self) -> int:
+        """Nodes that ran out of battery at any point during the trial."""
+        return sum(len(r.deaths) for r in self.rounds)
+
+
+def _build_nodes(instance: CCSInstance, config: FieldTrialConfig) -> Dict[str, SimNode]:
+    loco = LocomotionModel(config.locomotion_energy_per_meter)
+    nodes = {}
+    for device in instance.devices:
+        capacity = device.demand * (1.0 + config.battery_reserve_factor)
+        level = capacity - device.demand  # headroom equals this round's demand
+        nodes[device.device_id] = SimNode(
+            device=device,
+            battery=Battery(capacity=capacity, level=level),
+            locomotion=loco,
+        )
+    return nodes
+
+
+def execute_round(
+    instance: CCSInstance,
+    schedule: Schedule,
+    config: FieldTrialConfig,
+    round_index: int,
+    nodes: Optional[Dict[str, SimNode]] = None,
+) -> RoundOutcome:
+    """Run one scheduled round on the discrete-event testbed.
+
+    Returns the measured :class:`~repro.sim.trace.RoundOutcome`; raises
+    :class:`~repro.errors.SimulationError` if the event system wedges (a
+    session that never starts, time running backwards, ...).
+
+    *nodes* lets a multi-round caller (the lifecycle simulation) thread
+    persistent node state through successive rounds; by default each round
+    gets fresh nodes whose battery headroom equals the round's demand.
+    """
+    validate_schedule(schedule, instance)
+    engine = Engine()
+    noise = config.noise_model()
+    if nodes is None:
+        nodes = _build_nodes(instance, config)
+    else:
+        missing = {d.device_id for d in instance.devices} - set(nodes)
+        if missing:
+            raise SimulationError(f"persistent nodes missing for devices {sorted(missing)}")
+    stations = {
+        c.charger_id: ChargerStation(charger=c, engine=engine) for c in instance.chargers
+    }
+    outcome = RoundOutcome(round_index=round_index)
+    # Ledger snapshot so persistent nodes report per-round deltas.
+    cost_before = {n.node_id: n.comprehensive_cost for n in nodes.values()}
+    energy_before = {n.node_id: n.energy_received for n in nodes.values()}
+    dead_before = {n.node_id for n in nodes.values() if n.died}
+
+    for session in schedule.sessions:
+        charger = instance.chargers[session.charger]
+        station = stations[charger.charger_id]
+        members = sorted(session.members)
+        member_nodes = [nodes[instance.devices[i].device_id] for i in members]
+        demands = {n.node_id: instance.devices[i].demand for n, i in zip(member_nodes, members)}
+
+        # Nominal-price shares fix each member's *proportion* of the bill;
+        # the realized bill is split in those proportions (budget balance
+        # on measured money).
+        nominal_shares = config.scheme.shares(instance, members, session.charger)
+        nominal_price = sum(nominal_shares.values())
+        proportions = {
+            instance.devices[i].device_id: (
+                nominal_shares[i] / nominal_price if nominal_price > 0 else 1.0 / len(members)
+            )
+            for i in members
+        }
+
+        pending = {n.node_id for n in member_nodes}
+
+        def make_arrival(node: SimNode, dev_index: int, pending=pending,
+                         station=station, charger=charger, member_nodes=member_nodes,
+                         demands=demands, proportions=proportions):
+            straight = instance.distance(dev_index, instance.charger_index(charger.charger_id))
+            realized = noise.keyed("travel", round_index, node.node_id).realized_path(straight)
+
+            def arrive() -> None:
+                node.walk(charger.position, realized)
+                if node.died:
+                    outcome.deaths.append(node.node_id)
+                pending.discard(node.node_id)
+                if pending:
+                    return
+                # Last member arrived: queue the session on the pad.
+                station.submit(
+                    lambda: _start_session(
+                        engine, station, charger, member_nodes, demands,
+                        proportions, noise, round_index, outcome,
+                    )
+                )
+
+            travel_time = realized / node.device.speed
+            engine.schedule(travel_time, arrive)
+
+        for node, dev_index in zip(member_nodes, members):
+            make_arrival(node, dev_index)
+
+    engine.run()
+
+    expected_sessions = schedule.n_sessions
+    if len(outcome.sessions) != expected_sessions:
+        raise SimulationError(
+            f"round {round_index}: {len(outcome.sessions)} of "
+            f"{expected_sessions} sessions completed"
+        )
+
+    for device in instance.devices:
+        node = nodes[device.device_id]
+        outcome.node_costs[node.node_id] = (
+            node.comprehensive_cost - cost_before[node.node_id]
+        )
+        outcome.node_energy[node.node_id] = (
+            node.energy_received - energy_before[node.node_id]
+        )
+    # Deaths recorded on arrival events can double-count persistent nodes;
+    # keep only newly-dead node ids, once each.
+    outcome.deaths = sorted(
+        {n for n in outcome.deaths if n not in dead_before}
+    )
+    outcome.makespan = engine.now
+    return outcome
+
+
+def _start_session(
+    engine: Engine,
+    station: ChargerStation,
+    charger,
+    member_nodes: List[SimNode],
+    demands: Dict[str, float],
+    proportions: Dict[str, float],
+    noise: NoiseModel,
+    round_index: int,
+    outcome: RoundOutcome,
+):
+    """Session-start physics; returns ``(duration, on_complete)`` for the pad."""
+    start_time = engine.now
+    eff = noise.keyed("eff", round_index, station.station_id).realized_efficiency(
+        charger.efficiency
+    )
+    total_demand = sum(demands.values())
+    emitted = total_demand / eff
+    if charger.service_discipline == "concurrent":
+        duration = (max(demands.values()) / eff) / charger.transmit_power
+    else:
+        duration = emitted / charger.transmit_power
+    metered = noise.keyed("meter", round_index, station.station_id).metered_energy(emitted)
+    billed = charger.tariff.session_price(metered)
+
+    def on_complete() -> None:
+        for node in member_nodes:
+            node.receive_charge(demands[node.node_id], billed * proportions[node.node_id])
+        station.record_session(emitted, billed)
+        outcome.sessions.append(
+            SessionRecord(
+                charger_id=station.station_id,
+                member_ids=tuple(n.node_id for n in member_nodes),
+                start=start_time,
+                end=engine.now,
+                emitted_energy=emitted,
+                billed_price=billed,
+                realized_efficiency=eff,
+            )
+        )
+
+    return duration, on_complete
+
+
+def _online_chargers(instance: CCSInstance, config: FieldTrialConfig, round_index: int):
+    """Chargers surviving this round's outage draw (never empty).
+
+    Outage draws are keyed per (seed, round, charger) so every scheduler
+    compared under one config loses the same pads in the same rounds.
+    """
+    if config.outage_prob == 0.0:
+        return list(instance.chargers)
+    survivors = []
+    for charger in instance.chargers:
+        digest = zlib.crc32(charger.charger_id.encode())
+        rng = ensure_rng(
+            (config.seed * 101_111 + round_index * 7919 + digest) % (2**31)
+        )
+        if rng.uniform() >= config.outage_prob:
+            survivors.append(charger)
+    if not survivors:  # total blackout would deadlock the round; keep one pad
+        survivors = [instance.chargers[0]]
+    return survivors
+
+
+def run_field_trial(
+    scheduler: Scheduler,
+    config: FieldTrialConfig = FieldTrialConfig(),
+    name: str = "scheduler",
+) -> TrialResult:
+    """Run *scheduler* over all configured rounds of the testbed trial."""
+    result = TrialResult(scheduler_name=name)
+    for r in range(config.rounds):
+        world_rng = ensure_rng(config.seed * 100_003 + r)
+        instance = testbed_instance(world_rng)
+        chargers = _online_chargers(instance, config, r)
+        if len(chargers) < instance.n_chargers:
+            instance = CCSInstance(
+                devices=list(instance.devices),
+                chargers=chargers,
+                mobility=instance.mobility,
+                field_area=instance.field_area,
+            )
+        schedule = scheduler(instance)
+        result.rounds.append(execute_round(instance, schedule, config, r))
+    return result
+
+
+def compare_field_trial(
+    schedulers: Mapping[str, Scheduler],
+    config: FieldTrialConfig = FieldTrialConfig(),
+) -> Dict[str, TrialResult]:
+    """Run several schedulers through the *same* realized worlds (paired design)."""
+    return {
+        name: run_field_trial(fn, config, name=name) for name, fn in schedulers.items()
+    }

@@ -1,0 +1,52 @@
+"""Timestamped records produced by the field-trial simulator.
+
+The experiment layer consumes these instead of poking at simulator
+internals, so the simulator can evolve without breaking reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["SessionRecord", "RoundOutcome"]
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One executed charging session, with realized (not nominal) physics."""
+
+    charger_id: str
+    member_ids: Tuple[str, ...]
+    start: float
+    end: float
+    emitted_energy: float
+    billed_price: float
+    realized_efficiency: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds the session occupied the pad."""
+        return self.end - self.start
+
+
+@dataclass
+class RoundOutcome:
+    """Everything measured in one scheduling round of a field trial."""
+
+    round_index: int
+    node_costs: Dict[str, float] = field(default_factory=dict)
+    node_energy: Dict[str, float] = field(default_factory=dict)
+    sessions: List[SessionRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    deaths: List[str] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        """Measured comprehensive cost of the round, summed over nodes."""
+        return sum(self.node_costs.values())
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of charging sessions executed."""
+        return len(self.sessions)

@@ -1,0 +1,117 @@
+"""Statistical helpers for experiment reporting.
+
+The paper reports point averages; a careful reproduction should state how
+certain they are.  These helpers add Student-t confidence intervals,
+paired t-tests (the field experiment is a paired design by construction),
+and bootstrap intervals for statistics without a clean parametric form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+from .rng import RandomState, ensure_rng
+
+__all__ = ["MeanCI", "mean_ci", "paired_t_test", "PairedTest", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A sample mean with its two-sided Student-t confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} [{self.low:.3g}, {self.high:.3g}] ({self.confidence:.0%})"
+
+
+def mean_ci(samples: Sequence[float], confidence: float = 0.95) -> MeanCI:
+    """Student-t confidence interval for the mean of *samples*.
+
+    Requires at least two samples (one sample has no dispersion estimate);
+    a degenerate zero-variance sample collapses to a point interval.
+    """
+    xs = [float(x) for x in samples]
+    if len(xs) < 2:
+        raise ValueError(f"need >= 2 samples for a confidence interval, got {len(xs)}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    half = sps.t.ppf(0.5 + confidence / 2.0, df=n - 1) * math.sqrt(var / n)
+    return MeanCI(mean=mean, low=mean - half, high=mean + half, confidence=confidence, n=n)
+
+
+@dataclass(frozen=True)
+class PairedTest:
+    """Result of a paired t-test between two matched samples."""
+
+    mean_difference: float
+    t_statistic: float
+    p_value: float
+    n: int
+
+    @property
+    def significant_at_5pct(self) -> bool:
+        """Convenience: is the difference significant at alpha = 0.05?"""
+        return self.p_value < 0.05
+
+
+def paired_t_test(baseline: Sequence[float], candidate: Sequence[float]) -> PairedTest:
+    """Paired t-test of ``baseline - candidate`` (positive mean = candidate cheaper).
+
+    The field-trial harness guarantees pairing (identical realized worlds),
+    so this is the right test for "CCSA beats NCA" claims.
+    """
+    a = [float(x) for x in baseline]
+    b = [float(x) for x in candidate]
+    if len(a) != len(b):
+        raise ValueError(f"paired samples must match in length: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        raise ValueError("need >= 2 pairs")
+    diffs = [x - y for x, y in zip(a, b)]
+    t_stat, p = sps.ttest_rel(a, b)
+    return PairedTest(
+        mean_difference=sum(diffs) / len(diffs),
+        t_statistic=float(t_stat),
+        p_value=float(p),
+        n=len(a),
+    )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = None,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: RandomState = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for an arbitrary statistic.
+
+    Deterministic for a fixed *rng* seed; default statistic is the mean.
+    """
+    xs = np.asarray([float(x) for x in samples])
+    if xs.size < 2:
+        raise ValueError("need >= 2 samples to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    stat = statistic if statistic is not None else (lambda s: float(np.mean(s)))
+    gen = ensure_rng(rng)
+    values = [
+        stat(xs[gen.integers(0, xs.size, size=xs.size)]) for _ in range(resamples)
+    ]
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(values, alpha)),
+        float(np.quantile(values, 1.0 - alpha)),
+    )

@@ -1,0 +1,38 @@
+"""Submodular optimization toolkit.
+
+Everything CCSA needs from submodularity theory, implemented from scratch:
+set-function abstraction and checks (:mod:`.function`), the Lovász
+extension (:mod:`.lovasz`), Fujishige–Wolfe minimum-norm-point SFM
+(:mod:`.minimization`), and Dinkelbach minimum-density search
+(:mod:`.greedy`).
+"""
+
+from .function import (
+    SetFunction,
+    concave_of_modular,
+    is_monotone,
+    is_submodular,
+    modular,
+    powerset,
+)
+from .greedy import DensityResult, densest_subset
+from .lovasz import is_submodular_sampled, lovasz_extension, lovasz_subgradient
+from .minimization import SFMResult, greedy_vertex, minimize, minimize_brute_force
+
+__all__ = [
+    "SetFunction",
+    "modular",
+    "concave_of_modular",
+    "is_submodular",
+    "is_monotone",
+    "powerset",
+    "SFMResult",
+    "greedy_vertex",
+    "minimize",
+    "minimize_brute_force",
+    "lovasz_extension",
+    "lovasz_subgradient",
+    "is_submodular_sampled",
+    "DensityResult",
+    "densest_subset",
+]

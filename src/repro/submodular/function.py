@@ -1,0 +1,188 @@
+"""Set functions over a finite ground set.
+
+CCSA treats "the cost of serving device subset S at charger j" as a set
+function and minimizes it (shifted by a modular term) with general-purpose
+machinery.  This module defines the set-function abstraction that machinery
+consumes:
+
+- :class:`SetFunction` — a callable over frozensets of ground-set indices,
+  with caching, because SFM evaluates the same sets many times;
+- algebraic combinators (:meth:`SetFunction.shifted_by_modular`,
+  :func:`modular`, :func:`concave_of_modular`) mirroring exactly how the
+  CCS group-cost function decomposes;
+- exhaustive :func:`is_submodular` / :func:`is_monotone` checkers used by
+  the test suite and by randomized verification of model assumptions.
+
+Ground-set elements are the integers ``0..n-1``; higher layers map device
+identifiers onto indices before calling in.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, Sequence, Tuple
+
+__all__ = [
+    "SetFunction",
+    "modular",
+    "concave_of_modular",
+    "is_submodular",
+    "is_monotone",
+    "powerset",
+]
+
+SetLike = Iterable[int]
+
+
+class SetFunction:
+    """A cached set function ``f: 2^V -> R`` on ground set ``V = {0..n-1}``.
+
+    Wraps an arbitrary callable; every evaluation is memoized on the
+    frozenset of elements, which turns the repeated marginal-value queries
+    of Wolfe's algorithm and the greedy cover from dominant cost into cache
+    hits.
+    """
+
+    def __init__(self, n: int, fn: Callable[[FrozenSet[int]], float], name: str = "f"):
+        if n < 0:
+            raise ValueError(f"ground set size must be nonnegative, got {n}")
+        self.n = n
+        self.name = name
+        self._fn = fn
+        self._cache: Dict[FrozenSet[int], float] = {}
+
+    @property
+    def ground_set(self) -> Tuple[int, ...]:
+        """The ground set as a tuple ``(0, ..., n-1)``."""
+        return tuple(range(self.n))
+
+    def __call__(self, subset: SetLike) -> float:
+        key = frozenset(subset)
+        if not key <= set(self.ground_set):
+            bad = sorted(key - set(self.ground_set))
+            raise ValueError(f"elements {bad} outside ground set of size {self.n}")
+        value = self._cache.get(key)
+        if value is None:
+            value = float(self._fn(key))
+            self._cache[key] = value
+        return value
+
+    def marginal(self, element: int, subset: SetLike) -> float:
+        """Marginal value ``f(S + e) - f(S)``; *element* must not be in *subset*."""
+        base = frozenset(subset)
+        if element in base:
+            raise ValueError(f"element {element} already in subset")
+        return self(base | {element}) - self(base)
+
+    def shifted_by_modular(self, weights: Sequence[float], name: str = None) -> "SetFunction":
+        """Return ``g(S) = f(S) - sum_{i in S} weights[i]``.
+
+        Subtracting a modular function preserves submodularity; this is the
+        transformation the Dinkelbach density search applies at every
+        lambda step.
+        """
+        if len(weights) != self.n:
+            raise ValueError(
+                f"need one weight per ground element ({self.n}), got {len(weights)}"
+            )
+        w = [float(x) for x in weights]
+
+        def g(subset: FrozenSet[int]) -> float:
+            return self(subset) - sum(w[i] for i in subset)
+
+        return SetFunction(self.n, g, name=name or f"{self.name}-modular")
+
+    def restricted_to(self, elements: Sequence[int]) -> "SetFunction":
+        """Return *f* restricted to a sub-ground-set.
+
+        The restriction is re-indexed to ``0..len(elements)-1``; element *k*
+        of the restriction corresponds to ``elements[k]`` of the original.
+        Restriction preserves submodularity, so CCSA can minimize over only
+        the still-uncovered devices.
+        """
+        mapping = list(dict.fromkeys(elements))  # dedupe, preserve order
+        if any(e not in set(self.ground_set) for e in mapping):
+            raise ValueError("restriction elements must lie in the ground set")
+
+        def g(subset: FrozenSet[int]) -> float:
+            return self(frozenset(mapping[k] for k in subset))
+
+        return SetFunction(len(mapping), g, name=f"{self.name}|restricted")
+
+    def cache_size(self) -> int:
+        """Number of memoized evaluations (used by performance tests)."""
+        return len(self._cache)
+
+
+def modular(weights: Sequence[float], name: str = "modular") -> SetFunction:
+    """The modular function ``f(S) = sum_{i in S} weights[i]``."""
+    w = [float(x) for x in weights]
+
+    def fn(subset: FrozenSet[int]) -> float:
+        return sum(w[i] for i in subset)
+
+    return SetFunction(len(w), fn, name=name)
+
+
+def concave_of_modular(
+    weights: Sequence[float],
+    concave: Callable[[float], float],
+    name: str = "concave-of-modular",
+) -> SetFunction:
+    """``f(S) = g(sum_{i in S} weights[i])`` for concave nondecreasing *g*.
+
+    With nonnegative weights this is the textbook submodular family — and
+    precisely the volume-charge part of a CCS group cost.  Concavity of *g*
+    is the caller's responsibility (checked empirically by
+    :func:`repro.wpt.pricing.is_concave_nondecreasing` for tariffs).
+    """
+    w = [float(x) for x in weights]
+    if any(x < 0 for x in w):
+        raise ValueError("concave_of_modular requires nonnegative weights")
+
+    def fn(subset: FrozenSet[int]) -> float:
+        return float(concave(sum(w[i] for i in subset)))
+
+    return SetFunction(len(w), fn, name=name)
+
+
+def powerset(n: int) -> Iterable[FrozenSet[int]]:
+    """All ``2**n`` subsets of ``{0..n-1}``, smallest first.
+
+    Only for tests and exhaustive checks; guards against accidental use on
+    large ground sets.
+    """
+    if n > 22:
+        raise ValueError(f"refusing to enumerate 2**{n} subsets")
+    elements = range(n)
+    for r in range(n + 1):
+        for combo in itertools.combinations(elements, r):
+            yield frozenset(combo)
+
+
+def is_submodular(f: SetFunction, tol: float = 1e-9) -> bool:
+    """Exhaustively verify the diminishing-returns inequality.
+
+    Checks ``f(S + e) - f(S) >= f(T + e) - f(T)`` for all ``S ⊆ T`` and
+    ``e ∉ T`` via the equivalent pairwise condition
+    ``f(S ∪ {a}) + f(S ∪ {b}) >= f(S ∪ {a,b}) + f(S)``.  Exponential — test
+    use only.
+    """
+    for s in powerset(f.n):
+        rest = [e for e in f.ground_set if e not in s]
+        for idx, a in enumerate(rest):
+            for b in rest[idx + 1 :]:
+                lhs = f(s | {a}) + f(s | {b})
+                rhs = f(s | {a, b}) + f(s)
+                if lhs < rhs - tol * max(1.0, abs(lhs), abs(rhs)):
+                    return False
+    return True
+
+
+def is_monotone(f: SetFunction, tol: float = 1e-9) -> bool:
+    """Exhaustively verify ``f(S) <= f(S + e)`` everywhere.  Test use only."""
+    for s in powerset(f.n):
+        for e in f.ground_set:
+            if e not in s and f.marginal(e, s) < -tol:
+                return False
+    return True

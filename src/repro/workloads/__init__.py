@@ -1,0 +1,37 @@
+"""Workload generation: synthetic instances, named scenarios, the field testbed."""
+
+from .fieldtrial import (
+    N_TESTBED_CHARGERS,
+    N_TESTBED_NODES,
+    TESTBED_FIELD,
+    testbed_chargers,
+    testbed_devices,
+    testbed_instance,
+)
+from .generators import WorkloadSpec, generate_instance, quick_instance
+from .scenarios import (
+    DEFAULT_SPEC,
+    LARGE_SCALE_SPEC,
+    SCENARIOS,
+    SMALL_SCALE_SPEC,
+    parameter_table,
+    scenario,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_instance",
+    "quick_instance",
+    "DEFAULT_SPEC",
+    "SMALL_SCALE_SPEC",
+    "LARGE_SCALE_SPEC",
+    "SCENARIOS",
+    "scenario",
+    "parameter_table",
+    "TESTBED_FIELD",
+    "N_TESTBED_CHARGERS",
+    "N_TESTBED_NODES",
+    "testbed_chargers",
+    "testbed_devices",
+    "testbed_instance",
+]

@@ -1,0 +1,22 @@
+"""WPT substrate: propagation, tariffs, and charging-service providers."""
+
+from .charger import Charger
+from .pricing import (
+    LinearTariff,
+    PiecewiseConcaveTariff,
+    PowerLawTariff,
+    Tariff,
+    is_concave_nondecreasing,
+)
+from .propagation import WptLink, contact_efficiency
+
+__all__ = [
+    "Charger",
+    "Tariff",
+    "LinearTariff",
+    "PowerLawTariff",
+    "PiecewiseConcaveTariff",
+    "is_concave_nondecreasing",
+    "WptLink",
+    "contact_efficiency",
+]

@@ -1,0 +1,117 @@
+"""Charging-service providers.
+
+A :class:`Charger` is one stationary WPT station offering charging as a
+service: it has a location, a tariff, hardware limits (transmit power, pad
+efficiency, slot capacity), and knows how to price and time a session for a
+group's energy demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import ConfigurationError
+from ..geometry import Point
+from .pricing import PowerLawTariff, Tariff
+
+__all__ = ["Charger"]
+
+
+@dataclass(frozen=True)
+class Charger:
+    """One wireless charging service point.
+
+    Parameters
+    ----------
+    charger_id:
+        Stable identifier, unique within an instance.
+    position:
+        Location of the charging pad.
+    tariff:
+        Price schedule for a session (see :mod:`repro.wpt.pricing`).
+    efficiency:
+        End-to-end WPT efficiency at the pad, in ``(0, 1]``.  A device that
+        needs ``d`` joules *stored* forces the charger to emit
+        ``d / efficiency`` joules, and the tariff prices emitted energy.
+    transmit_power:
+        RF power emitted while a session runs, in watts; determines session
+        duration in the testbed simulator.
+    capacity:
+        Maximum devices that fit around the pad in one session
+        (``None`` = unbounded, the pure-economics setting).
+    service_discipline:
+        How the pad serves a group, affecting session *duration* only
+        (pricing depends on energy, not time):
+
+        - ``"sequential"`` (default): one transmit chain, members charged
+          back-to-back; duration = total emitted energy / power.
+        - ``"concurrent"``: one coil per slot, members charged
+          simultaneously at full per-device power; duration = slowest
+          member's emitted energy / power.
+    """
+
+    charger_id: str
+    position: Point
+    tariff: Tariff = field(default_factory=lambda: PowerLawTariff(base=10.0, unit=1.0))
+    efficiency: float = 0.8
+    transmit_power: float = 5.0
+    capacity: Optional[int] = None
+    service_discipline: str = "sequential"
+
+    _DISCIPLINES = ("sequential", "concurrent")
+
+    def __post_init__(self) -> None:
+        if not self.charger_id:
+            raise ConfigurationError("charger_id must be a nonempty string")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.transmit_power <= 0:
+            raise ConfigurationError(
+                f"transmit_power must be positive, got {self.transmit_power}"
+            )
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {self.capacity}")
+        if self.service_discipline not in self._DISCIPLINES:
+            raise ConfigurationError(
+                f"service_discipline must be one of {self._DISCIPLINES}, "
+                f"got {self.service_discipline!r}"
+            )
+
+    def emitted_energy(self, stored_demands: Iterable[float]) -> float:
+        """Joules the charger must emit to store the given demands in batteries."""
+        total = 0.0
+        for d in stored_demands:
+            if d < 0:
+                raise ValueError(f"demands must be nonnegative, got {d}")
+            total += d
+        return total / self.efficiency
+
+    def session_price(self, stored_demands: Iterable[float]) -> float:
+        """Price of one session satisfying *stored_demands* (0 if all-zero)."""
+        return self.tariff.session_price(self.emitted_energy(stored_demands))
+
+    def session_duration(self, stored_demands: Iterable[float]) -> float:
+        """Seconds the session runs, per the pad's service discipline.
+
+        Sequential pads serve members back-to-back (duration = total
+        emitted energy / power); concurrent pads charge every slot at once
+        (duration = slowest member's emitted energy / power).  An all-zero
+        session takes zero time either way.
+        """
+        demands = [float(d) for d in stored_demands]
+        if any(d < 0 for d in demands):
+            raise ValueError("demands must be nonnegative")
+        if self.service_discipline == "concurrent":
+            if not demands:
+                return 0.0
+            return (max(demands) / self.efficiency) / self.transmit_power
+        return self.emitted_energy(demands) / self.transmit_power
+
+    def admits(self, group_size: int) -> bool:
+        """True if a group of *group_size* devices fits in one session."""
+        if group_size < 0:
+            raise ValueError(f"group_size must be nonnegative, got {group_size}")
+        return self.capacity is None or group_size <= self.capacity

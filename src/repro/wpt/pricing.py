@@ -1,0 +1,193 @@
+"""Charging-service tariffs.
+
+The economics of cooperative charging live here.  A tariff maps the energy
+a session must *emit* to the money the session costs:
+
+    price(E) = base + unit * g(E)
+
+with ``g`` concave and nondecreasing, ``g(0) = 0``.  Two properties follow
+and everything downstream depends on them:
+
+1. **Cooperation pays.**  ``price(E1 + E2) <= price(E1) + price(E2) - base``
+   — merging two sessions saves at least one base fee, and a strictly
+   concave ``g`` saves more through the volume discount.
+2. **Submodularity.**  For a fixed charger, the group cost
+   ``f(G) = price(sum of member emissions) + modular moving costs`` is a
+   submodular set function, which is what CCSA's SFM machinery exploits
+   (see :mod:`repro.submodular`).
+
+Tariffs are frozen dataclasses so chargers can share them safely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Tariff",
+    "LinearTariff",
+    "PowerLawTariff",
+    "PiecewiseConcaveTariff",
+    "is_concave_nondecreasing",
+]
+
+
+@runtime_checkable
+class Tariff(Protocol):
+    """A charging-session price schedule.
+
+    Implementations must guarantee ``volume_charge`` is nondecreasing and
+    concave in the emitted energy with ``volume_charge(0) == 0``; the
+    library's submodularity arguments (and CCSA's correctness) rest on it.
+    """
+
+    base: float
+
+    def volume_charge(self, energy: float) -> float:
+        """Energy-dependent part of the price, ``unit * g(E)``."""
+        ...
+
+    def session_price(self, energy: float) -> float:
+        """Total price of a session emitting *energy* joules (0 for an empty session)."""
+        ...
+
+
+class _TariffBase:
+    """Shared ``session_price`` logic: empty sessions are free, others pay base + volume."""
+
+    base: float
+
+    def volume_charge(self, energy: float) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def session_price(self, energy: float) -> float:
+        if energy < 0:
+            raise ValueError(f"energy must be nonnegative, got {energy}")
+        if energy == 0.0:
+            return 0.0
+        return self.base + self.volume_charge(energy)
+
+
+@dataclass(frozen=True)
+class LinearTariff(_TariffBase):
+    """``price(E) = base + unit * E``.
+
+    With a linear volume charge the *only* cooperative saving is the shared
+    base fee — the ablation point the paper's base-price sweep probes.
+    """
+
+    base: float
+    unit: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.unit < 0:
+            raise ConfigurationError("base and unit prices must be nonnegative")
+
+    def volume_charge(self, energy: float) -> float:
+        if energy < 0:
+            raise ValueError(f"energy must be nonnegative, got {energy}")
+        return self.unit * energy
+
+
+@dataclass(frozen=True)
+class PowerLawTariff(_TariffBase):
+    """``price(E) = base + unit * E**exponent`` with ``exponent`` in ``(0, 1]``.
+
+    The default volume-discount curve: strictly concave for exponent < 1,
+    reducing to :class:`LinearTariff` at exponent = 1.
+    """
+
+    base: float
+    unit: float
+    exponent: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.unit < 0:
+            raise ConfigurationError("base and unit prices must be nonnegative")
+        if not 0.0 < self.exponent <= 1.0:
+            raise ConfigurationError(
+                f"exponent must be in (0, 1] for a concave tariff, got {self.exponent}"
+            )
+
+    def volume_charge(self, energy: float) -> float:
+        if energy < 0:
+            raise ValueError(f"energy must be nonnegative, got {energy}")
+        return self.unit * energy**self.exponent
+
+
+@dataclass(frozen=True)
+class PiecewiseConcaveTariff(_TariffBase):
+    """Volume charge defined by marginal prices over energy brackets.
+
+    ``breakpoints`` are bracket upper bounds (strictly increasing, the last
+    bracket extends to infinity) and ``marginal_prices`` the per-joule price
+    within each bracket.  Marginal prices must be nonincreasing so the curve
+    is concave — the shape of real volume-discount schedules.
+    """
+
+    base: float
+    breakpoints: Sequence[float]
+    marginal_prices: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ConfigurationError("base price must be nonnegative")
+        bp, mp = list(self.breakpoints), list(self.marginal_prices)
+        if len(mp) != len(bp) + 1:
+            raise ConfigurationError(
+                "need exactly one more marginal price than breakpoints "
+                f"(got {len(mp)} prices, {len(bp)} breakpoints)"
+            )
+        if any(b <= 0 for b in bp) or any(b2 <= b1 for b1, b2 in zip(bp, bp[1:])):
+            raise ConfigurationError("breakpoints must be positive and strictly increasing")
+        if any(p < 0 for p in mp):
+            raise ConfigurationError("marginal prices must be nonnegative")
+        if any(p2 > p1 for p1, p2 in zip(mp, mp[1:])):
+            raise ConfigurationError(
+                "marginal prices must be nonincreasing (concave volume discount)"
+            )
+        # Normalise to tuples so the dataclass stays hashable.
+        object.__setattr__(self, "breakpoints", tuple(bp))
+        object.__setattr__(self, "marginal_prices", tuple(mp))
+
+    def volume_charge(self, energy: float) -> float:
+        if energy < 0:
+            raise ValueError(f"energy must be nonnegative, got {energy}")
+        total = 0.0
+        lower = 0.0
+        for upper, price in zip(self.breakpoints, self.marginal_prices):
+            if energy <= lower:
+                break
+            total += price * (min(energy, upper) - lower)
+            lower = upper
+        if energy > lower:
+            total += self.marginal_prices[-1] * (energy - lower)
+        return total
+
+
+def is_concave_nondecreasing(
+    tariff: Tariff, e_max: float, samples: int = 64, tol: float = 1e-9
+) -> bool:
+    """Empirically check a tariff's volume charge on ``[0, e_max]``.
+
+    Samples the curve and verifies midpoint concavity and monotonicity.
+    Used by tests and by :class:`~repro.core.instance.CCSInstance` in strict
+    mode to reject tariffs that would break CCSA's submodularity argument.
+    """
+    if e_max <= 0:
+        raise ValueError(f"e_max must be positive, got {e_max}")
+    xs = [e_max * k / samples for k in range(samples + 1)]
+    ys = [tariff.volume_charge(x) for x in xs]
+    if abs(ys[0]) > tol:
+        return False
+    for y1, y2 in zip(ys, ys[1:]):
+        if y2 < y1 - tol:
+            return False
+    for k in range(1, samples):
+        if ys[k] < 0.5 * (ys[k - 1] + ys[k + 1]) - tol * max(1.0, abs(ys[k])):
+            return False
+    return not math.isnan(ys[-1])

@@ -1,0 +1,77 @@
+"""Wireless power transfer propagation and efficiency models.
+
+In the cooperative-charging service model devices travel *to* the charger,
+so scheduling only needs the charger's pad efficiency.  The simulator,
+however, models noisy short-range WPT links, and ablations explore
+distance-dependent efficiency — both are served by the empirical model of
+He et al. widely used in the WRSN literature:
+
+    p_r(d) = alpha / (d + beta)^2
+
+normalised so the efficiency at contact distance is a configured value and
+clipped to zero beyond a hard cutoff ``d_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["WptLink", "contact_efficiency"]
+
+
+@dataclass(frozen=True)
+class WptLink:
+    """Distance-dependent WPT efficiency ``eta(d) = alpha / (d + beta)^2``.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Shape parameters of the empirical quadratic attenuation model.
+        ``eta(0) = alpha / beta**2`` must land in ``(0, 1]`` — efficiency
+        can never exceed unity.
+    d_max:
+        Hard charging range in meters; ``eta(d) = 0`` for ``d > d_max``.
+    """
+
+    alpha: float
+    beta: float
+    d_max: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigurationError("alpha and beta must be positive")
+        if self.d_max <= 0:
+            raise ConfigurationError(f"d_max must be positive, got {self.d_max}")
+        if self.alpha / self.beta**2 > 1.0:
+            raise ConfigurationError(
+                "alpha/beta^2 is the contact efficiency and must be <= 1, "
+                f"got {self.alpha / self.beta ** 2:.3f}"
+            )
+
+    def efficiency(self, distance: float) -> float:
+        """End-to-end power transfer efficiency at *distance* meters."""
+        if distance < 0:
+            raise ValueError(f"distance must be nonnegative, got {distance}")
+        if distance > self.d_max:
+            return 0.0
+        return self.alpha / (distance + self.beta) ** 2
+
+    def received_power(self, transmit_power: float, distance: float) -> float:
+        """Power delivered to a receiver at *distance* for the given transmit power."""
+        if transmit_power < 0:
+            raise ValueError(f"transmit_power must be nonnegative, got {transmit_power}")
+        return transmit_power * self.efficiency(distance)
+
+
+def contact_efficiency(eta: float, d_max: float = 1.0) -> WptLink:
+    """Build a :class:`WptLink` whose efficiency at distance zero equals *eta*.
+
+    Convenience for scheduling-level models that only care about the pad
+    efficiency: ``beta`` is fixed at 1 m and ``alpha = eta`` so
+    ``eta(0) = eta`` exactly.
+    """
+    if not 0.0 < eta <= 1.0:
+        raise ConfigurationError(f"contact efficiency must be in (0, 1], got {eta}")
+    return WptLink(alpha=eta, beta=1.0, d_max=d_max)

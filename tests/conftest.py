@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small, fully deterministic problem instances so tests are
+fast and failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CCSInstance, Device
+from repro.geometry import Field, Point
+from repro.wpt import Charger, LinearTariff, PowerLawTariff
+from repro.workloads import quick_instance
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy Generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_instance():
+    """Four devices, two chargers, hand-placed — costs easy to reason about.
+
+    Devices 0/1 sit near charger A (left), devices 2/3 near charger B
+    (right); the base fee makes pairing up clearly worthwhile.
+    """
+    devices = [
+        Device("d0", Point(0.0, 0.0), demand=1000.0, moving_rate=0.1),
+        Device("d1", Point(10.0, 0.0), demand=1500.0, moving_rate=0.1),
+        Device("d2", Point(90.0, 0.0), demand=2000.0, moving_rate=0.1),
+        Device("d3", Point(100.0, 0.0), demand=1200.0, moving_rate=0.1),
+    ]
+    chargers = [
+        Charger(
+            "A", Point(5.0, 5.0),
+            tariff=PowerLawTariff(base=10.0, unit=0.01, exponent=0.9),
+            efficiency=0.8, capacity=3,
+        ),
+        Charger(
+            "B", Point(95.0, 5.0),
+            tariff=PowerLawTariff(base=12.0, unit=0.009, exponent=0.9),
+            efficiency=0.8, capacity=3,
+        ),
+    ]
+    return CCSInstance(devices=devices, chargers=chargers, field_area=Field(100.0, 10.0))
+
+
+@pytest.fixture
+def linear_instance():
+    """Three devices, one charger, linear tariff — costs computable by hand."""
+    devices = [
+        Device("d0", Point(0.0, 0.0), demand=100.0, moving_rate=1.0),
+        Device("d1", Point(3.0, 4.0), demand=200.0, moving_rate=2.0),
+        Device("d2", Point(6.0, 8.0), demand=300.0, moving_rate=0.5),
+    ]
+    chargers = [
+        Charger(
+            "only", Point(0.0, 0.0),
+            tariff=LinearTariff(base=5.0, unit=0.1),
+            efficiency=0.5, capacity=None,
+        ),
+    ]
+    return CCSInstance(devices=devices, chargers=chargers)
+
+
+@pytest.fixture
+def random_instance():
+    """A seeded mid-size random instance for solver integration tests."""
+    return quick_instance(n_devices=12, n_chargers=3, seed=99, capacity=5)

@@ -1,0 +1,38 @@
+"""Tests for the ``ccs-bench`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(out) == sorted(EXPERIMENTS)
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_no_args_is_an_error(self, capsys):
+        assert main([]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_unknown_id_is_an_error(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trials_flag_parsed(self, capsys):
+        assert main(["table1", "--trials", "1"]) == 0
+
+    def test_entry_point_registered(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as fh:
+            cfg = tomllib.load(fh)
+        assert cfg["project"]["scripts"]["ccs-bench"] == "repro.cli:main"

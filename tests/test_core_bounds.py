@@ -1,0 +1,63 @@
+"""Tests for the certified CCS lower bound (extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ccsa, comprehensive_cost, noncooperation, optimal_schedule
+from repro.core.bounds import lower_bound
+from repro.workloads import quick_instance
+
+
+class TestLowerBound:
+    def test_components_nonnegative(self, random_instance):
+        lb = lower_bound(random_instance)
+        assert lb.moving >= 0 and lb.volume >= 0 and lb.base_fees >= 0
+        assert lb.total == pytest.approx(lb.moving + lb.volume + lb.base_fees)
+
+    def test_below_optimum_on_small_instances(self):
+        for seed in range(12):
+            inst = quick_instance(n_devices=8, n_chargers=3, seed=seed, capacity=4)
+            lb = lower_bound(inst).total
+            opt = comprehensive_cost(optimal_schedule(inst), inst)
+            assert lb <= opt + 1e-9, f"seed {seed}: LB {lb} > OPT {opt}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=9),
+        m=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100_000),
+        exponent=st.sampled_from([0.6, 0.8, 1.0]),
+        capacity=st.sampled_from([None, 3, 6]),
+    )
+    def test_below_optimum_property(self, n, m, seed, exponent, capacity):
+        inst = quick_instance(
+            n_devices=n, n_chargers=m, seed=seed,
+            tariff_exponent=exponent, capacity=capacity,
+        )
+        assert lower_bound(inst).total <= comprehensive_cost(
+            optimal_schedule(inst), inst
+        ) + 1e-9
+
+    def test_usable_at_scale(self):
+        # LB is O(n*m): must be instant and sit below CCSA at n=100.
+        inst = quick_instance(n_devices=100, n_chargers=8, seed=1, capacity=8)
+        lb = lower_bound(inst).total
+        c_nca = comprehensive_cost(noncooperation(inst), inst)
+        assert 0 < lb < c_nca
+
+    def test_nontrivial_fraction_of_ccsa(self):
+        # The bound should be informative, not vacuous: at least half of
+        # CCSA's cost on default workloads.
+        inst = quick_instance(n_devices=40, n_chargers=5, seed=2, capacity=6)
+        lb = lower_bound(inst).total
+        c_ccsa = comprehensive_cost(ccsa(inst), inst)
+        assert lb >= 0.5 * c_ccsa
+
+    def test_unbounded_capacity_single_base_fee(self):
+        inst = quick_instance(n_devices=10, n_chargers=3, seed=3, capacity=None)
+        lb = lower_bound(inst)
+        assert lb.base_fees == pytest.approx(
+            min(c.tariff.base for c in inst.chargers)
+        )

@@ -1,0 +1,165 @@
+"""Unit tests for the intragroup cost-sharing schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EgalitarianSharing,
+    ProportionalSharing,
+    Schedule,
+    Session,
+    ShapleySharing,
+    comprehensive_cost,
+    individual_cost,
+    member_costs,
+)
+from repro.errors import ConfigurationError
+
+ALL_SCHEMES = [
+    EgalitarianSharing(),
+    ProportionalSharing(),
+    ShapleySharing(exact_limit=6, samples=300),
+]
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+class TestCommonProperties:
+    def test_budget_balance(self, tiny_instance, scheme):
+        members = [0, 1, 2]
+        shares = scheme.shares(tiny_instance, members, 0)
+        price = tiny_instance.charging_price(members, 0)
+        assert sum(shares.values()) == pytest.approx(price)
+        assert set(shares) == set(members)
+
+    def test_nonnegative_shares(self, tiny_instance, scheme):
+        shares = scheme.shares(tiny_instance, [0, 1, 2, 3], 1)
+        assert all(v >= 0 for v in shares.values())
+
+    def test_singleton_pays_full_price(self, tiny_instance, scheme):
+        shares = scheme.shares(tiny_instance, [2], 1)
+        assert shares[2] == pytest.approx(tiny_instance.charging_price([2], 1))
+
+    def test_empty_group_rejected(self, tiny_instance, scheme):
+        with pytest.raises(ValueError):
+            scheme.shares(tiny_instance, [], 0)
+
+    def test_duplicate_members_rejected(self, tiny_instance, scheme):
+        with pytest.raises(ValueError):
+            scheme.shares(tiny_instance, [0, 0, 1], 0)
+
+    def test_individual_rationality_in_tiny_instance(self, tiny_instance, scheme):
+        # Joining the natural pair group never beats going alone here.
+        for i, group, charger in [(0, [0, 1], 0), (2, [2, 3], 1)]:
+            coop = individual_cost(tiny_instance, i, group, charger, scheme)
+            assert coop <= tiny_instance.standalone_cost(i) + 1e-9
+
+
+class TestEgalitarian:
+    def test_equal_split(self, tiny_instance):
+        shares = EgalitarianSharing().shares(tiny_instance, [0, 1, 2], 0)
+        values = list(shares.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_share_shrinks_as_group_grows_uniform_demands(self):
+        # Cross-monotonicity on equal demands: with a base fee, the per-head
+        # share must fall when (identical) members join.
+        from repro.core import CCSInstance, Device
+        from repro.geometry import Point
+        from repro.wpt import Charger, LinearTariff
+
+        devices = [
+            Device(f"d{i}", Point(float(i), 0.0), demand=100.0) for i in range(3)
+        ]
+        charger = Charger(
+            "c", Point(0, 0), tariff=LinearTariff(base=5.0, unit=0.1), efficiency=0.5
+        )
+        inst = CCSInstance(devices=devices, chargers=[charger])
+        scheme = EgalitarianSharing()
+        s1 = scheme.shares(inst, [0], 0)[0]
+        s2 = scheme.shares(inst, [0, 1], 0)[0]
+        s3 = scheme.shares(inst, [0, 1, 2], 0)[0]
+        assert s3 < s2 < s1
+
+
+class TestProportional:
+    def test_split_proportional_to_demand(self, linear_instance):
+        shares = ProportionalSharing().shares(linear_instance, [0, 1, 2], 0)
+        # demands 100, 200, 300
+        assert shares[1] == pytest.approx(2 * shares[0])
+        assert shares[2] == pytest.approx(3 * shares[0])
+
+    def test_per_joule_price_is_uniform(self, tiny_instance):
+        shares = ProportionalSharing().shares(tiny_instance, [0, 1, 2, 3], 0)
+        per_joule = {
+            i: shares[i] / tiny_instance.devices[i].demand for i in shares
+        }
+        vals = list(per_joule.values())
+        assert max(vals) == pytest.approx(min(vals))
+
+
+class TestShapley:
+    def test_exact_matches_proportional_on_linear_tariff(self, linear_instance):
+        # With a linear volume charge, Shapley splits the base fee equally
+        # and the volume charge proportionally.
+        shap = ShapleySharing(exact_limit=8).shares(linear_instance, [0, 1, 2], 0)
+        base = linear_instance.chargers[0].tariff.base
+        unit = linear_instance.chargers[0].tariff.unit
+        eff = linear_instance.chargers[0].efficiency
+        for i, demand in [(0, 100.0), (1, 200.0), (2, 300.0)]:
+            expected = base / 3 + unit * demand / eff
+            assert shap[i] == pytest.approx(expected)
+
+    def test_symmetry_for_equal_demands(self, tiny_instance):
+        # Construct two members with equal demand by picking d0 twice is not
+        # possible; instead verify d0 and a clone-demand scenario via the
+        # instance's own devices with closest demands: exact equality only
+        # holds for identical demands, so check the ordering instead.
+        shares = ShapleySharing(exact_limit=8).shares(tiny_instance, [0, 1, 2, 3], 0)
+        demands = {i: tiny_instance.devices[i].demand for i in shares}
+        order_by_share = sorted(shares, key=shares.get)
+        order_by_demand = sorted(demands, key=demands.get)
+        assert order_by_share == order_by_demand
+
+    def test_sampled_close_to_exact(self, tiny_instance):
+        exact = ShapleySharing(exact_limit=8).shares(tiny_instance, [0, 1, 2, 3], 0)
+        sampled = ShapleySharing(exact_limit=1, samples=4000, seed=3).shares(
+            tiny_instance, [0, 1, 2, 3], 0
+        )
+        for i in exact:
+            assert sampled[i] == pytest.approx(exact[i], rel=0.05)
+
+    def test_sampling_is_deterministic_for_seed(self, tiny_instance):
+        a = ShapleySharing(exact_limit=1, samples=200, seed=9).shares(
+            tiny_instance, [0, 1, 2, 3], 0
+        )
+        b = ShapleySharing(exact_limit=1, samples=200, seed=9).shares(
+            tiny_instance, [0, 1, 2, 3], 0
+        )
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShapleySharing(exact_limit=0)
+        with pytest.raises(ConfigurationError):
+            ShapleySharing(samples=0)
+
+
+class TestMemberCosts:
+    def test_sum_equals_comprehensive_cost(self, tiny_instance):
+        sched = Schedule([Session(0, {0, 1}), Session(1, {2, 3})])
+        for scheme in ALL_SCHEMES:
+            costs = member_costs(sched, tiny_instance, scheme)
+            assert sum(costs.values()) == pytest.approx(
+                comprehensive_cost(sched, tiny_instance)
+            )
+
+    def test_individual_cost_requires_membership(self, tiny_instance):
+        with pytest.raises(ValueError):
+            individual_cost(tiny_instance, 3, [0, 1], 0, EgalitarianSharing())
+
+    def test_individual_cost_includes_moving(self, tiny_instance):
+        scheme = EgalitarianSharing()
+        cost = individual_cost(tiny_instance, 0, [0, 1], 0, scheme)
+        share = scheme.shares(tiny_instance, [0, 1], 0)[0]
+        assert cost == pytest.approx(share + tiny_instance.moving_cost(0, 0))

@@ -1,0 +1,132 @@
+"""Unit tests for the densest-group oracles behind CCSA."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import CCSInstance, Device, densest_group, group_cost_function
+from repro.core.density import _demands_uniform
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.submodular import is_submodular
+from repro.workloads import quick_instance
+from repro.wpt import Charger, PowerLawTariff
+
+
+def brute_density(instance, charger, candidates, cap):
+    best = None
+    for t in range(1, len(candidates) + 1):
+        if cap is not None and t > cap:
+            break
+        for combo in itertools.combinations(candidates, t):
+            d = instance.group_cost(combo, charger) / t
+            if best is None or d < best:
+                best = d
+    return best
+
+
+@pytest.fixture
+def uniform_demand_instance():
+    devices = [
+        Device(f"d{i}", Point(float(i * 10), 0.0), demand=1000.0, moving_rate=0.2)
+        for i in range(6)
+    ]
+    chargers = [
+        Charger(
+            "c", Point(0.0, 5.0),
+            tariff=PowerLawTariff(base=20.0, unit=0.01, exponent=0.9),
+            efficiency=0.8, capacity=4,
+        )
+    ]
+    return CCSInstance(devices=devices, chargers=chargers)
+
+
+class TestGroupCostFunction:
+    def test_reindexing(self, tiny_instance):
+        f = group_cost_function(tiny_instance, 0, [2, 3])
+        assert f.n == 2
+        assert f({0}) == pytest.approx(tiny_instance.group_cost([2], 0))
+        assert f({0, 1}) == pytest.approx(tiny_instance.group_cost([2, 3], 0))
+
+    def test_is_submodular(self, tiny_instance):
+        for j in range(tiny_instance.n_chargers):
+            f = group_cost_function(tiny_instance, j, list(range(4)))
+            assert is_submodular(f)
+
+    def test_normalized_at_empty(self, tiny_instance):
+        f = group_cost_function(tiny_instance, 0, [0, 1])
+        assert f(frozenset()) == 0.0
+
+
+class TestDemandsUniform:
+    def test_detects_uniform(self, uniform_demand_instance):
+        assert _demands_uniform(uniform_demand_instance, [0, 1, 2])
+
+    def test_detects_heterogeneous(self, tiny_instance):
+        assert not _demands_uniform(tiny_instance, [0, 1, 2])
+
+
+@pytest.mark.parametrize("method", ["exhaustive", "sfm", "auto"])
+class TestDensestGroupExactMethods:
+    def test_matches_brute_force(self, tiny_instance, method):
+        candidates = list(range(4))
+        for j in range(tiny_instance.n_chargers):
+            prop = densest_group(tiny_instance, j, candidates, method=method)
+            expected = brute_density(tiny_instance, j, candidates, tiny_instance.capacity_of(j))
+            assert prop.density == pytest.approx(expected, rel=1e-6)
+            assert prop.cost == pytest.approx(
+                tiny_instance.group_cost(prop.members, j)
+            )
+
+    def test_respects_capacity(self, uniform_demand_instance, method):
+        prop = densest_group(uniform_demand_instance, 0, list(range(6)), method=method)
+        assert 1 <= len(prop.members) <= 4
+
+
+class TestPrefixOracle:
+    def test_exact_for_uniform_demands(self, uniform_demand_instance):
+        prop = densest_group(uniform_demand_instance, 0, list(range(6)), method="prefix")
+        expected = brute_density(uniform_demand_instance, 0, list(range(6)), 4)
+        assert prop.density == pytest.approx(expected)
+
+    def test_auto_dispatches_to_prefix_on_uniform(self, uniform_demand_instance):
+        prop = densest_group(uniform_demand_instance, 0, list(range(6)), method="auto")
+        assert prop.method == "prefix"
+
+    def test_prefix_takes_closest_devices(self, uniform_demand_instance):
+        prop = densest_group(uniform_demand_instance, 0, list(range(6)), method="prefix")
+        # Devices are on a line with charger near d0: the chosen group must
+        # be a prefix of the distance ordering 0,1,2,...
+        assert prop.members == frozenset(range(len(prop.members)))
+
+
+class TestDensestGroupValidation:
+    def test_empty_candidates_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            densest_group(tiny_instance, 0, [])
+
+    def test_duplicate_candidates_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            densest_group(tiny_instance, 0, [0, 0, 1])
+
+    def test_unknown_method_rejected(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            densest_group(tiny_instance, 0, [0, 1], method="magic")
+
+
+class TestLargeCandidateSets:
+    def test_sfm_path_handles_many_candidates(self):
+        inst = quick_instance(n_devices=20, n_chargers=2, seed=5, capacity=None)
+        prop = densest_group(inst, 0, list(range(20)), method="sfm")
+        assert prop.members
+        # Density can't beat the best singleton scaled: sanity bound.
+        best_singleton = min(inst.group_cost([i], 0) for i in range(20))
+        assert prop.density <= best_singleton + 1e-9
+
+    def test_auto_beats_or_matches_prefix_heuristic(self):
+        inst = quick_instance(n_devices=18, n_chargers=2, seed=6, capacity=None)
+        auto = densest_group(inst, 0, list(range(18)), method="auto", exhaustive_limit=4)
+        prefix = densest_group(inst, 0, list(range(18)), method="prefix")
+        assert auto.density <= prefix.density + 1e-9

@@ -1,0 +1,146 @@
+"""Unit tests for Device and CCSInstance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CCSInstance, Device
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.mobility import ManhattanMobility
+from repro.wpt import Charger, LinearTariff, PowerLawTariff
+
+
+class TestDevice:
+    def test_valid_construction(self):
+        d = Device("d0", Point(1, 2), demand=10.0)
+        assert d.moving_rate == 0.05 and d.speed == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(device_id="", position=Point(0, 0), demand=1.0),
+            dict(device_id="d", position=Point(0, 0), demand=0.0),
+            dict(device_id="d", position=Point(0, 0), demand=-1.0),
+            dict(device_id="d", position=Point(0, 0), demand=1.0, moving_rate=-0.1),
+            dict(device_id="d", position=Point(0, 0), demand=1.0, speed=0.0),
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Device(**kwargs)
+
+    def test_devices_are_frozen(self):
+        d = Device("d0", Point(0, 0), demand=1.0)
+        with pytest.raises(AttributeError):
+            d.demand = 2.0
+
+
+class TestInstanceConstruction:
+    def test_empty_devices_rejected(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            CCSInstance(devices=[], chargers=list(tiny_instance.chargers))
+
+    def test_empty_chargers_rejected(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            CCSInstance(devices=list(tiny_instance.devices), chargers=[])
+
+    def test_duplicate_device_ids_rejected(self):
+        d = Device("dup", Point(0, 0), demand=1.0)
+        c = Charger("c", Point(0, 0), tariff=LinearTariff(base=1.0, unit=0.1))
+        with pytest.raises(ConfigurationError):
+            CCSInstance(devices=[d, d], chargers=[c])
+
+    def test_duplicate_charger_ids_rejected(self):
+        d = Device("d", Point(0, 0), demand=1.0)
+        c = Charger("dup", Point(0, 0), tariff=LinearTariff(base=1.0, unit=0.1))
+        with pytest.raises(ConfigurationError):
+            CCSInstance(devices=[d], chargers=[c, c])
+
+    def test_strict_mode_rejects_convex_tariff(self):
+        class ConvexTariff:
+            base = 1.0
+
+            def volume_charge(self, e):
+                return e**2
+
+            def session_price(self, e):
+                return 0.0 if e == 0 else self.base + self.volume_charge(e)
+
+        d = Device("d", Point(0, 0), demand=10.0)
+        c = Charger("c", Point(0, 0), tariff=ConvexTariff())
+        with pytest.raises(ConfigurationError, match="not concave"):
+            CCSInstance(devices=[d], chargers=[c])
+        # non-strict accepts heuristically
+        inst = CCSInstance(devices=[d], chargers=[c], strict=False)
+        assert inst.n_devices == 1
+
+
+class TestInstanceQueries:
+    def test_sizes(self, tiny_instance):
+        assert tiny_instance.n_devices == 4
+        assert tiny_instance.n_chargers == 2
+
+    def test_index_lookup(self, tiny_instance):
+        assert tiny_instance.device_index("d2") == 2
+        assert tiny_instance.charger_index("B") == 1
+        with pytest.raises(KeyError):
+            tiny_instance.device_index("nope")
+        with pytest.raises(KeyError):
+            tiny_instance.charger_index("nope")
+
+    def test_distance_and_moving_cost(self, linear_instance):
+        # d1 at (3,4), charger at origin: distance 5, rate 2 -> cost 10.
+        assert linear_instance.distance(1, 0) == pytest.approx(5.0)
+        assert linear_instance.moving_cost(1, 0) == pytest.approx(10.0)
+
+    def test_moving_cost_respects_mobility_model(self):
+        d = Device("d", Point(3.0, 4.0), demand=1.0, moving_rate=1.0)
+        c = Charger("c", Point(0, 0), tariff=LinearTariff(base=1.0, unit=0.01))
+        inst = CCSInstance(devices=[d], chargers=[c], mobility=ManhattanMobility())
+        assert inst.moving_cost(0, 0) == pytest.approx(7.0)
+
+    def test_charging_price_hand_computed(self, linear_instance):
+        # demands 100+200=300 stored, efficiency 0.5 -> emitted 600,
+        # price = 5 + 0.1*600 = 65.
+        assert linear_instance.charging_price([0, 1], 0) == pytest.approx(65.0)
+
+    def test_charging_price_empty_group_free(self, linear_instance):
+        assert linear_instance.charging_price([], 0) == 0.0
+
+    def test_group_cost_is_price_plus_moving(self, linear_instance):
+        price = linear_instance.charging_price([0, 1], 0)
+        moving = linear_instance.moving_cost(0, 0) + linear_instance.moving_cost(1, 0)
+        assert linear_instance.group_cost([0, 1], 0) == pytest.approx(price + moving)
+
+    def test_group_cost_empty_is_zero(self, linear_instance):
+        assert linear_instance.group_cost([], 0) == 0.0
+
+    def test_standalone_cost_is_min_over_chargers(self, tiny_instance):
+        for i in range(tiny_instance.n_devices):
+            expected = min(
+                tiny_instance.group_cost([i], j) for j in range(tiny_instance.n_chargers)
+            )
+            assert tiny_instance.standalone_cost(i) == pytest.approx(expected)
+
+    def test_total_demand(self, tiny_instance):
+        assert tiny_instance.total_demand([0, 1]) == pytest.approx(2500.0)
+
+    def test_capacity_of(self, tiny_instance, linear_instance):
+        assert tiny_instance.capacity_of(0) == 3
+        assert linear_instance.capacity_of(0) is None
+
+    def test_describe_mentions_sizes(self, tiny_instance):
+        text = tiny_instance.describe()
+        assert "4 devices" in text and "2 chargers" in text
+
+
+class TestGroupCostStructure:
+    def test_group_cost_is_subadditive(self, tiny_instance):
+        # Cooperation lemma: merging groups at one charger never costs more.
+        whole = tiny_instance.group_cost([0, 1, 2], 0)
+        parts = tiny_instance.group_cost([0, 1], 0) + tiny_instance.group_cost([2], 0)
+        assert whole <= parts + 1e-9
+
+    def test_group_cost_monotone_in_members(self, tiny_instance):
+        assert tiny_instance.group_cost([0], 0) <= tiny_instance.group_cost([0, 1], 0)

@@ -1,0 +1,86 @@
+"""Unit tests for the local-search schedule polisher (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    Session,
+    ccsa,
+    comprehensive_cost,
+    improve_schedule,
+    noncooperation,
+    optimal_schedule,
+    random_grouping,
+    validate_schedule,
+)
+from repro.workloads import quick_instance
+
+
+class TestImproveSchedule:
+    def test_never_worse(self):
+        for seed in range(6):
+            inst = quick_instance(n_devices=10, n_chargers=3, seed=seed, capacity=5)
+            start = random_grouping(inst, rng=seed)
+            polished = improve_schedule(start, inst)
+            assert comprehensive_cost(polished, inst) <= comprehensive_cost(
+                start, inst
+            ) + 1e-9
+            validate_schedule(polished, inst)
+
+    def test_input_schedule_untouched(self, random_instance):
+        start = noncooperation(random_instance)
+        canonical_before = start.canonical()
+        improve_schedule(start, random_instance)
+        assert start.canonical() == canonical_before
+
+    def test_optimal_is_a_fixed_point(self):
+        inst = quick_instance(n_devices=8, n_chargers=3, seed=4, capacity=4)
+        opt = optimal_schedule(inst)
+        polished = improve_schedule(opt, inst)
+        assert comprehensive_cost(polished, inst) == pytest.approx(
+            comprehensive_cost(opt, inst)
+        )
+        assert polished.metadata["local_search_moves"] == 0.0
+
+    def test_merges_obvious_pairs(self, tiny_instance):
+        # Start from singletons: local search must at least find the pairs
+        # CCSA finds (d0+d1 at A, d2+d3 at B).
+        start = noncooperation(tiny_instance)
+        polished = improve_schedule(start, tiny_instance)
+        assert comprehensive_cost(polished, tiny_instance) == pytest.approx(
+            comprehensive_cost(ccsa(tiny_instance), tiny_instance)
+        )
+
+    def test_respects_capacity(self):
+        inst = quick_instance(n_devices=12, n_chargers=2, seed=3, capacity=3)
+        polished = improve_schedule(noncooperation(inst), inst)
+        assert max(s.size for s in polished.sessions) <= 3
+
+    def test_solver_name_tagged(self, random_instance):
+        polished = improve_schedule(noncooperation(random_instance), random_instance)
+        assert polished.solver == "noncooperation+ls"
+
+    def test_closes_part_of_the_ccsa_gap(self):
+        # On small instances, CCSA + local search must land between CCSA
+        # and OPT.
+        for seed in range(5):
+            inst = quick_instance(n_devices=9, n_chargers=3, seed=seed, capacity=5)
+            c_ccsa = comprehensive_cost(ccsa(inst), inst)
+            c_polished = comprehensive_cost(
+                improve_schedule(ccsa(inst), inst), inst
+            )
+            c_opt = comprehensive_cost(optimal_schedule(inst), inst)
+            assert c_opt - 1e-9 <= c_polished <= c_ccsa + 1e-9
+
+    def test_retarget_move(self):
+        # A session parked at an absurd charger must be retargeted.
+        inst = quick_instance(n_devices=4, n_chargers=3, seed=1, capacity=None)
+        worst_charger = max(
+            range(inst.n_chargers),
+            key=lambda j: inst.group_cost(range(4), j),
+        )
+        start = Schedule([Session(worst_charger, frozenset(range(4)))])
+        polished = improve_schedule(start, inst)
+        assert comprehensive_cost(polished, inst) < comprehensive_cost(start, inst)

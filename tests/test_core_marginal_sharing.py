@@ -1,0 +1,62 @@
+"""Tests for the marginal-cost sharing extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MarginalCostSharing, ccsga
+from repro.workloads import quick_instance
+
+
+@pytest.fixture
+def inst():
+    return quick_instance(n_devices=8, n_chargers=3, seed=17, capacity=5)
+
+
+class TestMarginalCostSharing:
+    def test_rebalanced_is_budget_balanced(self, inst):
+        scheme = MarginalCostSharing(rebalance=True)
+        members = list(range(6))
+        shares = scheme.shares(inst, members, 0)
+        assert sum(shares.values()) == pytest.approx(
+            inst.charging_price(members, 0)
+        )
+
+    def test_raw_marginals_underrecover(self, inst):
+        scheme = MarginalCostSharing(rebalance=False)
+        members = list(range(6))
+        shares = scheme.shares(inst, members, 0)
+        price = inst.charging_price(members, 0)
+        assert sum(shares.values()) < price  # the budget-balance failure
+
+    def test_deficit_matches_raw_shortfall(self, inst):
+        scheme = MarginalCostSharing(rebalance=False)
+        members = list(range(5))
+        shares = scheme.shares(inst, members, 1)
+        price = inst.charging_price(members, 1)
+        assert scheme.deficit(inst, members, 1) == pytest.approx(
+            price - sum(shares.values())
+        )
+
+    def test_deficit_nonnegative_and_zero_for_singletons(self, inst):
+        scheme = MarginalCostSharing()
+        assert scheme.deficit(inst, [3], 0) == pytest.approx(0.0)
+        for size in (2, 4, 6):
+            assert scheme.deficit(inst, list(range(size)), 0) >= -1e-9
+
+    def test_deficit_grows_with_group_size(self, inst):
+        # Every extra member adds one more under-recovered base-fee slice.
+        scheme = MarginalCostSharing()
+        deficits = [scheme.deficit(inst, list(range(t)), 0) for t in (2, 4, 6)]
+        assert deficits[0] < deficits[1] < deficits[2]
+
+    def test_singleton_pays_full_price(self, inst):
+        for rebalance in (True, False):
+            scheme = MarginalCostSharing(rebalance=rebalance)
+            shares = scheme.shares(inst, [2], 0)
+            assert shares[2] == pytest.approx(inst.charging_price([2], 0))
+
+    def test_drives_ccsga_to_equilibrium(self, inst):
+        res = ccsga(inst, scheme=MarginalCostSharing())
+        assert res.nash_certified
+        assert res.trace.is_strictly_decreasing()

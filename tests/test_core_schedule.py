@@ -1,0 +1,111 @@
+"""Unit tests for Session, Schedule, validation, and cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    Session,
+    comprehensive_cost,
+    singleton_schedule,
+    validate_schedule,
+)
+from repro.errors import ScheduleValidationError
+
+
+class TestSession:
+    def test_members_frozen(self):
+        s = Session(charger=0, members={1, 2})
+        assert s.members == frozenset({1, 2})
+        assert s.size == 2
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ScheduleValidationError):
+            Session(charger=0, members=set())
+
+    def test_negative_charger_rejected(self):
+        with pytest.raises(ScheduleValidationError):
+            Session(charger=-1, members={0})
+
+
+class TestSchedule:
+    def make(self):
+        return Schedule(
+            [Session(0, {0, 1}), Session(1, {2, 3})], solver="test", metadata={"k": 1.0}
+        )
+
+    def test_basic_accessors(self):
+        s = self.make()
+        assert s.n_sessions == 2
+        assert s.solver == "test"
+        assert s.metadata == {"k": 1.0}
+        assert s.covered_devices() == frozenset({0, 1, 2, 3})
+        assert s.group_sizes() == [2, 2]
+
+    def test_session_of(self):
+        s = self.make()
+        assert s.session_of(2).charger == 1
+        with pytest.raises(KeyError):
+            s.session_of(9)
+
+    def test_canonical_is_order_independent(self):
+        a = Schedule([Session(0, {0, 1}), Session(1, {2})])
+        b = Schedule([Session(1, {2}), Session(0, {1, 0})])
+        assert a.canonical() == b.canonical()
+
+    def test_singleton_schedule_builder(self, tiny_instance):
+        s = singleton_schedule(tiny_instance, [0, 0, 1, 1], solver="x")
+        assert s.n_sessions == 4
+        assert all(sess.size == 1 for sess in s.sessions)
+        validate_schedule(s, tiny_instance)
+
+    def test_singleton_schedule_wrong_length(self, tiny_instance):
+        with pytest.raises(ScheduleValidationError):
+            singleton_schedule(tiny_instance, [0, 0], solver="x")
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, tiny_instance):
+        validate_schedule(
+            Schedule([Session(0, {0, 1}), Session(1, {2, 3})]), tiny_instance
+        )
+
+    def test_missing_device_detected(self, tiny_instance):
+        with pytest.raises(ScheduleValidationError, match="not covered"):
+            validate_schedule(Schedule([Session(0, {0, 1, 2})]), tiny_instance)
+
+    def test_duplicate_device_detected(self, tiny_instance):
+        sched = Schedule([Session(0, {0, 1}), Session(1, {1, 2, 3})])
+        with pytest.raises(ScheduleValidationError, match="appears in sessions"):
+            validate_schedule(sched, tiny_instance)
+
+    def test_capacity_violation_detected(self, tiny_instance):
+        # tiny_instance chargers have capacity 3.
+        sched = Schedule([Session(0, {0, 1, 2, 3})])
+        with pytest.raises(ScheduleValidationError, match="exceed capacity"):
+            validate_schedule(sched, tiny_instance)
+
+    def test_bad_charger_index_detected(self, tiny_instance):
+        sched = Schedule([Session(7, {0, 1, 2, 3})])
+        with pytest.raises(ScheduleValidationError, match="charger index"):
+            validate_schedule(sched, tiny_instance)
+
+    def test_bad_device_index_detected(self, tiny_instance):
+        sched = Schedule([Session(0, {0, 1, 42})])
+        with pytest.raises(ScheduleValidationError, match="device index"):
+            validate_schedule(sched, tiny_instance)
+
+
+class TestComprehensiveCost:
+    def test_equals_sum_of_group_costs(self, tiny_instance):
+        sched = Schedule([Session(0, {0, 1}), Session(1, {2, 3})])
+        expected = tiny_instance.group_cost([0, 1], 0) + tiny_instance.group_cost([2, 3], 1)
+        assert comprehensive_cost(sched, tiny_instance) == pytest.approx(expected)
+
+    def test_hand_computed_on_linear_instance(self, linear_instance):
+        # All three at the only charger: emitted = 600/0.5... demands 100+200+300
+        # = 600 stored, /0.5 = 1200 emitted; price = 5 + 0.1*1200 = 125.
+        # moving: d0 0*1, d1 5*2=10, d2 10*0.5=5 -> 15. Total 140.
+        sched = Schedule([Session(0, {0, 1, 2})])
+        assert comprehensive_cost(sched, linear_instance) == pytest.approx(140.0)

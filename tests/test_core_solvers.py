@@ -1,0 +1,252 @@
+"""Unit and cross-check tests for CCSA, CCSGA, OPT, and the baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EgalitarianSharing,
+    ProportionalSharing,
+    ccsa,
+    ccsga,
+    comprehensive_cost,
+    demand_greedy,
+    nearest_charger,
+    noncooperation,
+    optimal_bell,
+    optimal_schedule,
+    random_grouping,
+    validate_schedule,
+)
+from repro.errors import ConvergenceError, InfeasibleError
+from repro.game import SelfishSwitch, SociallyAwareSwitch
+from repro.workloads import quick_instance
+from repro.core import CCSInstance, Device
+from repro.geometry import Point
+from repro.wpt import Charger, PowerLawTariff
+
+ALL_SOLVERS = {
+    "ccsa": ccsa,
+    "ccsga": lambda inst: ccsga(inst).schedule,
+    "noncoop": noncooperation,
+    "nearest": nearest_charger,
+    "random": lambda inst: random_grouping(inst, rng=0),
+    "demand_greedy": demand_greedy,
+    "optimal": optimal_schedule,
+}
+
+
+@pytest.mark.parametrize("name,solver", ALL_SOLVERS.items())
+class TestAllSolversFeasible:
+    def test_feasible_on_tiny(self, tiny_instance, name, solver):
+        validate_schedule(solver(tiny_instance), tiny_instance)
+
+    def test_feasible_on_random(self, random_instance, name, solver):
+        validate_schedule(solver(random_instance), random_instance)
+
+    def test_deterministic(self, random_instance, name, solver):
+        a = solver(random_instance)
+        b = solver(random_instance)
+        assert a.canonical() == b.canonical()
+
+
+class TestCCSA:
+    def test_groups_natural_pairs(self, tiny_instance):
+        # d0/d1 belong at charger A, d2/d3 at B; CCSA must find those pairs.
+        sched = ccsa(tiny_instance)
+        assert sched.canonical() == (
+            (0, (0, 1)),
+            (1, (2, 3)),
+        )
+
+    def test_never_worse_than_noncooperation(self):
+        for seed in range(10):
+            inst = quick_instance(n_devices=14, n_chargers=3, seed=seed)
+            c_ccsa = comprehensive_cost(ccsa(inst), inst)
+            c_nca = comprehensive_cost(noncooperation(inst), inst)
+            assert c_ccsa <= c_nca + 1e-9
+
+    def test_metadata_records_rounds(self, random_instance):
+        sched = ccsa(random_instance)
+        assert sched.metadata["rounds"] >= 1
+        oracle_total = sum(
+            v for k, v in sched.metadata.items() if k.startswith("oracle_")
+        )
+        assert oracle_total == sched.metadata["rounds"]
+
+    @pytest.mark.parametrize("method", ["exhaustive", "sfm", "prefix", "auto"])
+    def test_all_oracle_methods_produce_feasible_schedules(self, random_instance, method):
+        sched = ccsa(random_instance, method=method)
+        validate_schedule(sched, random_instance)
+
+    def test_sfm_matches_exhaustive_on_small(self, tiny_instance):
+        a = comprehensive_cost(ccsa(tiny_instance, method="exhaustive"), tiny_instance)
+        b = comprehensive_cost(ccsa(tiny_instance, method="sfm"), tiny_instance)
+        assert a == pytest.approx(b)
+
+    def test_close_to_optimal_on_small_instances(self):
+        # The abstract's 7.3%-gap claim, checked loosely per instance.
+        for seed in range(8):
+            inst = quick_instance(n_devices=9, n_chargers=3, seed=seed, capacity=5)
+            c_opt = comprehensive_cost(optimal_schedule(inst), inst)
+            c_ccsa = comprehensive_cost(ccsa(inst), inst)
+            assert c_opt <= c_ccsa + 1e-9
+            assert c_ccsa <= 1.3 * c_opt
+
+
+class TestCCSGA:
+    def test_converges_and_certifies_nash(self, random_instance):
+        res = ccsga(random_instance)
+        assert res.nash_certified
+        assert res.sweeps >= 1
+
+    def test_potential_strictly_decreasing(self, random_instance):
+        res = ccsga(random_instance)
+        assert res.trace.is_strictly_decreasing()
+        assert res.trace.initial >= res.trace.final
+
+    def test_starts_from_noncooperation(self, random_instance):
+        res = ccsga(random_instance)
+        nca_cost = comprehensive_cost(noncooperation(random_instance), random_instance)
+        assert res.trace.initial == pytest.approx(nca_cost)
+
+    def test_never_worse_than_noncooperation(self):
+        for seed in range(10):
+            inst = quick_instance(n_devices=16, n_chargers=4, seed=seed)
+            res = ccsga(inst)
+            c_nca = comprehensive_cost(noncooperation(inst), inst)
+            assert comprehensive_cost(res.schedule, inst) <= c_nca + 1e-9
+
+    def test_warm_start_from_ccsa_never_hurts(self, random_instance):
+        cold = ccsga(random_instance)
+        warm = ccsga(random_instance, warm_start=ccsa(random_instance))
+        c_warm = comprehensive_cost(warm.schedule, random_instance)
+        c_ccsa = comprehensive_cost(ccsa(random_instance), random_instance)
+        assert c_warm <= c_ccsa + 1e-9
+
+    @pytest.mark.parametrize("scheme", [EgalitarianSharing(), ProportionalSharing()])
+    def test_both_paper_schemes_converge(self, random_instance, scheme):
+        res = ccsga(random_instance, scheme=scheme)
+        assert res.nash_certified
+
+    def test_selfish_rule_runs_or_reports_cycle(self, random_instance):
+        # The selfish dynamic has no potential guarantee: either it converges
+        # or the driver must detect the cycle — never loop forever.
+        try:
+            res = ccsga(random_instance, rule=SelfishSwitch())
+            validate_schedule(res.schedule, random_instance)
+        except ConvergenceError as e:
+            assert e.iterations > 0
+
+    def test_metadata(self, random_instance):
+        res = ccsga(random_instance)
+        assert res.schedule.metadata["switches"] == res.switches
+        assert res.schedule.metadata["nash_certified"] == 1.0
+
+
+class TestOptimal:
+    def test_dp_matches_bell_enumeration(self):
+        for seed in range(6):
+            inst = quick_instance(n_devices=7, n_chargers=3, seed=seed, capacity=4)
+            c_dp = comprehensive_cost(optimal_schedule(inst), inst)
+            c_bell = comprehensive_cost(optimal_bell(inst), inst)
+            assert c_dp == pytest.approx(c_bell)
+
+    def test_lower_bounds_every_solver(self, random_instance):
+        c_opt = comprehensive_cost(optimal_schedule(random_instance), random_instance)
+        for name, solver in ALL_SOLVERS.items():
+            c = comprehensive_cost(solver(random_instance), random_instance)
+            assert c_opt <= c + 1e-9, name
+
+    def test_size_guards(self):
+        inst = quick_instance(n_devices=20, n_chargers=3, seed=0)
+        with pytest.raises(ValueError):
+            optimal_schedule(inst, max_devices=18)
+        with pytest.raises(ValueError):
+            optimal_bell(inst)
+
+    def test_infeasible_capacity_detected(self):
+        # One charger with capacity 1 serving 3 devices is *feasible* via
+        # three sessions; infeasibility can't come from session capacity
+        # alone.  Verify the solver handles tight capacity correctly instead.
+        devices = [Device(f"d{i}", Point(float(i), 0.0), demand=10.0) for i in range(3)]
+        charger = Charger(
+            "c", Point(0, 0), tariff=PowerLawTariff(base=1.0, unit=0.1), capacity=1
+        )
+        inst = CCSInstance(devices=devices, chargers=[charger])
+        sched = optimal_schedule(inst)
+        assert sched.n_sessions == 3
+
+
+class TestBaselines:
+    def test_noncooperation_all_singletons(self, random_instance):
+        sched = noncooperation(random_instance)
+        assert all(s.size == 1 for s in sched.sessions)
+
+    def test_noncooperation_picks_cheapest_charger(self, tiny_instance):
+        sched = noncooperation(tiny_instance)
+        for s in sched.sessions:
+            (i,) = s.members
+            best = min(
+                range(tiny_instance.n_chargers),
+                key=lambda j: tiny_instance.group_cost([i], j),
+            )
+            assert tiny_instance.group_cost([i], s.charger) == pytest.approx(
+                tiny_instance.group_cost([i], best)
+            )
+
+    def test_nearest_picks_nearest(self, tiny_instance):
+        sched = nearest_charger(tiny_instance)
+        for s in sched.sessions:
+            (i,) = s.members
+            dists = [
+                tiny_instance.distance(i, j) for j in range(tiny_instance.n_chargers)
+            ]
+            assert tiny_instance.distance(i, s.charger) == pytest.approx(min(dists))
+
+    def test_noncooperation_upper_bounds_nearest_cost_relation(self, random_instance):
+        # Noncooperation optimizes cost, nearest optimizes distance: NCA <= nearest.
+        c_nca = comprehensive_cost(noncooperation(random_instance), random_instance)
+        c_near = comprehensive_cost(nearest_charger(random_instance), random_instance)
+        assert c_nca <= c_near + 1e-9
+
+    def test_random_grouping_seeded(self, random_instance):
+        a = random_grouping(random_instance, rng=7)
+        b = random_grouping(random_instance, rng=7)
+        assert a.canonical() == b.canonical()
+
+    def test_demand_greedy_respects_capacity(self):
+        inst = quick_instance(n_devices=15, n_chargers=2, seed=1, capacity=3)
+        sched = demand_greedy(inst)
+        validate_schedule(sched, inst)
+        assert max(s.size for s in sched.sessions) <= 3
+
+
+class TestCCSAPruning:
+    def test_pruned_schedule_feasible(self):
+        inst = quick_instance(n_devices=30, n_chargers=4, seed=5, capacity=6)
+        sched = ccsa(inst, max_candidates=10)
+        validate_schedule(sched, inst)
+
+    def test_pruned_cost_close_to_full(self):
+        inst = quick_instance(n_devices=30, n_chargers=4, seed=5, capacity=6)
+        full = comprehensive_cost(ccsa(inst), inst)
+        pruned = comprehensive_cost(ccsa(inst, max_candidates=12), inst)
+        assert pruned <= 1.1 * full
+
+    def test_generous_budget_matches_full(self):
+        inst = quick_instance(n_devices=12, n_chargers=3, seed=6, capacity=5)
+        full = ccsa(inst)
+        pruned = ccsa(inst, max_candidates=12)
+        assert comprehensive_cost(pruned, inst) == pytest.approx(
+            comprehensive_cost(full, inst)
+        )
+
+    def test_budget_one_still_covers_everyone(self):
+        inst = quick_instance(n_devices=10, n_chargers=3, seed=7, capacity=5)
+        sched = ccsa(inst, max_candidates=1)
+        validate_schedule(sched, inst)
+
+    def test_invalid_budget_rejected(self, random_instance):
+        with pytest.raises(ValueError):
+            ccsa(random_instance, max_candidates=0)

@@ -1,0 +1,150 @@
+"""Unit tests for the energy substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import (
+    Battery,
+    ConstantPowerConsumption,
+    ConsumptionModel,
+    DutyCycleConsumption,
+    LocomotionModel,
+    demand_from_battery,
+    lognormal_demands,
+    uniform_demands,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBattery:
+    def test_starts_full_by_default(self):
+        b = Battery(capacity=100.0)
+        assert b.level == 100.0
+        assert b.headroom == 0.0
+        assert b.state_of_charge == 1.0
+
+    def test_explicit_level(self):
+        b = Battery(capacity=100.0, level=40.0)
+        assert b.headroom == 60.0
+        assert b.state_of_charge == pytest.approx(0.4)
+
+    def test_charge_clamps_at_capacity(self):
+        b = Battery(capacity=100.0, level=80.0)
+        stored = b.charge(50.0)
+        assert stored == 20.0
+        assert b.level == 100.0
+
+    def test_discharge_clamps_at_empty(self):
+        b = Battery(capacity=100.0, level=30.0)
+        drawn = b.discharge(50.0)
+        assert drawn == 30.0
+        assert b.level == 0.0
+        assert b.is_depleted()
+
+    def test_charge_discharge_roundtrip(self):
+        b = Battery(capacity=100.0, level=50.0)
+        assert b.charge(25.0) == 25.0
+        assert b.discharge(25.0) == 25.0
+        assert b.level == 50.0
+
+    def test_depletion_threshold(self):
+        b = Battery(capacity=100.0, level=5.0)
+        assert b.is_depleted(threshold=5.0)
+        assert not b.is_depleted(threshold=1.0)
+
+    def test_negative_amounts_rejected(self):
+        b = Battery(capacity=10.0)
+        with pytest.raises(ValueError):
+            b.charge(-1.0)
+        with pytest.raises(ValueError):
+            b.discharge(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            Battery(capacity=10.0, level=11.0)
+
+
+class TestConsumption:
+    def test_constant_power(self):
+        m = ConstantPowerConsumption(power=2.0)
+        assert m.energy_over(10.0) == 20.0
+        assert m.energy_over(0.0) == 0.0
+
+    def test_constant_power_satisfies_protocol(self):
+        assert isinstance(ConstantPowerConsumption(1.0), ConsumptionModel)
+
+    def test_duty_cycle_average_power(self):
+        m = DutyCycleConsumption(active_power=10.0, sleep_power=1.0, duty_cycle=0.2)
+        assert m.average_power == pytest.approx(0.2 * 10 + 0.8 * 1)
+        assert m.energy_over(100.0) == pytest.approx(m.average_power * 100.0)
+
+    def test_duty_cycle_bounds(self):
+        full = DutyCycleConsumption(5.0, 0.0, 1.0)
+        idle = DutyCycleConsumption(5.0, 0.0, 0.0)
+        assert full.average_power == 5.0
+        assert idle.average_power == 0.0
+
+    def test_duty_cycle_validation(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleConsumption(5.0, 1.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            DutyCycleConsumption(1.0, 2.0, 0.5)  # sleep > active
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantPowerConsumption(1.0).energy_over(-1.0)
+
+    def test_locomotion(self):
+        m = LocomotionModel(energy_per_meter=0.5)
+        assert m.energy_for(10.0) == 5.0
+        with pytest.raises(ValueError):
+            m.energy_for(-1.0)
+        with pytest.raises(ConfigurationError):
+            LocomotionModel(energy_per_meter=-0.1)
+
+
+class TestDemand:
+    def test_demand_from_battery_full_target(self):
+        b = Battery(capacity=100.0, level=30.0)
+        assert demand_from_battery(b) == 70.0
+
+    def test_demand_from_battery_partial_target(self):
+        b = Battery(capacity=100.0, level=30.0)
+        assert demand_from_battery(b, target_soc=0.5) == 20.0
+
+    def test_demand_zero_when_above_target(self):
+        b = Battery(capacity=100.0, level=90.0)
+        assert demand_from_battery(b, target_soc=0.8) == 0.0
+
+    def test_demand_invalid_target(self):
+        b = Battery(capacity=10.0)
+        with pytest.raises(ConfigurationError):
+            demand_from_battery(b, target_soc=0.0)
+        with pytest.raises(ConfigurationError):
+            demand_from_battery(b, target_soc=1.5)
+
+    def test_uniform_demands_in_range_and_seeded(self):
+        ds = uniform_demands(100, 5.0, 9.0, rng=4)
+        assert len(ds) == 100
+        assert all(5.0 <= d <= 9.0 for d in ds)
+        assert ds == uniform_demands(100, 5.0, 9.0, rng=4)
+
+    def test_uniform_demands_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_demands(-1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            uniform_demands(3, 5.0, 4.0)
+
+    def test_lognormal_demands_mean(self):
+        ds = lognormal_demands(20_000, mean=100.0, sigma=0.5, rng=1)
+        assert all(d > 0 for d in ds)
+        assert sum(ds) / len(ds) == pytest.approx(100.0, rel=0.05)
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ConfigurationError):
+            lognormal_demands(5, mean=0.0)
+        with pytest.raises(ConfigurationError):
+            lognormal_demands(5, mean=1.0, sigma=-1.0)

@@ -1,0 +1,141 @@
+"""Tests for the experiment harness: rendering, sweeps, figures, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    SeriesResult,
+    TableResult,
+    fig5_cost_vs_devices,
+    fig7_cost_vs_base_price,
+    fig9_runtime,
+    fig10_convergence,
+    fig11_sharing_fairness,
+    fig12_ablation_tariff,
+    render_series,
+    render_table,
+    run_all,
+    run_experiment,
+    sweep_costs,
+    table1_parameters,
+    table2_optimality,
+    table3_field,
+)
+from repro.workloads import SMALL_SCALE_SPEC
+
+
+class TestRendering:
+    def test_series_add_and_render(self):
+        s = SeriesResult("f", "A title", "x", [1, 2, 3])
+        s.add("algo", [10.0, 20.0, 30.0])
+        text = render_series(s)
+        assert "A title" in text and "algo" in text and "20.00" in text
+
+    def test_series_length_mismatch_rejected(self):
+        s = SeriesResult("f", "t", "x", [1, 2])
+        with pytest.raises(ValueError):
+            s.add("a", [1.0])
+
+    def test_table_add_and_render(self):
+        t = TableResult("t", "Tbl", ["a", "b"])
+        t.add_row(1, 2.34567)
+        text = render_table(t)
+        assert "Tbl" in text and "2.346" in text
+
+    def test_table_row_width_checked(self):
+        t = TableResult("t", "Tbl", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+
+class TestSweep:
+    def test_sweep_costs_shape_and_pairing(self):
+        res = sweep_costs(
+            "s", "t", SMALL_SCALE_SPEC, "n_devices", [4, 6], trials=2, seed=1
+        )
+        assert set(res.series) == {"NCA", "CCSA", "CCSGA"}
+        assert all(len(v) == 2 for v in res.series.values())
+        # Paired instances: cooperative algorithms never above NCA on average.
+        for k in range(2):
+            assert res.series["CCSA"][k] <= res.series["NCA"][k] + 1e-9
+            assert res.series["CCSGA"][k] <= res.series["NCA"][k] + 1e-9
+
+    def test_sweep_deterministic(self):
+        a = sweep_costs("s", "t", SMALL_SCALE_SPEC, "n_devices", [5], trials=2, seed=3)
+        b = sweep_costs("s", "t", SMALL_SCALE_SPEC, "n_devices", [5], trials=2, seed=3)
+        assert a.series == b.series
+
+
+class TestFigures:
+    def test_fig5_costs_increase_with_n(self):
+        res = fig5_cost_vs_devices(values=(6, 12), trials=2, seed=1)
+        for label in ("NCA", "CCSA", "CCSGA"):
+            assert res.series[label][1] > res.series[label][0]
+
+    def test_fig7_gap_widens_with_base_price(self):
+        res = fig7_cost_vs_base_price(values=(0.0, 60.0), trials=2, seed=1)
+        gap_low = res.series["NCA"][0] - res.series["CCSA"][0]
+        gap_high = res.series["NCA"][1] - res.series["CCSA"][1]
+        assert gap_high > gap_low
+
+    def test_fig9_runtime_ccsga_faster_than_ccsa(self):
+        res = fig9_runtime(values=(20,), trials=1, seed=1, include_optimal_upto=0)
+        assert res.series["CCSGA"][0] < res.series["CCSA"][0]
+        assert math.isnan(res.series["OPT"][0])
+
+    def test_fig10_certifies_equilibria(self):
+        res = fig10_convergence(values=(8, 12), trials=1, seed=1)
+        assert all(v >= 0 for v in res.series["switches"])
+        assert all(v >= 1 for v in res.series["sweeps"])
+
+    def test_fig11_proportional_fairer_than_egalitarian(self):
+        res = fig11_sharing_fairness(trials=2, seed=1)
+        # x index 1 is the per-joule price dispersion.
+        assert res.series["proportional"][1] < res.series["egalitarian"][1]
+
+    def test_fig12_savings_grow_with_concavity(self):
+        res = fig12_ablation_tariff(exponents=(0.6, 1.0), trials=2, seed=1)
+        savings = res.series["CCSA saving %"]
+        assert savings[0] > savings[1] > 0
+
+
+class TestTables:
+    def test_table1_lists_parameters(self):
+        t = table1_parameters()
+        assert len(t.rows) >= 10
+
+    def test_table2_reproduces_headline_shape(self):
+        stats = table2_optimality(device_counts=(6, 8), trials=3, seed=2)
+        # Abstract: ~7.3% above OPT, ~27.3% below NCA.  Allow wide bands but
+        # require the ordering OPT <= CCSA <= NCA to hold on average.
+        assert 0.0 <= stats.avg_gap_vs_optimal_pct < 20.0
+        assert 10.0 < stats.avg_saving_vs_nca_pct < 45.0
+
+    def test_table3_reproduces_field_shape(self):
+        stats = table3_field(rounds=3, seed=3)
+        assert stats.ccsa_mean_cost < stats.nca_mean_cost
+        assert 25.0 < stats.avg_improvement_pct < 60.0
+
+
+class TestRunner:
+    def test_every_registered_experiment_runs(self):
+        # Smoke-run the cheap ones; heavy ids covered by their benchmarks.
+        for eid in ("table1",):
+            out = run_experiment(eid, trials=1)
+            assert isinstance(out, str) and out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    def test_run_all_with_subset(self):
+        out = run_all(trials=1, only=["table1"])
+        assert set(out) == {"table1"}
+
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {"table1", "table2", "table3"} | {f"fig{i}" for i in range(5, 13)}
+        assert set(EXPERIMENTS) == expected

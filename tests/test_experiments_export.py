@@ -1,0 +1,46 @@
+"""Tests for the Markdown results exporter and its CLI flag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import export_markdown, results_markdown
+
+
+class TestResultsMarkdown:
+    def test_document_structure(self):
+        text = results_markdown({"table1": "row1\nrow2"}, trials=2)
+        assert text.startswith("# CCS reproduction results")
+        assert "## table1" in text
+        assert "```text" in text and "row1" in text
+        assert "--trials 2" in text
+        assert "library version" in text
+
+    def test_experiments_sorted(self):
+        text = results_markdown({"fig9": "x", "fig5": "y"}, trials=1)
+        assert text.index("## fig5") < text.index("## fig9")
+
+
+class TestExportMarkdown:
+    def test_writes_file_and_returns_results(self, tmp_path):
+        path = tmp_path / "results.md"
+        results = export_markdown(str(path), trials=1, only=["table1"])
+        assert set(results) == {"table1"}
+        content = path.read_text()
+        assert "## table1" in content
+        assert "Table 1" in content
+
+    def test_unknown_ids_fail_before_running(self, tmp_path):
+        path = tmp_path / "results.md"
+        with pytest.raises(KeyError, match="unknown"):
+            export_markdown(str(path), trials=1, only=["fig99"])
+        assert not path.exists()
+
+
+class TestCliExport:
+    def test_export_flag_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "out.md"
+        assert main(["table1", "--export", str(path)]) == 0
+        assert "## table1" in path.read_text()
+        assert "wrote" in capsys.readouterr().err

@@ -1,0 +1,65 @@
+"""Tests for the ASCII field-map renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CCSInstance, Device, ccsa
+from repro.experiments import field_map
+from repro.geometry import Point
+from repro.workloads import quick_instance, testbed_instance as make_testbed
+from repro.wpt import Charger, LinearTariff
+
+
+class TestFieldMap:
+    def test_renders_chargers_and_devices(self):
+        inst = make_testbed(rng=0)
+        text = field_map(inst)
+        for glyph in "ABCDE":
+            assert glyph in text
+        assert text.count(".") >= 1  # unassigned devices
+        assert "pad0" in text
+
+    def test_schedule_labels_devices_by_charger(self):
+        inst = make_testbed(rng=0)
+        sched = ccsa(inst)
+        text = field_map(inst, sched)
+        assert "." not in text.split("chargers:")[0].replace("...", "")
+        used = {chr(ord("a") + s.charger) for s in sched.sessions}
+        for glyph in used:
+            assert glyph in text
+
+    def test_canvas_dimensions(self):
+        inst = quick_instance(6, 2, seed=1)
+        text = field_map(inst, width=30, height=10)
+        body = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(body) == 10
+        assert all(len(l) == 32 for l in body)
+
+    def test_without_field_uses_bounding_box(self):
+        devices = [
+            Device("d0", Point(5.0, 5.0), demand=10.0),
+            Device("d1", Point(15.0, 9.0), demand=10.0),
+        ]
+        chargers = [Charger("c", Point(10.0, 7.0), tariff=LinearTariff(base=1.0, unit=0.01))]
+        inst = CCSInstance(devices=devices, chargers=chargers)
+        text = field_map(inst)
+        body = "\n".join(l for l in text.splitlines() if l.startswith("|"))
+        assert "A" in body and body.count(".") == 2
+
+    def test_degenerate_collinear_positions(self):
+        devices = [Device(f"d{i}", Point(3.0, 3.0), demand=10.0) for i in range(2)]
+        chargers = [Charger("c", Point(3.0, 3.0), tariff=LinearTariff(base=1.0, unit=0.01))]
+        inst = CCSInstance(devices=devices, chargers=chargers)
+        text = field_map(inst)  # zero-extent bounding box must not divide by zero
+        assert "A" in text
+
+    def test_tiny_canvas_rejected(self):
+        inst = quick_instance(3, 1, seed=0)
+        with pytest.raises(ValueError):
+            field_map(inst, width=5, height=2)
+
+    def test_too_many_chargers_rejected(self):
+        inst = quick_instance(3, 27, seed=0)
+        with pytest.raises(ValueError, match="glyphs"):
+            field_map(inst)

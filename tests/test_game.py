@@ -1,0 +1,201 @@
+"""Unit tests for the coalition-formation-game toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EgalitarianSharing,
+    Schedule,
+    Session,
+    ccsa,
+    comprehensive_cost,
+    noncooperation,
+)
+from repro.game import (
+    CoalitionStructure,
+    PotentialTrace,
+    SelfishSwitch,
+    SociallyAwareSwitch,
+    blocking_moves,
+    candidate_moves,
+    is_nash_equilibrium,
+)
+
+SCHEME = EgalitarianSharing()
+
+
+class TestCoalitionStructure:
+    def test_singletons_match_noncooperation(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        assert cs.n_coalitions == 4
+        nca = noncooperation(tiny_instance)
+        assert cs.total_cost == pytest.approx(comprehensive_cost(nca, tiny_instance))
+        cs.check_invariants()
+
+    def test_from_schedule_roundtrip(self, tiny_instance):
+        sched = ccsa(tiny_instance)
+        cs = CoalitionStructure.from_schedule(tiny_instance, SCHEME, sched)
+        assert cs.total_cost == pytest.approx(comprehensive_cost(sched, tiny_instance))
+        assert cs.to_schedule("x").canonical() == sched.canonical()
+
+    def test_move_to_existing_coalition(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        target = cs.coalition_of(1)
+        before = cs.total_cost
+        predicted = cs.total_cost_if_moved(0, target.cid, target.charger)
+        cs.move(0, target.cid, target.charger)
+        cs.check_invariants()
+        assert cs.coalition_of(0) is cs.coalition_of(1)
+        assert cs.n_coalitions == 3
+        assert cs.total_cost == pytest.approx(predicted)
+        assert cs.total_cost != pytest.approx(before)  # base fee merged
+
+    def test_move_to_new_singleton(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        target = cs.coalition_of(1)
+        cs.move(0, target.cid, target.charger)
+        cs.move(0, None, 1)  # leave and found a singleton at charger B
+        cs.check_invariants()
+        assert cs.coalition_of(0).size == 1
+        assert cs.coalition_of(0).charger == 1
+
+    def test_empty_source_coalition_is_dropped(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        n0 = cs.n_coalitions
+        target = cs.coalition_of(1)
+        cs.move(0, target.cid, target.charger)
+        assert cs.n_coalitions == n0 - 1
+
+    def test_capacity_blocks_join(self, tiny_instance):
+        # Capacity is 3: pack 0,1,2 together; device 3 cannot join.
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        c = cs.coalition_of(0)
+        cs.move(1, c.cid, c.charger)
+        cs.move(2, c.cid, c.charger)
+        assert cs.cost_if_joined(3, c.cid, c.charger) == float("inf")
+        with pytest.raises(ValueError):
+            cs.move(3, c.cid, c.charger)
+
+    def test_move_to_own_coalition_rejected(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        c = cs.coalition_of(0)
+        with pytest.raises(ValueError):
+            cs.move(0, c.cid, c.charger)
+
+    def test_individual_cost_matches_scheme(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        cost = cs.individual_cost(0)
+        assert cost == pytest.approx(tiny_instance.standalone_cost(0))
+
+    def test_state_key_identifies_structures(self, tiny_instance):
+        a = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        b = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        assert a.state_key() == b.state_key()
+        t = b.coalition_of(1)
+        b.move(0, t.cid, t.charger)
+        assert a.state_key() != b.state_key()
+
+
+class TestCandidateMoves:
+    def test_enumerates_joins_and_singletons(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        moves = list(candidate_moves(cs, 0))
+        joins = [m for m in moves if m.target is not None]
+        news = [m for m in moves if m.target is None]
+        assert len(joins) == 3  # three other singleton coalitions
+        # singleton device: a new singleton at its own charger is not a move
+        assert len(news) == tiny_instance.n_chargers - 1
+
+    def test_deltas_are_consistent(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        own_now = cs.individual_cost(0)
+        for m in candidate_moves(cs, 0):
+            if m.target is not None:
+                predicted = cs.cost_if_joined(0, m.target, m.charger)
+                assert m.own_delta == pytest.approx(predicted - own_now)
+
+
+class TestSwitchRules:
+    def test_socially_aware_requires_both_improvements(self):
+        from repro.game.switching import SwitchMove
+
+        rule = SociallyAwareSwitch()
+        good = SwitchMove(0, None, 0, own_delta=-1.0, total_delta=-1.0)
+        selfish_only = SwitchMove(0, None, 0, own_delta=-1.0, total_delta=+1.0)
+        social_only = SwitchMove(0, None, 0, own_delta=+1.0, total_delta=-1.0)
+        assert rule.permits(good)
+        assert not rule.permits(selfish_only)
+        assert not rule.permits(social_only)
+
+    def test_selfish_ignores_total(self):
+        from repro.game.switching import SwitchMove
+
+        rule = SelfishSwitch()
+        assert rule.permits(SwitchMove(0, None, 0, own_delta=-1.0, total_delta=+5.0))
+        assert not rule.permits(SwitchMove(0, None, 0, own_delta=+0.1, total_delta=-5.0))
+
+    def test_tolerance_suppresses_micro_moves(self):
+        from repro.game.switching import SwitchMove
+
+        rule = SelfishSwitch(tol=1e-3)
+        assert not rule.permits(SwitchMove(0, None, 0, own_delta=-1e-6, total_delta=0.0))
+
+    def test_best_move_picks_largest_improvement(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        rule = SociallyAwareSwitch()
+        move = rule.best_move(cs, 0)
+        assert move is not None
+        # Pairing with the co-located device 1 at charger A is the win.
+        assert move.target == cs.coalition_of(1).cid
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValueError):
+            SelfishSwitch(tol=-1.0)
+
+
+class TestEquilibrium:
+    def test_blocking_moves_on_singletons(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        rule = SociallyAwareSwitch()
+        assert not is_nash_equilibrium(cs, rule)
+        moves = blocking_moves(cs, rule)
+        assert moves and all(m.own_delta < 0 and m.total_delta < 0 for m in moves)
+
+    def test_limit_caps_enumeration(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEME)
+        assert len(blocking_moves(cs, SociallyAwareSwitch(), limit=1)) == 1
+
+    def test_paired_structure_is_equilibrium(self, tiny_instance):
+        sched = Schedule([Session(0, {0, 1}), Session(1, {2, 3})])
+        cs = CoalitionStructure.from_schedule(tiny_instance, SCHEME, sched)
+        assert is_nash_equilibrium(cs, SociallyAwareSwitch())
+
+
+class TestPotentialTrace:
+    def test_strictly_decreasing_detection(self):
+        t = PotentialTrace()
+        for v in (10.0, 8.0, 5.0):
+            t.record(v)
+        assert t.is_strictly_decreasing()
+        assert t.n_switches == 2
+        assert t.initial == 10.0 and t.final == 5.0
+        assert t.total_descent() == 5.0
+
+    def test_non_decreasing_detected(self):
+        t = PotentialTrace()
+        for v in (10.0, 11.0):
+            t.record(v)
+        assert not t.is_strictly_decreasing()
+
+    def test_single_point_is_trivially_decreasing(self):
+        t = PotentialTrace()
+        t.record(1.0)
+        assert t.is_strictly_decreasing()
+
+    def test_empty_trace_raises(self):
+        t = PotentialTrace()
+        with pytest.raises(ValueError):
+            _ = t.initial
+        with pytest.raises(ValueError):
+            _ = t.final

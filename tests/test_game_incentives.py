@@ -1,0 +1,107 @@
+"""Tests for the demand-misreporting incentive analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import pytest
+
+from repro.core import EgalitarianSharing, ProportionalSharing, ccsa
+from repro.game import (
+    IncentiveProfile,
+    MisreportOutcome,
+    incentive_profile,
+    misreport_gain,
+)
+from repro.workloads import quick_instance
+
+
+@pytest.fixture
+def inst():
+    return quick_instance(
+        n_devices=8, n_chargers=3, seed=44, capacity=5, demand_model="lognormal"
+    )
+
+
+class WhalePaysScheme:
+    """Deliberately exploitable mock: the member with the largest reported
+    demand pays the entire session bill.  The heaviest device profits by
+    under-reporting below the runner-up.  Exists to prove the detector can
+    fire; no sane operator would use it.
+    """
+
+    name = "whale-mock"
+
+    def shares(self, instance, members: Sequence[int], charger: int) -> Dict[int, float]:
+        price = instance.charging_price(members, charger)
+        whale = max(members, key=lambda i: (instance.devices[i].demand, i))
+        return {i: (price if i == whale else 0.0) for i in members}
+
+
+class TestMisreportGain:
+    def test_truth_is_baseline(self, inst):
+        out = misreport_gain(inst, device=0, factors=(1.0,))
+        assert out.best_factor == 1.0
+        assert out.gain == 0.0
+        assert not out.profitable
+
+    def test_proportional_sharing_robust_on_standard_workloads(self, inst):
+        # The finding: proportional sharing ties your bill to your report at
+        # a uniform per-joule rate no worse than any private top-up, so no
+        # tested misreport beats truth-telling.
+        prof = incentive_profile(inst, scheme=ProportionalSharing())
+        assert prof.manipulable_fraction == 0.0
+        assert prof.mean_gain_pct == 0.0
+
+    def test_egalitarian_sharing_at_most_mildly_manipulable(self, inst):
+        # Egalitarian sharing admits small *schedule-manipulation* gains
+        # (a changed report can regroup you more favourably), but the
+        # private top-up fee keeps them small.
+        prof = incentive_profile(inst, scheme=EgalitarianSharing())
+        assert prof.mean_gain_pct < 5.0
+        for o in prof.outcomes:
+            assert o.gain <= 0.2 * o.truthful_cost
+
+    def test_detector_fires_on_exploitable_scheme(self, inst):
+        # Under the whale mock the heaviest member pays everything; it
+        # profits by under-reporting below the runner-up.
+        heavy = max(
+            range(inst.n_devices), key=lambda i: inst.devices[i].demand
+        )
+        out = misreport_gain(
+            inst, device=heavy, scheme=WhalePaysScheme(), scheduler=ccsa
+        )
+        assert out.profitable
+        assert out.best_factor < 1.0
+
+    def test_outcome_invariants(self, inst):
+        out = misreport_gain(inst, device=1)
+        assert out.best_cost <= out.truthful_cost
+        assert out.gain == pytest.approx(
+            max(0.0, out.truthful_cost - out.best_cost)
+        )
+
+    def test_invalid_factors_rejected(self, inst):
+        with pytest.raises(ValueError):
+            misreport_gain(inst, device=0, factors=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            misreport_gain(inst, device=0, factors=(-0.5,))
+
+    def test_deterministic(self, inst):
+        a = misreport_gain(inst, device=2)
+        b = misreport_gain(inst, device=2)
+        assert (a.best_cost, a.best_factor) == (b.best_cost, b.best_factor)
+
+
+class TestIncentiveProfile:
+    def test_covers_every_device(self, inst):
+        prof = incentive_profile(inst, factors=(0.5, 1.5))
+        assert len(prof.outcomes) == inst.n_devices
+        assert {o.device for o in prof.outcomes} == set(range(inst.n_devices))
+
+    def test_aggregates_consistent(self, inst):
+        prof = incentive_profile(inst, scheme=WhalePaysScheme(), scheduler=ccsa)
+        manual = sum(o.profitable for o in prof.outcomes) / len(prof.outcomes)
+        assert prof.manipulable_fraction == pytest.approx(manual)
+        if prof.manipulable_fraction > 0:
+            assert prof.mean_gain_pct > 0

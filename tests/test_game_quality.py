@@ -1,0 +1,72 @@
+"""Tests for the price-of-anarchy / price-of-stability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ccsga, comprehensive_cost, optimal_schedule
+from repro.game import EquilibriumQuality, equilibrium_quality, sample_equilibria
+from repro.workloads import quick_instance
+
+
+@pytest.fixture
+def inst():
+    return quick_instance(n_devices=10, n_chargers=3, seed=21, capacity=5)
+
+
+class TestSampleEquilibria:
+    def test_all_samples_are_certified(self, inst):
+        costs = sample_equilibria(inst, samples=5, seed=1)
+        assert len(costs) == 5
+        assert all(c > 0 for c in costs)
+
+    def test_deterministic_for_seed(self, inst):
+        a = sample_equilibria(inst, samples=4, seed=7)
+        b = sample_equilibria(inst, samples=4, seed=7)
+        assert a == b
+
+    def test_random_orders_can_find_different_equilibria(self, inst):
+        costs = sample_equilibria(inst, samples=10, seed=1)
+        assert len(set(round(c, 6) for c in costs)) > 1
+
+    def test_samples_validation(self, inst):
+        with pytest.raises(ValueError):
+            sample_equilibria(inst, samples=0)
+
+
+class TestEquilibriumQuality:
+    def test_poa_at_least_pos_at_least_one_vs_optimal(self, inst):
+        q = equilibrium_quality(inst, samples=8, seed=1)
+        assert q.baseline == "optimal"
+        assert q.price_of_anarchy >= q.price_of_stability >= 1.0 - 1e-9
+
+    def test_every_sampled_ne_at_least_optimal(self, inst):
+        q = equilibrium_quality(inst, samples=6, seed=2)
+        opt = comprehensive_cost(optimal_schedule(inst), inst)
+        assert all(c >= opt - 1e-7 for c in q.ne_costs)
+        assert q.baseline_cost == pytest.approx(opt)
+
+    def test_large_instance_uses_lower_bound(self):
+        big = quick_instance(n_devices=30, n_chargers=4, seed=3, capacity=6)
+        q = equilibrium_quality(big, samples=2, seed=1, exact_limit=14)
+        assert q.baseline == "lower-bound"
+        assert q.price_of_anarchy >= 1.0  # NE cost can't beat a valid LB
+
+    def test_spread_consistency(self, inst):
+        q = equilibrium_quality(inst, samples=8, seed=1)
+        assert q.spread >= 0
+        assert q.spread == pytest.approx(
+            (max(q.ne_costs) - min(q.ne_costs)) / min(q.ne_costs)
+        )
+
+
+class TestRandomizedCCSGA:
+    def test_rng_ccsga_still_certifies(self, inst):
+        run = ccsga(inst, rng=5)
+        assert run.nash_certified
+        assert run.trace.is_strictly_decreasing()
+
+    def test_default_order_unchanged(self, inst):
+        a = ccsga(inst)
+        b = ccsga(inst)
+        assert a.schedule.canonical() == b.schedule.canonical()

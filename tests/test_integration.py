@@ -1,0 +1,114 @@
+"""End-to-end integration tests: the full pipeline a user would run.
+
+Each test exercises workload generation → scheduling → cost sharing →
+(optionally) simulated execution → reporting, across module boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EgalitarianSharing,
+    ProportionalSharing,
+    ccsa,
+    ccsga,
+    comprehensive_cost,
+    member_costs,
+    noncooperation,
+    optimal_schedule,
+    quick_instance,
+)
+from repro.core import improve_schedule
+from repro.experiments import render_series, render_table, sweep_costs, table2_optimality
+from repro.sim import FieldTrialConfig, NoiseModel, execute_round
+from repro.workloads import SMALL_SCALE_SPEC, generate_instance, testbed_instance as make_testbed
+
+
+class TestSchedulingPipeline:
+    def test_generate_schedule_share_report(self):
+        inst = quick_instance(n_devices=15, n_chargers=4, seed=123, capacity=6)
+
+        solo = noncooperation(inst)
+        coop = ccsa(inst)
+        game = ccsga(inst, scheme=ProportionalSharing())
+
+        c_solo = comprehensive_cost(solo, inst)
+        c_coop = comprehensive_cost(coop, inst)
+        c_game = comprehensive_cost(game.schedule, inst)
+        assert c_coop < c_solo
+        assert c_game < c_solo
+        assert game.nash_certified
+
+        # Per-device bills are consistent with the totals under both schemes.
+        for scheme in (EgalitarianSharing(), ProportionalSharing()):
+            bills = member_costs(coop, inst, scheme)
+            assert sum(bills.values()) == pytest.approx(c_coop)
+
+        # Cooperation is individually rational under egalitarian sharing at
+        # the CCSGA equilibrium: nobody pays more than going alone.
+        eq_bills = member_costs(game.schedule, inst, ProportionalSharing())
+        for i, bill in eq_bills.items():
+            assert bill <= inst.standalone_cost(i) + 1e-6
+
+    def test_full_solver_chain_with_polish(self):
+        inst = quick_instance(n_devices=10, n_chargers=3, seed=7, capacity=5)
+        chain = improve_schedule(ccsa(inst), inst)
+        c_opt = comprehensive_cost(optimal_schedule(inst), inst)
+        c_chain = comprehensive_cost(chain, inst)
+        c_ccsa = comprehensive_cost(ccsa(inst), inst)
+        assert c_opt - 1e-9 <= c_chain <= c_ccsa + 1e-9
+
+
+class TestSimulationPipeline:
+    def test_schedule_then_execute_then_account(self):
+        inst = make_testbed(rng=77)
+        sched = ccsga(inst).schedule
+        outcome = execute_round(
+            inst,
+            sched,
+            FieldTrialConfig(rounds=1, seed=77, noise=NoiseModel.noiseless()),
+            round_index=0,
+        )
+        # Noiseless measured cost equals the planner's objective.
+        assert outcome.total_cost == pytest.approx(comprehensive_cost(sched, inst))
+        # Every node got exactly its demand.
+        for d in inst.devices:
+            assert outcome.node_energy[d.device_id] == pytest.approx(d.demand)
+
+
+class TestExperimentPipeline:
+    def test_sweep_renders_and_orders(self):
+        res = sweep_costs(
+            "itest", "integration sweep", SMALL_SCALE_SPEC, "n_devices", [5, 8],
+            trials=2, seed=11,
+        )
+        text = render_series(res)
+        assert "integration sweep" in text
+        for k in range(2):
+            assert res.series["CCSA"][k] <= res.series["NCA"][k] + 1e-9
+
+    def test_table2_end_to_end(self):
+        stats = table2_optimality(device_counts=(6,), trials=2, seed=5)
+        text = render_table(stats.table)
+        assert "Table 2" in text
+        assert stats.avg_gap_vs_optimal_pct >= 0.0
+
+
+class TestPublicApiSurface:
+    def test_star_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core, repro.game, repro.geometry, repro.sim
+        import repro.submodular, repro.workloads, repro.experiments
+
+        for mod in (
+            repro.core, repro.game, repro.geometry, repro.sim,
+            repro.submodular, repro.workloads, repro.experiments,
+        ):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, f"{mod.__name__}.{name}"

@@ -1,0 +1,96 @@
+"""Tests for the operator-economics extension: revenues and price competition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ccsa, comprehensive_cost, noncooperation
+from repro.errors import ConfigurationError
+from repro.market import (
+    CompetitionConfig,
+    best_response_competition,
+    charger_revenues,
+    charger_utilization,
+    with_base_price,
+)
+from repro.workloads import quick_instance
+
+
+@pytest.fixture
+def inst():
+    return quick_instance(
+        n_devices=16, n_chargers=3, seed=9, heterogeneous_prices=False, base_price=30.0
+    )
+
+
+class TestOperatorAccounting:
+    def test_revenues_sum_to_total_charging_price(self, inst):
+        sched = ccsa(inst)
+        revenues = charger_revenues(sched, inst)
+        total_price = sum(
+            inst.charging_price(s.members, s.charger) for s in sched.sessions
+        )
+        assert sum(revenues) == pytest.approx(total_price)
+        assert all(r >= 0 for r in revenues)
+
+    def test_utilization_sums_to_device_count(self, inst):
+        sched = noncooperation(inst)
+        served = charger_utilization(sched, inst)
+        assert sum(served) == inst.n_devices
+
+    def test_with_base_price_replaces_only_base(self, inst):
+        charger = inst.chargers[0]
+        cheap = with_base_price(charger, 5.0)
+        assert cheap.tariff.base == 5.0
+        assert cheap.tariff.unit == charger.tariff.unit
+        assert cheap.position == charger.position
+        # original untouched (frozen dataclasses)
+        assert charger.tariff.base == 30.0
+
+    def test_with_base_price_rejects_negative(self, inst):
+        with pytest.raises(ValueError):
+            with_base_price(inst.chargers[0], -1.0)
+
+
+class TestCompetition:
+    def test_dynamics_converge_and_record_history(self, inst):
+        res = best_response_competition(inst, CompetitionConfig(max_rounds=6))
+        assert res.converged
+        assert res.rounds >= 1
+        assert len(res.price_history) == len(res.revenue_history)
+        assert len(res.consumer_cost_history) == len(res.price_history)
+        assert res.final_schedule is not None
+
+    def test_competition_never_raises_consumer_cost(self, inst):
+        res = best_response_competition(inst, CompetitionConfig(max_rounds=6))
+        assert res.consumer_cost_history[-1] <= res.consumer_cost_history[0] + 1e-6
+
+    def test_prices_pressed_down_from_monopoly_level(self, inst):
+        res = best_response_competition(inst, CompetitionConfig(max_rounds=6))
+        assert sum(res.final_prices) < sum(res.price_history[0])
+
+    def test_final_prices_are_candidates_or_initial(self, inst):
+        config = CompetitionConfig(candidate_bases=(0.0, 15.0, 30.0), max_rounds=5)
+        res = best_response_competition(inst, config)
+        allowed = set(config.candidate_bases) | {30.0}
+        assert all(p in allowed for p in res.final_prices)
+
+    def test_deterministic(self, inst):
+        a = best_response_competition(inst, CompetitionConfig(max_rounds=4))
+        b = best_response_competition(inst, CompetitionConfig(max_rounds=4))
+        assert a.price_history == b.price_history
+
+    def test_single_round_budget_reports_nonconvergence_or_done(self, inst):
+        res = best_response_competition(inst, CompetitionConfig(max_rounds=1))
+        # With one round the dynamics either finished (no change) or report
+        # non-convergence — never pretend.
+        assert res.rounds == 1
+        assert isinstance(res.converged, bool)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompetitionConfig(candidate_bases=())
+        with pytest.raises(ConfigurationError):
+            CompetitionConfig(candidate_bases=(-5.0,))
+        with pytest.raises(ConfigurationError):
+            CompetitionConfig(max_rounds=0)

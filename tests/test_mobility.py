@@ -1,0 +1,93 @@
+"""Unit tests for the mobility substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.mobility import (
+    LinearMobility,
+    ManhattanMobility,
+    MobilityModel,
+    QuadraticMobility,
+    Trip,
+)
+
+A = Point(0.0, 0.0)
+B = Point(3.0, 4.0)  # distance 5 from A
+
+
+class TestModels:
+    def test_linear_cost(self):
+        m = LinearMobility()
+        assert m.moving_cost(A, B, rate=2.0) == pytest.approx(10.0)
+
+    def test_linear_travel_time(self):
+        assert LinearMobility().travel_time(A, B, speed=2.5) == pytest.approx(2.0)
+
+    def test_quadratic_exceeds_linear_on_long_trips(self):
+        lin = LinearMobility()
+        quad = QuadraticMobility(curvature=0.01)
+        far = Point(100.0, 0.0)
+        assert quad.moving_cost(A, far, 1.0) > lin.moving_cost(A, far, 1.0)
+
+    def test_quadratic_reduces_to_linear_at_zero_curvature(self):
+        quad = QuadraticMobility(curvature=0.0)
+        assert quad.moving_cost(A, B, 1.5) == pytest.approx(7.5)
+
+    def test_manhattan_cost(self):
+        m = ManhattanMobility()
+        assert m.moving_cost(A, B, rate=1.0) == pytest.approx(7.0)
+        assert m.travel_time(A, B, speed=7.0) == pytest.approx(1.0)
+
+    def test_all_satisfy_protocol(self):
+        for m in (LinearMobility(), QuadraticMobility(), ManhattanMobility()):
+            assert isinstance(m, MobilityModel)
+
+    def test_zero_distance_is_free(self):
+        for m in (LinearMobility(), QuadraticMobility(), ManhattanMobility()):
+            assert m.moving_cost(A, A, rate=3.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearMobility().moving_cost(A, B, rate=-1.0)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearMobility().travel_time(A, B, speed=0.0)
+        with pytest.raises(ConfigurationError):
+            ManhattanMobility().travel_time(A, B, speed=-1.0)
+
+    def test_negative_curvature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuadraticMobility(curvature=-0.1)
+
+
+class TestTrip:
+    def test_length_and_duration(self):
+        t = Trip(A, B, speed=2.0)
+        assert t.length == 5.0
+        assert t.duration == 2.5
+
+    def test_position_interpolation(self):
+        t = Trip(A, Point(10.0, 0.0), speed=2.0)
+        assert t.position_at(0.0) == A
+        assert t.position_at(2.5) == Point(5.0, 0.0)
+        assert t.position_at(100.0) == Point(10.0, 0.0)  # clamped at arrival
+
+    def test_distance_travelled_clamps(self):
+        t = Trip(A, B, speed=1.0)
+        assert t.distance_travelled(2.0) == 2.0
+        assert t.distance_travelled(99.0) == 5.0
+
+    def test_negative_elapsed_rejected(self):
+        t = Trip(A, B, speed=1.0)
+        with pytest.raises(ValueError):
+            t.position_at(-1.0)
+        with pytest.raises(ValueError):
+            t.distance_travelled(-1.0)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trip(A, B, speed=0.0)

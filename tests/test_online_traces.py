@@ -1,0 +1,104 @@
+"""Tests for the structured arrival-trace generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Field, grid_deployment
+from repro.online import (
+    BatchScheduler,
+    burst_arrivals,
+    compare_policies,
+    diurnal_arrivals,
+)
+from repro.wpt import Charger, PowerLawTariff
+
+FIELD = Field.square(300.0)
+
+
+class TestDiurnalArrivals:
+    def test_count_ordering_and_bounds(self):
+        arrivals = diurnal_arrivals(60, FIELD, rng=1)
+        assert len(arrivals) == 60
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(FIELD.contains(a.device.position) for a in arrivals)
+
+    def test_seeded(self):
+        a = diurnal_arrivals(20, FIELD, rng=5)
+        b = diurnal_arrivals(20, FIELD, rng=5)
+        assert [x.time for x in a] == [x.time for x in b]
+
+    def test_peak_hours_are_busier_than_trough(self):
+        # Size the trace to roughly one day so both the 2 am trough and the
+        # 2 pm peak are visited, then compare same-width windows.
+        arrivals = diurnal_arrivals(
+            900, FIELD, peak_rate=0.02, trough_ratio=0.1, peak_hour=14.0, rng=0
+        )
+        assert arrivals[-1].time > 15 * 3600  # trace reaches past the peak
+
+        def count_between(h_lo, h_hi):
+            return sum(
+                1 for a in arrivals if h_lo * 3600 <= a.time <= h_hi * 3600
+            )
+
+        assert count_between(12, 16) > 2 * count_between(0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(-1, FIELD)
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(5, FIELD, peak_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(5, FIELD, trough_ratio=0.0)
+
+
+class TestBurstArrivals:
+    def test_burst_structure(self):
+        arrivals = burst_arrivals(3, 8, FIELD, burst_spacing=1000.0, rng=2)
+        assert len(arrivals) == 24
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        # Bursts are temporally separated: arrivals cluster near multiples
+        # of the spacing.
+        for a in arrivals:
+            nearest_burst = round(a.time / 1000.0) * 1000.0
+            assert abs(a.time - nearest_burst) < 400.0
+
+    def test_bursts_are_spatially_clustered(self):
+        arrivals = burst_arrivals(2, 10, FIELD, cluster_spread=0.02, rng=3)
+        first = [a for a in arrivals if a.time < 2700.0]
+        xs = [a.device.position.x for a in first]
+        ys = [a.device.position.y for a in first]
+        # Cluster diameter far below the field side.
+        assert max(xs) - min(xs) < 100.0
+        assert max(ys) - min(ys) < 100.0
+
+    def test_zero_bursts(self):
+        assert burst_arrivals(0, 5, FIELD) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            burst_arrivals(1, 0, FIELD)
+        with pytest.raises(ConfigurationError):
+            burst_arrivals(1, 3, FIELD, burst_spacing=0.0)
+
+    def test_batching_near_clairvoyant_on_bursts(self):
+        # Bursty demand is the batcher's best case: each burst fits one
+        # window, so the online cost approaches the offline optimum.
+        chargers = [
+            Charger(
+                f"c{j}", p,
+                tariff=PowerLawTariff(base=30.0, unit=2e-3, exponent=0.9),
+                efficiency=0.8, capacity=6,
+            )
+            for j, p in enumerate(grid_deployment(FIELD, 4))
+        ]
+        arrivals = burst_arrivals(4, 10, FIELD, rng=1)
+        out = compare_policies(
+            {"batch": BatchScheduler(window=300.0)}, arrivals, chargers
+        )
+        assert out["batch"].competitive_ratio < 1.1

@@ -1,0 +1,154 @@
+"""Tests for the charger-placement planning extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CCSInstance, Device, ccsga, comprehensive_cost
+from repro.errors import ConfigurationError
+from repro.geometry import Field, Point, cluster_deployment
+from repro.planning import (
+    candidate_sites,
+    greedy_placement,
+    kmeans_placement,
+    random_placement,
+)
+from repro.wpt import Charger, PowerLawTariff
+
+FIELD = Field.square(300.0)
+PROTO = Charger(
+    "proto", Point(0, 0),
+    tariff=PowerLawTariff(base=30.0, unit=2e-3, exponent=0.9),
+    efficiency=0.8, capacity=6,
+)
+
+
+@pytest.fixture
+def devices():
+    pts = cluster_deployment(FIELD, 18, n_clusters=3, rng=4)
+    return [
+        Device(f"d{i}", p, demand=20e3, moving_rate=0.05) for i, p in enumerate(pts)
+    ]
+
+
+def deployment_cost(devices, chargers):
+    inst = CCSInstance(devices=devices, chargers=list(chargers))
+    return comprehensive_cost(ccsga(inst, certify=False).schedule, inst)
+
+
+class TestCandidateSites:
+    def test_grid_size_and_containment(self):
+        sites = candidate_sites(FIELD, grid_side=4)
+        assert len(sites) == 16
+        assert all(FIELD.contains(p) for p in sites)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate_sites(FIELD, grid_side=0)
+
+
+class TestGreedyPlacement:
+    def test_trajectory_nonincreasing(self, devices):
+        result = greedy_placement(devices, candidate_sites(FIELD, 4), k=3, prototype=PROTO)
+        traj = list(result.cost_trajectory)
+        assert traj == sorted(traj, reverse=True)
+        assert len(result.chargers) == 3
+
+    def test_charger_ids_unique_and_positions_from_sites(self, devices):
+        sites = candidate_sites(FIELD, 4)
+        result = greedy_placement(devices, sites, k=3, prototype=PROTO)
+        ids = [c.charger_id for c in result.chargers]
+        assert len(set(ids)) == 3
+        assert all(c.position in sites for c in result.chargers)
+
+    def test_beats_random_placement(self, devices):
+        greedy = greedy_placement(devices, candidate_sites(FIELD, 4), k=3, prototype=PROTO)
+        rand_costs = [
+            deployment_cost(devices, random_placement(FIELD, 3, PROTO, rng=s))
+            for s in range(3)
+        ]
+        assert greedy.final_cost <= min(rand_costs) + 1e-6
+
+    def test_custom_evaluator(self, devices):
+        # A distance-only evaluator turns greedy into plain facility location.
+        def nearest_dist_cost(instance):
+            return sum(
+                min(instance.distance(i, j) for j in range(instance.n_chargers))
+                for i in range(instance.n_devices)
+            )
+
+        result = greedy_placement(
+            devices, candidate_sites(FIELD, 4), k=2, prototype=PROTO,
+            evaluator=nearest_dist_cost,
+        )
+        assert len(result.chargers) == 2
+
+    def test_validation(self, devices):
+        sites = candidate_sites(FIELD, 2)
+        with pytest.raises(ConfigurationError):
+            greedy_placement(devices, sites, k=0, prototype=PROTO)
+        with pytest.raises(ConfigurationError):
+            greedy_placement(devices, sites, k=5, prototype=PROTO)
+
+
+class TestKMeansPlacement:
+    def test_centers_near_clusters(self, devices):
+        chargers = kmeans_placement(devices, 3, PROTO, rng=1)
+        assert len(chargers) == 3
+        # Every device should be within a cluster-scale distance of a pad.
+        for d in devices:
+            nearest = min(d.position.distance_to(c.position) for c in chargers)
+            assert nearest < 150.0
+
+    def test_deterministic_for_seed(self, devices):
+        a = kmeans_placement(devices, 3, PROTO, rng=7)
+        b = kmeans_placement(devices, 3, PROTO, rng=7)
+        assert [c.position for c in a] == [c.position for c in b]
+
+    def test_k_equal_n_degenerates_to_devices(self, devices):
+        few = devices[:4]
+        chargers = kmeans_placement(few, 4, PROTO, rng=0)
+        placed = {c.position for c in chargers}
+        assert placed == {d.position for d in few}
+
+    def test_validation(self, devices):
+        with pytest.raises(ConfigurationError):
+            kmeans_placement(devices, 0, PROTO)
+        with pytest.raises(ConfigurationError):
+            kmeans_placement(devices[:2], 5, PROTO)
+
+
+class TestRandomPlacement:
+    def test_inside_field_and_seeded(self):
+        a = random_placement(FIELD, 4, PROTO, rng=3)
+        b = random_placement(FIELD, 4, PROTO, rng=3)
+        assert [c.position for c in a] == [c.position for c in b]
+        assert all(FIELD.contains(c.position) for c in a)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_placement(FIELD, 0, PROTO)
+
+
+class TestPlacementQuality:
+    def test_more_pads_never_hurt_greedy(self, devices):
+        sites = candidate_sites(FIELD, 4)
+        k2 = greedy_placement(devices, sites, k=2, prototype=PROTO)
+        k4 = greedy_placement(devices, sites, k=4, prototype=PROTO)
+        assert k4.final_cost <= k2.final_cost + 1e-6
+
+    def test_cooperative_evaluator_matters(self, devices):
+        # The default evaluator schedules cooperatively; its chosen pads
+        # must be at least as good (under the cooperative objective) as
+        # pads chosen by pure distance.
+        sites = candidate_sites(FIELD, 4)
+        coop = greedy_placement(devices, sites, k=3, prototype=PROTO)
+
+        def distance_only(instance):
+            return sum(
+                min(instance.distance(i, j) for j in range(instance.n_chargers))
+                for i in range(instance.n_devices)
+            )
+
+        geo = greedy_placement(devices, sites, k=3, prototype=PROTO, evaluator=distance_only)
+        assert coop.final_cost <= deployment_cost(devices, geo.chargers) + 1e-6

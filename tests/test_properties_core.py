@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the CCS core: sharing, solvers, games."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EgalitarianSharing,
+    ProportionalSharing,
+    ShapleySharing,
+    ccsa,
+    ccsga,
+    comprehensive_cost,
+    member_costs,
+    noncooperation,
+    optimal_schedule,
+    validate_schedule,
+)
+from repro.game import CoalitionStructure, SociallyAwareSwitch, is_nash_equilibrium
+from repro.submodular import is_submodular
+from repro.core import densest_group, group_cost_function
+from repro.workloads import quick_instance
+
+# Strategy: small random instances, fully determined by drawn parameters.
+instances = st.builds(
+    quick_instance,
+    n_devices=st.integers(min_value=2, max_value=9),
+    n_chargers=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100_000),
+    side=st.sampled_from([100.0, 300.0, 600.0]),
+    capacity=st.sampled_from([None, 3, 5]),
+    tariff_exponent=st.sampled_from([0.7, 0.9, 1.0]),
+)
+
+schemes = st.sampled_from(
+    [EgalitarianSharing(), ProportionalSharing(), ShapleySharing(exact_limit=5, samples=100)]
+)
+
+
+class TestCostModelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(inst=instances)
+    def test_every_group_cost_function_is_submodular(self, inst):
+        for j in range(inst.n_chargers):
+            f = group_cost_function(inst, j, list(range(inst.n_devices)))
+            assert is_submodular(f)
+
+    @settings(max_examples=20, deadline=None)
+    @given(inst=instances)
+    def test_group_cost_subadditive_across_split(self, inst):
+        n = inst.n_devices
+        left, right = list(range(n // 2)), list(range(n // 2, n))
+        if not left or not right:
+            return
+        for j in range(inst.n_chargers):
+            whole = inst.group_cost(range(n), j)
+            parts = inst.group_cost(left, j) + inst.group_cost(right, j)
+            assert whole <= parts + 1e-9
+
+
+class TestSharingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(inst=instances, scheme=schemes)
+    def test_budget_balance_on_full_group(self, inst, scheme):
+        members = list(range(inst.n_devices))
+        shares = scheme.shares(inst, members, 0)
+        assert sum(shares.values()) == pytest.approx(
+            inst.charging_price(members, 0), rel=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(inst=instances, scheme=schemes)
+    def test_shares_nonnegative(self, inst, scheme):
+        shares = scheme.shares(inst, list(range(inst.n_devices)), 0)
+        assert all(v >= -1e-12 for v in shares.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(inst=instances, scheme=schemes)
+    def test_member_costs_sum_to_schedule_cost(self, inst, scheme):
+        sched = ccsa(inst)
+        costs = member_costs(sched, inst, scheme)
+        assert sum(costs.values()) == pytest.approx(
+            comprehensive_cost(sched, inst), rel=1e-9
+        )
+
+
+class TestSolverProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(inst=instances)
+    def test_solver_sandwich_opt_le_heuristics_le_nca(self, inst):
+        c_opt = comprehensive_cost(optimal_schedule(inst), inst)
+        c_ccsa = comprehensive_cost(ccsa(inst), inst)
+        c_ccsga = comprehensive_cost(ccsga(inst, certify=False).schedule, inst)
+        c_nca = comprehensive_cost(noncooperation(inst), inst)
+        assert c_opt <= c_ccsa + 1e-7
+        assert c_opt <= c_ccsga + 1e-7
+        assert c_ccsa <= c_nca + 1e-7
+        assert c_ccsga <= c_nca + 1e-7
+
+    @settings(max_examples=15, deadline=None)
+    @given(inst=instances)
+    def test_all_solvers_produce_feasible_schedules(self, inst):
+        for solver in (ccsa, noncooperation, optimal_schedule):
+            validate_schedule(solver(inst), inst)
+        validate_schedule(ccsga(inst, certify=False).schedule, inst)
+
+    @settings(max_examples=15, deadline=None)
+    @given(inst=instances)
+    def test_greedy_first_pick_is_global_density_min(self, inst):
+        # The first CCSA session must be the globally densest proposal.
+        best = min(
+            (
+                densest_group(inst, j, list(range(inst.n_devices)))
+                for j in range(inst.n_chargers)
+            ),
+            key=lambda p: p.density,
+        )
+        sched = ccsa(inst)
+        densities = [
+            inst.group_cost(s.members, s.charger) / s.size for s in sched.sessions
+        ]
+        assert min(densities) == pytest.approx(best.density, rel=1e-6)
+
+
+class TestGameProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(inst=instances, scheme=schemes)
+    def test_ccsga_terminal_state_is_pure_nash(self, inst, scheme):
+        run = ccsga(inst, scheme=scheme)
+        assert run.nash_certified
+        structure = CoalitionStructure.from_schedule(inst, scheme, run.schedule)
+        assert is_nash_equilibrium(structure, SociallyAwareSwitch())
+
+    @settings(max_examples=15, deadline=None)
+    @given(inst=instances)
+    def test_potential_monotone_and_consistent(self, inst):
+        run = ccsga(inst)
+        assert run.trace.is_strictly_decreasing()
+        assert run.trace.final == pytest.approx(
+            comprehensive_cost(run.schedule, inst), rel=1e-9
+        )
+        assert run.trace.n_switches == run.switches
+
+    @settings(max_examples=10, deadline=None)
+    @given(inst=instances)
+    def test_structure_invariants_after_dynamics(self, inst):
+        scheme = EgalitarianSharing()
+        structure = CoalitionStructure.from_schedule(
+            inst, scheme, ccsga(inst, scheme=scheme, certify=False).schedule
+        )
+        structure.check_invariants()

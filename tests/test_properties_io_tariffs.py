@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for serialization and tariffs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.io import instance_from_dict, instance_to_dict, schedule_from_dict, schedule_to_dict
+from repro.core import ccsa, comprehensive_cost
+from repro.submodular import SetFunction, is_submodular
+from repro.workloads import quick_instance
+from repro.wpt import (
+    LinearTariff,
+    PiecewiseConcaveTariff,
+    PowerLawTariff,
+    is_concave_nondecreasing,
+)
+
+instances = st.builds(
+    quick_instance,
+    n_devices=st.integers(min_value=2, max_value=10),
+    n_chargers=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100_000),
+    capacity=st.sampled_from([None, 4]),
+    tariff_exponent=st.sampled_from([0.7, 1.0]),
+)
+
+power_tariffs = st.builds(
+    PowerLawTariff,
+    base=st.floats(min_value=0.0, max_value=100.0),
+    unit=st.floats(min_value=0.0, max_value=10.0),
+    exponent=st.floats(min_value=0.1, max_value=1.0),
+)
+
+
+@st.composite
+def piecewise_tariffs(draw):
+    n_breaks = draw(st.integers(min_value=1, max_value=4))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=n_breaks, max_size=n_breaks,
+        )
+    )
+    breakpoints = []
+    acc = 0.0
+    for g in gaps:
+        acc += g
+        breakpoints.append(acc)
+    prices = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=5.0),
+                min_size=n_breaks + 1, max_size=n_breaks + 1,
+            )
+        ),
+        reverse=True,
+    )
+    base = draw(st.floats(min_value=0.0, max_value=50.0))
+    return PiecewiseConcaveTariff(base=base, breakpoints=breakpoints, marginal_prices=prices)
+
+
+class TestIoProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(inst=instances)
+    def test_instance_round_trip_preserves_objective(self, inst):
+        restored = instance_from_dict(instance_to_dict(inst))
+        sched = ccsa(inst)
+        restored_sched = schedule_from_dict(
+            schedule_to_dict(sched, inst), restored
+        )
+        assert comprehensive_cost(restored_sched, restored) == pytest.approx(
+            comprehensive_cost(sched, inst), rel=1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(inst=instances)
+    def test_round_trip_idempotent(self, inst):
+        once = instance_to_dict(inst)
+        twice = instance_to_dict(instance_from_dict(once))
+        assert once == twice
+
+
+class TestTariffProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tariff=power_tariffs, e=st.floats(min_value=0.001, max_value=1e6))
+    def test_power_law_price_positive_and_monotone(self, tariff, e):
+        assert tariff.session_price(e) >= tariff.base
+        assert tariff.session_price(2 * e) >= tariff.session_price(e)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tariff=power_tariffs)
+    def test_power_law_passes_concavity_checker(self, tariff):
+        assert is_concave_nondecreasing(tariff, e_max=1e5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tariff=piecewise_tariffs())
+    def test_random_piecewise_tariffs_are_concave(self, tariff):
+        assert is_concave_nondecreasing(tariff, e_max=tariff.breakpoints[-1] * 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tariff=piecewise_tariffs(),
+        e1=st.floats(min_value=0.1, max_value=500.0),
+        e2=st.floats(min_value=0.1, max_value=500.0),
+    )
+    def test_piecewise_subadditive_with_base(self, tariff, e1, e2):
+        merged = tariff.session_price(e1 + e2)
+        separate = tariff.session_price(e1) + tariff.session_price(e2)
+        assert merged <= separate + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tariff=st.one_of(power_tariffs, piecewise_tariffs()),
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=6
+        ),
+    )
+    def test_session_cost_from_any_tariff_is_submodular(self, tariff, weights):
+        def fn(s):
+            if not s:
+                return 0.0
+            return tariff.session_price(sum(weights[i] for i in s))
+
+        assert is_submodular(SetFunction(len(weights), fn))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        base=st.floats(min_value=0.0, max_value=100.0),
+        unit=st.floats(min_value=0.0, max_value=10.0),
+        e=st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_linear_equals_power_law_at_exponent_one(self, base, unit, e):
+        lin = LinearTariff(base=base, unit=unit)
+        pw = PowerLawTariff(base=base, unit=unit, exponent=1.0)
+        assert lin.session_price(e) == pytest.approx(pw.session_price(e))

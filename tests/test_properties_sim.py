@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the discrete-event testbed."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ccsa, comprehensive_cost, noncooperation, random_grouping
+from repro.sim import Engine, FieldTrialConfig, NoiseModel, execute_round
+from repro.workloads import testbed_instance as make_testbed
+
+
+class TestEngineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        e = Engine()
+        fired = []
+        for d in delays:
+            e.schedule(d, lambda: fired.append(e.now))
+        e.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert e.now == max(delays)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=10),
+        cancel_index=st.integers(min_value=0, max_value=9),
+    )
+    def test_cancelled_events_never_fire(self, delays, cancel_index):
+        cancel_index %= len(delays)
+        e = Engine()
+        fired = []
+        handles = [
+            e.schedule(d, lambda k=k: fired.append(k)) for k, d in enumerate(delays)
+        ]
+        e.cancel(handles[cancel_index])
+        e.run()
+        assert cancel_index not in fired
+        assert len(fired) == len(delays) - 1
+
+
+class TestRoundProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        world_seed=st.integers(min_value=0, max_value=10_000),
+        scheduler=st.sampled_from([ccsa, noncooperation]),
+    )
+    def test_noiseless_execution_reproduces_planned_cost(self, world_seed, scheduler):
+        inst = make_testbed(rng=world_seed)
+        sched = scheduler(inst)
+        config = FieldTrialConfig(rounds=1, seed=1, noise=NoiseModel.noiseless())
+        outcome = execute_round(inst, sched, config, round_index=0)
+        assert outcome.total_cost == pytest.approx(
+            comprehensive_cost(sched, inst), rel=1e-9
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        world_seed=st.integers(min_value=0, max_value=10_000),
+        noise_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_noisy_cost_never_negative_and_sessions_complete(self, world_seed, noise_seed):
+        inst = make_testbed(rng=world_seed)
+        sched = random_grouping(inst, rng=world_seed)
+        config = FieldTrialConfig(rounds=1, seed=noise_seed)
+        outcome = execute_round(inst, sched, config, round_index=0)
+        assert outcome.n_sessions == sched.n_sessions
+        assert all(v > 0 for v in outcome.node_costs.values())
+        for rec in outcome.sessions:
+            assert rec.end >= rec.start
+
+    @settings(max_examples=10, deadline=None)
+    @given(world_seed=st.integers(min_value=0, max_value=10_000))
+    def test_billed_total_matches_station_revenue_plus_moving(self, world_seed):
+        inst = make_testbed(rng=world_seed)
+        sched = ccsa(inst)
+        config = FieldTrialConfig(rounds=1, seed=7)
+        outcome = execute_round(inst, sched, config, round_index=0)
+        session_revenue = sum(rec.billed_price for rec in outcome.sessions)
+        # Moving costs are nonnegative, so measured total strictly exceeds
+        # the session revenue (someone always walks on this testbed).
+        assert outcome.total_cost > session_revenue
+        # Each realized bill stays within a sane band of the nominal price
+        # (noise sigmas are a few percent).
+        for session in sched.sessions:
+            nominal = inst.charging_price(session.members, session.charger)
+            rec = next(
+                r for r in outcome.sessions
+                if set(r.member_ids)
+                == {inst.devices[i].device_id for i in session.members}
+            )
+            assert 0.5 * nominal < rec.billed_price < 2.0 * nominal

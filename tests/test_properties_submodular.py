@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the submodular toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.submodular import (
+    SetFunction,
+    concave_of_modular,
+    densest_subset,
+    is_submodular,
+    lovasz_extension,
+    minimize,
+    minimize_brute_force,
+    modular,
+    powerset,
+)
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=5.0, allow_nan=False), min_size=1, max_size=7
+)
+signed_weights = st.lists(
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False), min_size=1, max_size=7
+)
+exponent_strategy = st.floats(min_value=0.3, max_value=1.0)
+base_strategy = st.floats(min_value=0.0, max_value=10.0)
+
+
+def ccs_cost(weights, shifts, base, exponent):
+    """The CCS group-cost shape: base + concave(weighted sum) + modular."""
+    n = len(weights)
+
+    def fn(s):
+        if not s:
+            return 0.0
+        return (
+            base
+            + sum(weights[i] for i in s) ** exponent
+            + sum(shifts[i] for i in s)
+        )
+
+    return SetFunction(n, fn)
+
+
+class TestStructuralSubmodularity:
+    @settings(max_examples=40, deadline=None)
+    @given(weights=weights_strategy, exponent=exponent_strategy, base=base_strategy)
+    def test_ccs_cost_is_always_submodular(self, weights, exponent, base):
+        shifts = [0.1 * (i + 1) for i in range(len(weights))]
+        assert is_submodular(ccs_cost(weights, shifts, base, exponent))
+
+    @settings(max_examples=30, deadline=None)
+    @given(weights=weights_strategy, exponent=exponent_strategy)
+    def test_concave_of_modular_is_submodular(self, weights, exponent):
+        f = concave_of_modular(weights, lambda x: x**exponent)
+        assert is_submodular(f)
+
+    @settings(max_examples=30, deadline=None)
+    @given(weights=signed_weights)
+    def test_modular_is_submodular(self, weights):
+        assert is_submodular(modular(weights))
+
+
+class TestSFMCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=weights_strategy,
+        exponent=exponent_strategy,
+        base=base_strategy,
+        shift_scale=st.floats(min_value=0.0, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_wolfe_matches_brute_force(self, weights, exponent, base, shift_scale, seed):
+        rng = np.random.default_rng(seed)
+        shifts = list(rng.uniform(-shift_scale, shift_scale, len(weights)))
+        f = ccs_cost(weights, shifts, base, exponent)
+        r = minimize(f)
+        ref = minimize_brute_force(f)
+        assert r.value == pytest.approx(ref.value, abs=1e-5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(weights=signed_weights)
+    def test_modular_minimizer_is_negative_support(self, weights):
+        r = minimize(modular(weights))
+        expected = sum(w for w in weights if w < 0)
+        assert r.value == pytest.approx(expected, abs=1e-9)
+
+
+class TestLovasz:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=weights_strategy,
+        exponent=exponent_strategy,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_extension_convex_along_random_segments(self, weights, exponent, seed):
+        f = concave_of_modular(weights, lambda x: x**exponent)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, f.n)
+        y = rng.uniform(0, 1, f.n)
+        mid = lovasz_extension(f, (x + y) / 2)
+        avg = 0.5 * (lovasz_extension(f, x) + lovasz_extension(f, y))
+        assert mid <= avg + 1e-8
+
+    @settings(max_examples=20, deadline=None)
+    @given(weights=weights_strategy, exponent=exponent_strategy)
+    def test_extension_agrees_on_vertices(self, weights, exponent):
+        f = concave_of_modular(weights, lambda x: x**exponent)
+        for s in powerset(f.n):
+            x = [1.0 if i in s else 0.0 for i in range(f.n)]
+            assert lovasz_extension(f, x) == pytest.approx(f(s), abs=1e-9)
+
+
+class TestDensity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=weights_strategy,
+        base=st.floats(min_value=0.5, max_value=20.0),
+        exponent=exponent_strategy,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_density_result_is_global_minimum(self, weights, base, exponent, seed):
+        rng = np.random.default_rng(seed)
+        shifts = list(rng.uniform(0.05, 2.0, len(weights)))
+        f = ccs_cost(weights, shifts, base, exponent)
+        res = densest_subset(f)
+        brute = min(f(s) / len(s) for s in powerset(f.n) if s)
+        assert res.density == pytest.approx(brute, abs=1e-6)

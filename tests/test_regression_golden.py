@@ -1,0 +1,83 @@
+"""Golden-file regression tests.
+
+Pins every solver's cost on three serialized fixture instances.  A change
+to any algorithm, cost model, or tariff that shifts these numbers fails
+here first — with the fixture file pointing at exactly which instance
+moved.  Regenerate deliberately via the snippet in this file's history if
+an intentional behaviour change lands.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    ccsa,
+    ccsga,
+    comprehensive_cost,
+    noncooperation,
+    optimal_schedule,
+)
+from repro.io import instance_from_dict
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name):
+    with open(FIXTURES / f"{name}.json") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def expected():
+    with open(FIXTURES / "expected_costs.json") as fh:
+        return json.load(fh)
+
+
+FIXTURE_NAMES = sorted(expected())
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+class TestGoldenCosts:
+    def test_noncooperation_cost_pinned(self, name):
+        inst = load_fixture(name)
+        assert comprehensive_cost(noncooperation(inst), inst) == pytest.approx(
+            expected()[name]["nca"], rel=1e-9
+        )
+
+    def test_ccsa_cost_pinned(self, name):
+        inst = load_fixture(name)
+        assert comprehensive_cost(ccsa(inst), inst) == pytest.approx(
+            expected()[name]["ccsa"], rel=1e-9
+        )
+
+    def test_ccsga_cost_pinned(self, name):
+        inst = load_fixture(name)
+        cost = comprehensive_cost(ccsga(inst, certify=False).schedule, inst)
+        assert cost == pytest.approx(expected()[name]["ccsga"], rel=1e-9)
+
+    def test_optimal_cost_pinned(self, name):
+        exp = expected()[name]
+        if "optimal" not in exp:
+            pytest.skip("instance too large for the exact solver")
+        inst = load_fixture(name)
+        assert comprehensive_cost(optimal_schedule(inst), inst) == pytest.approx(
+            exp["optimal"], rel=1e-9
+        )
+
+
+class TestGoldenConsistency:
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    def test_recorded_costs_ordered(self, name):
+        exp = expected()[name]
+        assert exp["ccsa"] <= exp["nca"]
+        assert exp["ccsga"] <= exp["nca"]
+        if "optimal" in exp:
+            assert exp["optimal"] <= exp["ccsa"] + 1e-9
+            assert exp["optimal"] <= exp["ccsga"] + 1e-9
+
+    def test_fixture_files_exist_for_all_expectations(self):
+        for name in FIXTURE_NAMES:
+            assert (FIXTURES / f"{name}.json").exists()

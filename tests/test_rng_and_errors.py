@@ -1,0 +1,97 @@
+"""Tests for the RNG helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleError,
+    ReproError,
+    ScheduleValidationError,
+    SimulationError,
+)
+from repro.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        gen = ensure_rng(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=5)
+        b = ensure_rng(42).integers(0, 1_000_000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        kids_a = spawn(ensure_rng(7), 3)
+        kids_b = spawn(ensure_rng(7), 3)
+        assert len(kids_a) == 3
+        for ka, kb in zip(kids_a, kids_b):
+            assert (ka.integers(0, 10**6, 4) == kb.integers(0, 10**6, 4)).all()
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn(ensure_rng(7), 2)
+        assert (kids[0].integers(0, 10**6, 8) != kids[1].integers(0, 10**6, 8)).any()
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            InfeasibleError,
+            ScheduleValidationError,
+            ConvergenceError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using plain `except ValueError` still catch config bugs.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_convergence_error_carries_iterations(self):
+        e = ConvergenceError("stalled", iterations=17)
+        assert e.iterations == 17
+        assert "stalled" in str(e)
+
+    def test_one_except_clause_catches_everything(self):
+        for exc in (ConfigurationError("x"), SimulationError("y"), InfeasibleError("z")):
+            try:
+                raise exc
+            except ReproError:
+                pass
+
+
+class TestSweepRuntime:
+    def test_runtime_sweep_shape(self):
+        from repro.experiments import sweep_runtime
+        from repro.workloads import SMALL_SCALE_SPEC
+
+        res = sweep_runtime(
+            "rt", "runtimes", SMALL_SCALE_SPEC, "n_devices", [4, 6], trials=1, seed=0
+        )
+        assert set(res.series) == {"NCA", "CCSA", "CCSGA"}
+        assert all(all(t >= 0 for t in ys) for ys in res.series.values())
+        # NCA is trivially the fastest solver at any size.
+        for k in range(2):
+            assert res.series["NCA"][k] <= res.series["CCSA"][k]

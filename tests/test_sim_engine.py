@@ -1,0 +1,211 @@
+"""Unit tests for the discrete-event engine, stations, nodes, and noise."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Device
+from repro.energy import Battery, LocomotionModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.geometry import Point
+from repro.sim import ChargerStation, Engine, NoiseModel, SimNode
+from repro.wpt import Charger, LinearTariff
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(5.0, lambda: log.append(("b", e.now)))
+        e.schedule(1.0, lambda: log.append(("a", e.now)))
+        e.schedule(9.0, lambda: log.append(("c", e.now)))
+        e.run()
+        assert log == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+        assert e.events_fired == 3
+
+    def test_same_time_fifo(self):
+        e = Engine()
+        log = []
+        for tag in "abc":
+            e.schedule(2.0, lambda t=tag: log.append(t))
+        e.run()
+        assert log == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        e = Engine()
+        log = []
+
+        def first():
+            log.append(e.now)
+            e.schedule(3.0, lambda: log.append(e.now))
+
+        e.schedule(1.0, first)
+        e.run()
+        assert log == [1.0, 4.0]
+
+    def test_run_until_pauses_time(self):
+        e = Engine()
+        log = []
+        e.schedule(10.0, lambda: log.append("late"))
+        e.run(until=5.0)
+        assert log == [] and e.now == 5.0
+        e.run()
+        assert log == ["late"] and e.now == 10.0
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        e = Engine()
+        e.run(until=7.0)
+        assert e.now == 7.0
+
+    def test_cancel(self):
+        e = Engine()
+        log = []
+        h = e.schedule(1.0, lambda: log.append("x"))
+        e.cancel(h)
+        assert h.cancelled
+        e.run()
+        assert log == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        e = Engine()
+        log = []
+        e.schedule_at(4.0, lambda: log.append(e.now))
+        e.run()
+        assert log == [4.0]
+
+    def test_runaway_chain_detected(self):
+        e = Engine()
+
+        def loop():
+            e.schedule(0.0, loop)
+
+        e.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="runaway"):
+            e.run(max_events=100)
+
+
+class TestChargerStation:
+    def make_station(self, engine):
+        charger = Charger("c", Point(0, 0), tariff=LinearTariff(base=1.0, unit=0.1))
+        return ChargerStation(charger=charger, engine=engine)
+
+    def test_sessions_run_fifo_one_at_a_time(self):
+        e = Engine()
+        st = self.make_station(e)
+        log = []
+
+        def session(tag, dur):
+            def start():
+                log.append((tag, "start", e.now))
+                return dur, lambda: log.append((tag, "end", e.now))
+
+            return start
+
+        st.submit(session("s1", 10.0))
+        st.submit(session("s2", 5.0))
+        e.run()
+        assert log == [
+            ("s1", "start", 0.0),
+            ("s1", "end", 10.0),
+            ("s2", "start", 10.0),
+            ("s2", "end", 15.0),
+        ]
+        assert st.busy_seconds == 15.0
+        assert not st.busy
+
+    def test_ledger(self):
+        e = Engine()
+        st = self.make_station(e)
+        st.record_session(emitted=100.0, revenue=11.0)
+        st.record_session(emitted=50.0, revenue=6.0)
+        assert st.sessions_served == 2
+        assert st.energy_emitted == 150.0
+        assert st.revenue == 17.0
+
+    def test_negative_duration_rejected(self):
+        # The pad is free, so the bad session starts synchronously on submit.
+        e = Engine()
+        st = self.make_station(e)
+        with pytest.raises(SimulationError):
+            st.submit(lambda: (-1.0, lambda: None))
+
+
+class TestSimNode:
+    def make_node(self, level=50.0, capacity=100.0):
+        device = Device("n", Point(0, 0), demand=10.0, moving_rate=2.0, speed=1.0)
+        return SimNode(
+            device=device,
+            battery=Battery(capacity=capacity, level=level),
+            locomotion=LocomotionModel(1.0),
+        )
+
+    def test_walk_accounts_cost_energy_position(self):
+        n = self.make_node()
+        n.walk(Point(3, 4), realized_length=6.0)
+        assert n.position == Point(3, 4)
+        assert n.distance_walked == 6.0
+        assert n.moving_cost_paid == 12.0
+        assert n.battery.level == 44.0
+        assert not n.died
+
+    def test_walk_death_on_depletion(self):
+        n = self.make_node(level=2.0)
+        n.walk(Point(10, 0), realized_length=10.0)
+        assert n.died
+        assert n.battery.level == 0.0
+
+    def test_receive_charge(self):
+        n = self.make_node()
+        n.receive_charge(energy=20.0, billed_share=3.5)
+        assert n.energy_received == 20.0
+        assert n.charging_cost_paid == 3.5
+        assert n.sessions_attended == 1
+        assert n.comprehensive_cost == 3.5
+
+    def test_negative_inputs_rejected(self):
+        n = self.make_node()
+        with pytest.raises(SimulationError):
+            n.walk(Point(0, 0), realized_length=-1.0)
+        with pytest.raises(SimulationError):
+            n.receive_charge(-1.0, 0.0)
+
+
+class TestNoiseModel:
+    def test_noiseless_is_identity(self):
+        nm = NoiseModel.noiseless()
+        assert nm.realized_efficiency(0.8) == 0.8
+        assert nm.metered_energy(100.0) == 100.0
+        assert nm.realized_path(42.0) == 42.0
+
+    def test_efficiency_clipped_to_unit(self):
+        nm = NoiseModel(efficiency_sigma=10.0, seed=0)
+        for _ in range(50):
+            assert 0.0 < nm.realized_efficiency(0.9) <= 1.0
+
+    def test_paths_only_stretch(self):
+        nm = NoiseModel(travel_sigma=0.5, seed=1)
+        for _ in range(50):
+            assert nm.realized_path(10.0) >= 10.0
+
+    def test_keyed_draws_are_deterministic(self):
+        nm = NoiseModel(seed=5)
+        a = nm.keyed("travel", 3, "node1").realized_path(10.0)
+        b = nm.keyed("travel", 3, "node1").realized_path(10.0)
+        c = nm.keyed("travel", 3, "node2").realized_path(10.0)
+        assert a == b
+        assert a != c
+
+    def test_keyed_requires_integer_seed(self):
+        import numpy as np
+
+        nm = NoiseModel(seed=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            nm.keyed("x")
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(efficiency_sigma=-0.1)

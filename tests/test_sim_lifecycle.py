@@ -1,0 +1,92 @@
+"""Tests for the continuous-operation lifecycle simulation (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ccsa, noncooperation
+from repro.energy import ConstantPowerConsumption
+from repro.errors import ConfigurationError
+from repro.sim import LifecycleConfig, run_lifecycle
+
+
+class TestLifecycleConfig:
+    def test_defaults_valid(self):
+        cfg = LifecycleConfig()
+        assert cfg.epochs == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epochs=0),
+            dict(epoch_seconds=0.0),
+            dict(soc_request_threshold=0.9, target_soc=0.8),
+            dict(soc_request_threshold=0.0),
+            dict(initial_soc=0.0),
+            dict(initial_soc=1.5),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LifecycleConfig(**kwargs)
+
+
+class TestRunLifecycle:
+    def test_basic_run(self):
+        res = run_lifecycle(ccsa, LifecycleConfig(epochs=12, seed=3))
+        assert len(res.requests_per_epoch) == 12
+        assert res.charging_rounds >= 1
+        assert res.total_cost > 0
+        assert res.total_energy_delivered > 0
+        assert 0.0 <= res.survival_rate <= 1.0
+
+    def test_deterministic(self):
+        cfg = LifecycleConfig(epochs=10, seed=4)
+        a = run_lifecycle(ccsa, cfg)
+        b = run_lifecycle(ccsa, cfg)
+        assert a.total_cost == b.total_cost
+        assert a.requests_per_epoch == b.requests_per_epoch
+
+    def test_requests_appear_periodically(self):
+        res = run_lifecycle(ccsa, LifecycleConfig(epochs=15, seed=5))
+        # Sensing drain must eventually push nodes below the threshold.
+        assert sum(res.requests_per_epoch) > 0
+        # After a charge, nodes are full again, so not every epoch requests.
+        assert 0 in res.requests_per_epoch
+
+    def test_cooperation_cheaper_in_steady_state(self):
+        cfg = LifecycleConfig(epochs=12, seed=6)
+        coop = run_lifecycle(ccsa, cfg)
+        solo = run_lifecycle(noncooperation, cfg)
+        assert coop.charging_rounds == solo.charging_rounds
+        assert coop.total_cost < solo.total_cost
+
+    def test_idle_consumption_never_requests(self):
+        res = run_lifecycle(
+            ccsa,
+            LifecycleConfig(epochs=5, seed=7),
+            consumption=ConstantPowerConsumption(0.0),
+        )
+        assert res.charging_rounds == 0
+        assert res.total_cost == 0.0
+        assert res.survival_rate == 1.0
+
+    def test_starvation_kills_nodes(self):
+        # Drain far faster than any charging can replenish within an epoch
+        # budget of zero requests (threshold never reached before death).
+        res = run_lifecycle(
+            ccsa,
+            LifecycleConfig(
+                epochs=3,
+                epoch_seconds=30_000.0,
+                seed=8,
+            ),
+            consumption=ConstantPowerConsumption(5.0),
+        )
+        assert res.survival_rate < 1.0
+
+    def test_costs_accumulate_across_rounds(self):
+        res = run_lifecycle(ccsa, LifecycleConfig(epochs=12, seed=9))
+        assert res.total_cost == pytest.approx(
+            sum(r.total_cost for r in res.rounds)
+        )

@@ -1,0 +1,105 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import MeanCI, bootstrap_ci, mean_ci, paired_t_test
+
+
+class TestMeanCI:
+    def test_contains_mean_and_is_symmetric(self):
+        ci = mean_ci([10.0, 12.0, 11.0, 13.0, 9.0])
+        assert ci.low < ci.mean < ci.high
+        assert ci.mean - ci.low == pytest.approx(ci.high - ci.mean)
+        assert ci.n == 5
+
+    def test_higher_confidence_is_wider(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = mean_ci(xs, confidence=0.8)
+        wide = mean_ci(xs, confidence=0.99)
+        assert wide.high - wide.low > narrow.high - narrow.low
+
+    def test_zero_variance_collapses(self):
+        ci = mean_ci([7.0, 7.0, 7.0])
+        assert ci.low == ci.high == ci.mean == 7.0
+
+    def test_coverage_on_gaussian_samples(self):
+        # ~95% of 95% CIs should contain the true mean.
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            xs = rng.normal(5.0, 2.0, size=12)
+            ci = mean_ci(xs)
+            hits += ci.low <= 5.0 <= ci.high
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0])
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_str_rendering(self):
+        text = str(mean_ci([1.0, 2.0, 3.0]))
+        assert "[" in text and "95%" in text
+
+
+class TestPairedTTest:
+    def test_detects_consistent_improvement(self):
+        baseline = [100.0, 105.0, 98.0, 102.0, 101.0, 99.0]
+        candidate = [b - 10.0 + 0.5 * k for k, b in enumerate(baseline)]
+        res = paired_t_test(baseline, candidate)
+        assert res.mean_difference > 0
+        assert res.significant_at_5pct
+        assert res.n == 6
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # near-identical data
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = list(rng.normal(50, 5, size=10))
+        b = [x + float(rng.normal(0, 0.01)) for x in a]
+        res = paired_t_test(a, b)
+        assert not res.significant_at_5pct or abs(res.mean_difference) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0])
+
+    def test_field_trial_improvement_is_significant(self):
+        from repro.core import ccsa, noncooperation
+        from repro.sim import FieldTrialConfig, compare_field_trial
+
+        res = compare_field_trial(
+            {"ccsa": ccsa, "nca": noncooperation},
+            FieldTrialConfig(rounds=6, seed=31),
+        )
+        test = paired_t_test(res["nca"].round_costs, res["ccsa"].round_costs)
+        assert test.mean_difference > 0
+        assert test.significant_at_5pct
+
+
+class TestBootstrap:
+    def test_brackets_the_mean(self):
+        xs = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+        lo, hi = bootstrap_ci(xs, resamples=500)
+        assert lo < sum(xs) / len(xs) < hi
+
+    def test_deterministic_for_seed(self):
+        xs = [1.0, 5.0, 3.0, 8.0, 2.0]
+        assert bootstrap_ci(xs, rng=7) == bootstrap_ci(xs, rng=7)
+
+    def test_custom_statistic(self):
+        xs = [1.0, 2.0, 3.0, 100.0]
+        lo, hi = bootstrap_ci(xs, statistic=lambda s: float(np.median(s)), rng=2)
+        assert lo <= 51.5 and hi >= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=0.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the set-function abstraction and checkers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.submodular import (
+    SetFunction,
+    concave_of_modular,
+    is_monotone,
+    is_submodular,
+    modular,
+    powerset,
+)
+
+
+class TestSetFunction:
+    def test_evaluation_and_caching(self):
+        calls = []
+
+        def fn(s):
+            calls.append(s)
+            return float(len(s))
+
+        f = SetFunction(3, fn)
+        assert f({0, 1}) == 2.0
+        assert f([1, 0]) == 2.0  # same frozenset — cache hit
+        assert len(calls) == 1
+        assert f.cache_size() == 1
+
+    def test_out_of_range_elements_rejected(self):
+        f = SetFunction(2, lambda s: 0.0)
+        with pytest.raises(ValueError):
+            f({0, 5})
+
+    def test_marginal(self):
+        f = modular([1.0, 2.0, 4.0])
+        assert f.marginal(2, {0}) == 4.0
+        with pytest.raises(ValueError):
+            f.marginal(0, {0})
+
+    def test_ground_set(self):
+        assert SetFunction(4, lambda s: 0.0).ground_set == (0, 1, 2, 3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SetFunction(-1, lambda s: 0.0)
+
+    def test_shifted_by_modular(self):
+        f = modular([1.0, 2.0, 3.0])
+        g = f.shifted_by_modular([0.5, 0.5, 0.5])
+        assert g({0, 2}) == pytest.approx((1.0 - 0.5) + (3.0 - 0.5))
+        with pytest.raises(ValueError):
+            f.shifted_by_modular([1.0])  # wrong length
+
+    def test_restriction_reindexes(self):
+        f = modular([10.0, 20.0, 30.0, 40.0])
+        r = f.restricted_to([3, 1])
+        assert r.n == 2
+        assert r({0}) == 40.0
+        assert r({1}) == 20.0
+        assert r({0, 1}) == 60.0
+
+    def test_restriction_bad_elements(self):
+        f = modular([1.0, 2.0])
+        with pytest.raises(ValueError):
+            f.restricted_to([0, 7])
+
+
+class TestCombinators:
+    def test_modular_values(self):
+        f = modular([1.0, -2.0, 3.0])
+        assert f(frozenset()) == 0.0
+        assert f({0, 1, 2}) == 2.0
+
+    def test_concave_of_modular_values(self):
+        f = concave_of_modular([1.0, 4.0], math.sqrt)
+        assert f({0}) == pytest.approx(1.0)
+        assert f({1}) == pytest.approx(2.0)
+        assert f({0, 1}) == pytest.approx(math.sqrt(5.0))
+
+    def test_concave_of_modular_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            concave_of_modular([1.0, -1.0], math.sqrt)
+
+
+class TestPowerset:
+    def test_counts(self):
+        assert len(list(powerset(0))) == 1
+        assert len(list(powerset(4))) == 16
+
+    def test_large_ground_set_refused(self):
+        with pytest.raises(ValueError):
+            list(powerset(30))
+
+
+class TestCheckers:
+    def test_modular_is_submodular_and_monotone(self):
+        f = modular([1.0, 2.0, 3.0])
+        assert is_submodular(f)
+        assert is_monotone(f)
+
+    def test_concave_of_modular_is_submodular(self):
+        f = concave_of_modular([1.0, 2.0, 0.5, 3.0], lambda x: x**0.7)
+        assert is_submodular(f)
+        assert is_monotone(f)
+
+    def test_coverage_function_is_submodular(self):
+        sets = [{1, 2}, {2, 3}, {4}]
+
+        def coverage(s):
+            out = set()
+            for i in s:
+                out |= sets[i]
+            return float(len(out))
+
+        assert is_submodular(SetFunction(3, coverage))
+
+    def test_supermodular_detected(self):
+        # f(S) = |S|^2 is strictly supermodular.
+        f = SetFunction(4, lambda s: float(len(s) ** 2))
+        assert not is_submodular(f)
+
+    def test_nonmonotone_detected(self):
+        f = modular([1.0, -1.0, 2.0])
+        assert not is_monotone(f)
+        assert is_submodular(f)  # modular is always submodular

@@ -1,0 +1,108 @@
+"""Unit tests for the Dinkelbach minimum-density search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.submodular import (
+    SetFunction,
+    densest_subset,
+    minimize_brute_force,
+    powerset,
+)
+
+
+def cost_function(n, rng, base=3.0):
+    w = rng.uniform(0.1, 3.0, n)
+    a = rng.uniform(0.1, 2.0, n)
+
+    def fn(s):
+        if not s:
+            return 0.0
+        return base + sum(w[i] for i in s) ** 0.8 + sum(a[i] for i in s)
+
+    return SetFunction(n, fn)
+
+
+def brute_density(f, max_size=None):
+    best = None
+    for s in powerset(f.n):
+        if not s or (max_size is not None and len(s) > max_size):
+            continue
+        d = f(s) / len(s)
+        if best is None or d < best:
+            best = d
+    return best
+
+
+class TestDensestSubset:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force_unconstrained(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 9))
+        f = cost_function(n, rng)
+        res = densest_subset(f)
+        assert res.density == pytest.approx(brute_density(f), abs=1e-7)
+        assert res.subset
+        assert f(res.subset) / len(res.subset) == pytest.approx(res.density)
+
+    def test_singleton_ground_set(self):
+        f = SetFunction(1, lambda s: 4.0 if s else 0.0)
+        res = densest_subset(f)
+        assert res.subset == frozenset({0})
+        assert res.density == 4.0
+
+    def test_base_fee_encourages_large_sets(self):
+        # Huge base fee, tiny marginals: the densest set is everything.
+        n = 6
+        f = SetFunction(n, lambda s: (100.0 + 0.1 * len(s)) if s else 0.0)
+        res = densest_subset(f)
+        assert res.subset == frozenset(range(n))
+
+    def test_no_base_fee_picks_cheapest_singleton(self):
+        a = [3.0, 1.0, 2.0]
+        f = SetFunction(3, lambda s: sum(a[i] for i in s))
+        res = densest_subset(f)
+        assert res.subset == frozenset({1})
+        assert res.density == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    def test_capacity_respected(self, cap):
+        rng = np.random.default_rng(42)
+        f = cost_function(6, rng, base=50.0)  # base pushes toward big sets
+        res = densest_subset(f, max_size=cap)
+        assert 1 <= len(res.subset) <= cap
+
+    def test_capacity_one_equals_best_singleton(self):
+        rng = np.random.default_rng(7)
+        f = cost_function(5, rng)
+        res = densest_subset(f, max_size=1)
+        best_singleton = min(f({i}) for i in range(5))
+        assert res.density == pytest.approx(best_singleton)
+
+    def test_few_sfm_calls(self):
+        rng = np.random.default_rng(3)
+        f = cost_function(8, rng)
+        res = densest_subset(f)
+        assert res.sfm_calls <= 10  # Dinkelbach converges in a handful of rounds
+
+    def test_empty_ground_set_rejected(self):
+        with pytest.raises(ValueError):
+            densest_subset(SetFunction(0, lambda s: 0.0))
+
+    def test_unnormalized_function_rejected(self):
+        f = SetFunction(2, lambda s: 1.0)  # f({}) != 0
+        with pytest.raises(ValueError):
+            densest_subset(f)
+
+    def test_bad_max_size_rejected(self):
+        f = SetFunction(2, lambda s: float(len(s)))
+        with pytest.raises(ValueError):
+            densest_subset(f, max_size=0)
+
+    def test_injectable_sfm_backend(self):
+        rng = np.random.default_rng(5)
+        f = cost_function(5, rng)
+        res = densest_subset(f, sfm=minimize_brute_force)
+        assert res.density == pytest.approx(brute_density(f), abs=1e-9)

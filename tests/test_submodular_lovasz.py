@@ -1,0 +1,95 @@
+"""Unit tests for the Lovász extension and the sampled submodularity check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.submodular import (
+    SetFunction,
+    is_submodular_sampled,
+    lovasz_extension,
+    lovasz_subgradient,
+    modular,
+    powerset,
+)
+
+
+def sqrt_cost(n=4, weights=(1.0, 2.0, 0.5, 3.0)):
+    w = list(weights)[:n]
+
+    def fn(s):
+        return sum(w[i] for i in s) ** 0.5 if s else 0.0
+
+    return SetFunction(n, fn)
+
+
+class TestLovaszExtension:
+    def test_agrees_with_f_on_indicator_vectors(self):
+        f = sqrt_cost()
+        for s in powerset(4):
+            x = [1.0 if i in s else 0.0 for i in range(4)]
+            assert lovasz_extension(f, x) == pytest.approx(f(s))
+
+    def test_positively_homogeneous_on_normalized_f(self):
+        f = sqrt_cost()
+        x = [0.3, 0.9, 0.1, 0.6]
+        assert lovasz_extension(f, [2 * v for v in x]) == pytest.approx(
+            2 * lovasz_extension(f, x)
+        )
+
+    def test_linear_for_modular_functions(self):
+        f = modular([1.0, -2.0, 3.0])
+        x = [0.2, 0.7, 0.5]
+        assert lovasz_extension(f, x) == pytest.approx(0.2 * 1 + 0.7 * -2 + 0.5 * 3)
+
+    def test_unnormalized_offset(self):
+        f = SetFunction(2, lambda s: 5.0 + len(s))
+        assert lovasz_extension(f, [0.0, 0.0]) == pytest.approx(5.0)
+
+    def test_empty_ground_set(self):
+        f = SetFunction(0, lambda s: 2.0)
+        assert lovasz_extension(f, []) == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lovasz_extension(sqrt_cost(), [0.1, 0.2])
+
+    def test_midpoint_convexity_for_submodular(self):
+        f = sqrt_cost()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x, y = rng.uniform(0, 1, 4), rng.uniform(0, 1, 4)
+            mid = lovasz_extension(f, (x + y) / 2)
+            assert mid <= 0.5 * (lovasz_extension(f, x) + lovasz_extension(f, y)) + 1e-9
+
+
+class TestSubgradient:
+    def test_supports_extension_from_below(self):
+        f = sqrt_cost()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = rng.uniform(0, 1, 4)
+            g = lovasz_subgradient(f, x)
+            fx = lovasz_extension(f, x)
+            for _ in range(10):
+                y = rng.uniform(0, 1, 4)
+                fy = lovasz_extension(f, y)
+                assert fy >= fx + float(g @ (y - x)) - 1e-9
+
+    def test_gradient_of_modular_is_weights(self):
+        f = modular([1.0, 2.0, 3.0])
+        g = lovasz_subgradient(f, [0.5, 0.1, 0.9])
+        assert np.allclose(g, [1.0, 2.0, 3.0])
+
+
+class TestSampledCheck:
+    def test_accepts_submodular(self):
+        assert is_submodular_sampled(sqrt_cost(), trials=100, rng=0)
+
+    def test_rejects_supermodular(self):
+        f = SetFunction(4, lambda s: float(len(s) ** 2))
+        assert not is_submodular_sampled(f, trials=200, rng=0)
+
+    def test_trivial_ground_set(self):
+        assert is_submodular_sampled(SetFunction(0, lambda s: 0.0))

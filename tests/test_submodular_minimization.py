@@ -1,0 +1,126 @@
+"""Unit tests for the Fujishige–Wolfe SFM engine against brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.submodular import (
+    SetFunction,
+    concave_of_modular,
+    greedy_vertex,
+    is_submodular,
+    minimize,
+    minimize_brute_force,
+    modular,
+    powerset,
+)
+
+
+def make_ccs_like(n, rng, base=None):
+    """A random CCS-style submodular cost: base + concave(sum) + modular."""
+    w = rng.uniform(0.1, 3.0, n)
+    a = rng.uniform(-2.0, 2.0, n)
+    b = float(rng.uniform(0.0, 5.0)) if base is None else base
+
+    def fn(s):
+        if not s:
+            return 0.0
+        return b + sum(w[i] for i in s) ** 0.7 + sum(a[i] for i in s)
+
+    return SetFunction(n, fn)
+
+
+class TestGreedyVertex:
+    def test_vertex_components_sum_to_f_of_ground_set(self):
+        rng = np.random.default_rng(0)
+        f = make_ccs_like(5, rng)
+        v = greedy_vertex(f, np.zeros(5))
+        assert v.sum() == pytest.approx(f(range(5)))
+
+    def test_vertex_lies_in_base_polytope(self):
+        # For every S: v(S) <= f(S) (normalized), with equality on V.
+        rng = np.random.default_rng(1)
+        f = make_ccs_like(5, rng)
+        w = rng.normal(size=5)
+        v = greedy_vertex(f, w)
+        f0 = f(frozenset())
+        for s in powerset(5):
+            assert sum(v[i] for i in s) <= f(s) - f0 + 1e-9
+
+    def test_vertex_minimizes_linear_objective(self):
+        # Among many random vertices, the greedy vertex for w minimizes <w,x>.
+        rng = np.random.default_rng(2)
+        f = make_ccs_like(5, rng)
+        w = rng.normal(size=5)
+        star = greedy_vertex(f, w)
+        for _ in range(30):
+            other = greedy_vertex(f, rng.normal(size=5))
+            assert float(w @ star) <= float(w @ other) + 1e-9
+
+
+class TestMinimize:
+    def test_empty_ground_set(self):
+        f = SetFunction(0, lambda s: 3.0)
+        r = minimize(f)
+        assert r.minimizer == frozenset()
+        assert r.value == 3.0
+
+    def test_modular_minimizer_is_negative_support(self):
+        f = modular([1.0, -2.0, 3.0, -0.5])
+        r = minimize(f)
+        assert r.minimizer == frozenset({1, 3})
+        assert r.value == pytest.approx(-2.5)
+
+    def test_all_positive_modular_minimizer_is_empty(self):
+        r = minimize(modular([1.0, 2.0]))
+        assert r.minimizer == frozenset()
+        assert r.value == 0.0
+
+    def test_unnormalized_offset_preserved(self):
+        f = SetFunction(2, lambda s: 7.0 - float(len(s)))
+        r = minimize(f)
+        assert r.value == pytest.approx(5.0)
+        assert r.minimizer == frozenset({0, 1})
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force_on_random_ccs_costs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 9))
+        f = make_ccs_like(n, rng)
+        assert is_submodular(f)
+        r = minimize(f)
+        ref = minimize_brute_force(f)
+        assert r.value == pytest.approx(ref.value, abs=1e-6)
+        assert f(r.minimizer) == pytest.approx(r.value)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_concave_of_modular(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 8))
+        g = concave_of_modular(rng.uniform(0.1, 2.0, n), lambda x: x**0.5)
+        f = g.shifted_by_modular(rng.uniform(0.0, 1.0, n))
+        r = minimize(f)
+        ref = minimize_brute_force(f)
+        assert r.value == pytest.approx(ref.value, abs=1e-6)
+
+    def test_norm_point_returned(self):
+        rng = np.random.default_rng(3)
+        f = make_ccs_like(4, rng)
+        r = minimize(f)
+        assert r.norm_point is not None
+        assert len(r.norm_point) == 4
+        assert r.major_cycles >= 1
+
+    def test_value_is_true_evaluation(self):
+        # The polish step guarantees value == f(minimizer) exactly.
+        rng = np.random.default_rng(4)
+        f = make_ccs_like(6, rng)
+        r = minimize(f)
+        assert f(r.minimizer) == r.value
+
+
+class TestBruteForce:
+    def test_prefers_smaller_set_on_tie(self):
+        f = SetFunction(2, lambda s: 0.0)
+        assert minimize_brute_force(f).minimizer == frozenset()

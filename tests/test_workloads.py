@@ -1,0 +1,150 @@
+"""Unit tests for workload generation and the testbed topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ccsa, comprehensive_cost, validate_schedule
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    DEFAULT_SPEC,
+    LARGE_SCALE_SPEC,
+    N_TESTBED_CHARGERS,
+    N_TESTBED_NODES,
+    SMALL_SCALE_SPEC,
+    TESTBED_FIELD,
+    WorkloadSpec,
+    generate_instance,
+    parameter_table,
+    quick_instance,
+    scenario,
+    testbed_chargers as make_chargers,
+    testbed_devices as make_devices,
+    testbed_instance as make_instance,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        assert DEFAULT_SPEC.n_devices == 30
+
+    def test_with_replaces_fields(self):
+        spec = DEFAULT_SPEC.with_(n_devices=99, side=123.0)
+        assert spec.n_devices == 99 and spec.side == 123.0
+        assert DEFAULT_SPEC.n_devices == 30  # original untouched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_devices=0),
+            dict(n_chargers=0),
+            dict(device_layout="hexagonal"),
+            dict(charger_layout="spiral"),
+            dict(demand_model="pareto"),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+
+class TestGenerateInstance:
+    def test_sizes_and_field(self):
+        inst = generate_instance(DEFAULT_SPEC, seed=1)
+        assert inst.n_devices == DEFAULT_SPEC.n_devices
+        assert inst.n_chargers == DEFAULT_SPEC.n_chargers
+        assert inst.field_area.width == DEFAULT_SPEC.side
+
+    def test_deterministic_per_seed(self):
+        a = generate_instance(DEFAULT_SPEC, seed=7)
+        b = generate_instance(DEFAULT_SPEC, seed=7)
+        assert [d.position for d in a.devices] == [d.position for d in b.devices]
+        assert [d.demand for d in a.devices] == [d.demand for d in b.devices]
+
+    def test_different_seeds_differ(self):
+        a = generate_instance(DEFAULT_SPEC, seed=1)
+        b = generate_instance(DEFAULT_SPEC, seed=2)
+        assert [d.demand for d in a.devices] != [d.demand for d in b.devices]
+
+    def test_demands_in_configured_range(self):
+        inst = generate_instance(DEFAULT_SPEC, seed=3)
+        for d in inst.devices:
+            assert DEFAULT_SPEC.demand_low <= d.demand <= DEFAULT_SPEC.demand_high
+
+    def test_positions_inside_field(self):
+        inst = generate_instance(DEFAULT_SPEC.with_(device_layout="cluster"), seed=4)
+        assert all(inst.field_area.contains(d.position) for d in inst.devices)
+
+    def test_lognormal_demands(self):
+        inst = generate_instance(DEFAULT_SPEC.with_(demand_model="lognormal"), seed=5)
+        assert all(d.demand > 0 for d in inst.devices)
+
+    def test_homogeneous_prices_option(self):
+        inst = generate_instance(
+            DEFAULT_SPEC.with_(heterogeneous_prices=False), seed=6
+        )
+        bases = {c.tariff.base for c in inst.chargers}
+        assert bases == {DEFAULT_SPEC.base_price}
+
+    def test_quick_instance_overrides(self):
+        inst = quick_instance(5, 2, seed=1, capacity=None, side=42.0)
+        assert inst.n_devices == 5
+        assert inst.capacity_of(0) is None
+        assert inst.field_area.width == 42.0
+
+    def test_generated_instances_are_schedulable(self):
+        inst = generate_instance(SMALL_SCALE_SPEC, seed=8)
+        validate_schedule(ccsa(inst), inst)
+
+
+class TestScenarios:
+    def test_lookup(self):
+        assert scenario("small") is SMALL_SCALE_SPEC
+        assert scenario("large") is LARGE_SCALE_SPEC
+        with pytest.raises(KeyError, match="available"):
+            scenario("nope")
+
+    def test_parameter_table_shape(self):
+        rows = parameter_table()
+        assert len(rows) >= 10
+        assert all(len(r) == 4 for r in rows)
+        names = [r[0] for r in rows]
+        assert any("base price" in n.lower() for n in names)
+
+
+class TestTestbedTopology:
+    def test_sizes_match_paper(self):
+        assert N_TESTBED_CHARGERS == 5
+        assert N_TESTBED_NODES == 8
+        assert len(make_chargers()) == 5
+        assert len(make_devices(rng=0)) == 8
+
+    def test_everything_inside_room(self):
+        inst = make_instance(rng=1)
+        for d in inst.devices:
+            assert TESTBED_FIELD.contains(d.position)
+        for c in inst.chargers:
+            assert TESTBED_FIELD.contains(c.position)
+
+    def test_nominal_topology_without_jitter(self):
+        a = make_devices(rng=0, demand_jitter=0.0, position_jitter=0.0)
+        b = make_devices(rng=99, demand_jitter=0.0, position_jitter=0.0)
+        assert [d.position for d in a] == [d.position for d in b]
+        assert [d.demand for d in a] == [d.demand for d in b]
+
+    def test_jitter_perturbs(self):
+        a = make_devices(rng=0)
+        b = make_devices(rng=1)
+        assert [d.demand for d in a] != [d.demand for d in b]
+
+    def test_jitter_reproducible_per_seed(self):
+        a = make_devices(rng=5)
+        b = make_devices(rng=5)
+        assert [d.demand for d in a] == [d.demand for d in b]
+
+    def test_instance_schedulable_and_cooperative(self):
+        inst = make_instance(rng=2)
+        sched = ccsa(inst)
+        validate_schedule(sched, inst)
+        # On the testbed, CCSA should actually form groups.
+        assert any(s.size > 1 for s in sched.sessions)

@@ -1,0 +1,273 @@
+"""Unit tests for the WPT substrate: propagation, tariffs, chargers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.wpt import (
+    Charger,
+    LinearTariff,
+    PiecewiseConcaveTariff,
+    PowerLawTariff,
+    Tariff,
+    WptLink,
+    contact_efficiency,
+    is_concave_nondecreasing,
+)
+
+
+class TestPropagation:
+    def test_efficiency_decreases_with_distance(self):
+        link = WptLink(alpha=0.64, beta=1.0, d_max=5.0)
+        effs = [link.efficiency(d) for d in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+
+    def test_efficiency_zero_beyond_range(self):
+        link = WptLink(alpha=0.64, beta=1.0, d_max=2.0)
+        assert link.efficiency(2.0) > 0.0
+        assert link.efficiency(2.01) == 0.0
+
+    def test_received_power(self):
+        link = WptLink(alpha=0.5, beta=1.0, d_max=10.0)
+        assert link.received_power(10.0, 0.0) == pytest.approx(5.0)
+        assert link.received_power(0.0, 0.0) == 0.0
+
+    def test_contact_efficiency_factory(self):
+        link = contact_efficiency(0.8)
+        assert link.efficiency(0.0) == pytest.approx(0.8)
+
+    def test_superunit_contact_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WptLink(alpha=9.0, beta=1.0, d_max=2.0)
+        with pytest.raises(ConfigurationError):
+            contact_efficiency(1.2)
+
+    def test_negative_inputs_rejected(self):
+        link = contact_efficiency(0.5)
+        with pytest.raises(ValueError):
+            link.efficiency(-1.0)
+        with pytest.raises(ValueError):
+            link.received_power(-1.0, 0.0)
+
+
+class TestTariffs:
+    def test_linear_price(self):
+        t = LinearTariff(base=5.0, unit=0.1)
+        assert t.session_price(100.0) == pytest.approx(15.0)
+
+    def test_empty_session_is_free(self):
+        for t in (
+            LinearTariff(base=5.0, unit=0.1),
+            PowerLawTariff(base=5.0, unit=0.1, exponent=0.8),
+            PiecewiseConcaveTariff(base=5.0, breakpoints=[10.0], marginal_prices=[1.0, 0.5]),
+        ):
+            assert t.session_price(0.0) == 0.0
+
+    def test_power_law_exponent_one_equals_linear(self):
+        p = PowerLawTariff(base=3.0, unit=0.2, exponent=1.0)
+        l = LinearTariff(base=3.0, unit=0.2)
+        for e in (0.0, 1.0, 17.5, 400.0):
+            assert p.session_price(e) == pytest.approx(l.session_price(e))
+
+    def test_power_law_subadditive_volume(self):
+        t = PowerLawTariff(base=0.0, unit=1.0, exponent=0.7)
+        assert t.volume_charge(200.0) < 2 * t.volume_charge(100.0)
+
+    def test_merging_sessions_saves_at_least_one_base_fee(self):
+        # price(E1+E2) <= price(E1) + price(E2) - base, the cooperation lemma.
+        for t in (
+            LinearTariff(base=7.0, unit=0.3),
+            PowerLawTariff(base=7.0, unit=0.3, exponent=0.8),
+        ):
+            e1, e2 = 120.0, 310.0
+            merged = t.session_price(e1 + e2)
+            separate = t.session_price(e1) + t.session_price(e2)
+            assert merged <= separate - t.base + 1e-12
+
+    def test_piecewise_brackets(self):
+        t = PiecewiseConcaveTariff(
+            base=1.0, breakpoints=[10.0, 20.0], marginal_prices=[2.0, 1.0, 0.5]
+        )
+        assert t.volume_charge(5.0) == pytest.approx(10.0)
+        assert t.volume_charge(10.0) == pytest.approx(20.0)
+        assert t.volume_charge(15.0) == pytest.approx(25.0)
+        assert t.volume_charge(30.0) == pytest.approx(35.0)
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseConcaveTariff(base=0.0, breakpoints=[10.0], marginal_prices=[1.0])
+        with pytest.raises(ConfigurationError):
+            PiecewiseConcaveTariff(base=0.0, breakpoints=[10.0, 5.0], marginal_prices=[1, 1, 1])
+        with pytest.raises(ConfigurationError):
+            # increasing marginal prices = convex, rejected
+            PiecewiseConcaveTariff(base=0.0, breakpoints=[10.0], marginal_prices=[1.0, 2.0])
+
+    def test_power_law_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawTariff(base=-1.0, unit=1.0)
+        with pytest.raises(ConfigurationError):
+            PowerLawTariff(base=1.0, unit=1.0, exponent=1.5)
+        with pytest.raises(ConfigurationError):
+            PowerLawTariff(base=1.0, unit=1.0, exponent=0.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTariff(base=1.0, unit=1.0).session_price(-1.0)
+
+    @pytest.mark.parametrize(
+        "tariff",
+        [
+            LinearTariff(base=2.0, unit=0.5),
+            PowerLawTariff(base=2.0, unit=0.5, exponent=0.6),
+            PiecewiseConcaveTariff(base=2.0, breakpoints=[50.0], marginal_prices=[1.0, 0.2]),
+        ],
+    )
+    def test_concavity_checker_accepts_concave(self, tariff):
+        assert is_concave_nondecreasing(tariff, e_max=1000.0)
+
+    def test_concavity_checker_rejects_convex(self):
+        class ConvexTariff:
+            base = 1.0
+
+            def volume_charge(self, energy):
+                return energy**2
+
+            def session_price(self, energy):
+                return self.base + self.volume_charge(energy)
+
+        assert not is_concave_nondecreasing(ConvexTariff(), e_max=10.0)
+
+    def test_tariff_protocol(self):
+        assert isinstance(LinearTariff(base=1.0, unit=1.0), Tariff)
+
+
+class TestCharger:
+    def make(self, **kw):
+        defaults = dict(
+            charger_id="c", position=Point(0, 0),
+            tariff=LinearTariff(base=10.0, unit=0.1),
+            efficiency=0.5, transmit_power=5.0, capacity=3,
+        )
+        defaults.update(kw)
+        return Charger(**defaults)
+
+    def test_emitted_energy_scales_by_efficiency(self):
+        c = self.make(efficiency=0.5)
+        assert c.emitted_energy([100.0, 50.0]) == pytest.approx(300.0)
+
+    def test_session_price_uses_emitted_energy(self):
+        c = self.make(efficiency=0.5)
+        # emitted = 300, price = 10 + 0.1*300
+        assert c.session_price([100.0, 50.0]) == pytest.approx(40.0)
+
+    def test_empty_session_free(self):
+        assert self.make().session_price([]) == 0.0
+
+    def test_session_duration(self):
+        c = self.make(efficiency=0.5, transmit_power=10.0)
+        assert c.session_duration([100.0]) == pytest.approx(20.0)
+
+    def test_capacity_admission(self):
+        c = self.make(capacity=2)
+        assert c.admits(0) and c.admits(2)
+        assert not c.admits(3)
+
+    def test_unbounded_capacity(self):
+        c = self.make(capacity=None)
+        assert c.admits(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make(efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(efficiency=1.1)
+        with pytest.raises(ConfigurationError):
+            self.make(transmit_power=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(capacity=0)
+        with pytest.raises(ConfigurationError):
+            self.make(charger_id="")
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().emitted_energy([10.0, -1.0])
+
+    def test_negative_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().admits(-1)
+
+
+class TestServiceDiscipline:
+    def make(self, discipline, **kw):
+        defaults = dict(
+            charger_id="c", position=Point(0, 0),
+            tariff=LinearTariff(base=10.0, unit=0.1),
+            efficiency=0.5, transmit_power=10.0,
+            service_discipline=discipline,
+        )
+        defaults.update(kw)
+        return Charger(**defaults)
+
+    def test_sequential_duration_is_sum(self):
+        c = self.make("sequential")
+        # emitted = (100+300)/0.5 = 800; /10 W = 80 s
+        assert c.session_duration([100.0, 300.0]) == pytest.approx(80.0)
+
+    def test_concurrent_duration_is_max(self):
+        c = self.make("concurrent")
+        # slowest member: 300/0.5 = 600 emitted; /10 W = 60 s
+        assert c.session_duration([100.0, 300.0]) == pytest.approx(60.0)
+
+    def test_concurrent_never_slower_than_sequential(self):
+        seq = self.make("sequential")
+        con = self.make("concurrent")
+        for demands in ([50.0], [100.0, 100.0], [10.0, 200.0, 30.0]):
+            assert con.session_duration(demands) <= seq.session_duration(demands)
+
+    def test_disciplines_agree_on_singletons(self):
+        seq = self.make("sequential")
+        con = self.make("concurrent")
+        assert con.session_duration([123.0]) == pytest.approx(
+            seq.session_duration([123.0])
+        )
+
+    def test_pricing_unaffected_by_discipline(self):
+        seq = self.make("sequential")
+        con = self.make("concurrent")
+        assert con.session_price([100.0, 300.0]) == pytest.approx(
+            seq.session_price([100.0, 300.0])
+        )
+
+    def test_empty_session_zero_duration(self):
+        assert self.make("concurrent").session_duration([]) == 0.0
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make("simultaneous-ish")
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            self.make("concurrent").session_duration([10.0, -1.0])
+
+    def test_concurrent_pad_shortens_simulated_makespan(self):
+        from repro.core import ccsa as _ccsa
+        from repro.sim import FieldTrialConfig, NoiseModel, execute_round
+        from repro.workloads import testbed_instance as make_testbed
+        import dataclasses
+
+        inst = make_testbed(rng=3)
+        fast_chargers = [
+            dataclasses.replace(c, service_discipline="concurrent")
+            for c in inst.chargers
+        ]
+        fast = type(inst)(
+            devices=list(inst.devices), chargers=fast_chargers,
+            mobility=inst.mobility, field_area=inst.field_area,
+        )
+        sched = _ccsa(inst)
+        cfg = FieldTrialConfig(rounds=1, seed=1, noise=NoiseModel.noiseless())
+        slow_outcome = execute_round(inst, sched, cfg, 0)
+        fast_outcome = execute_round(fast, _ccsa(fast), cfg, 0)
+        assert fast_outcome.makespan < slow_outcome.makespan
