@@ -1,0 +1,30 @@
+# Development entry points.  All targets assume the repo root as cwd and
+# use the src/ layout without installation.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke bench-hotpath golden
+
+# Tier-1 gate: the full unit/property/golden suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Quick wall-time regression guard for the CCSGA hot path (also part of
+# the tier-1 suite via the bench_smoke marker).  Fails only on a >3x
+# regression against the budget recorded in benchmarks/BENCH_ccsga.json.
+bench-smoke:
+	$(PYTHON) -m pytest -q -m bench_smoke tests/test_bench_smoke.py
+
+# Re-measure the hot path and rewrite benchmarks/BENCH_ccsga.json.
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_core_hotpath.py
+
+# The full experiment-reproduction benchmark suite (figures + tables).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Regenerate the pinned CCSGA dynamics goldens (only after an intentional
+# behaviour change to the game dynamics).
+golden:
+	$(PYTHON) tests/fixtures/capture_ccsga_golden.py

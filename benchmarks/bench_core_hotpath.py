@@ -1,0 +1,144 @@
+"""Micro-benchmark of the CCSGA hot path — the perf-trajectory anchor.
+
+Unlike the figure-reproduction benchmarks, this one times the solver
+itself: full ``ccsga()`` runs at n ∈ {50, 200, 800} devices, reporting
+sweeps/sec and share-evaluations/sec (every candidate evaluation prices
+exactly one hypothetical share, counted via an instrumented scheme).
+
+Two entry points:
+
+- ``pytest benchmarks/bench_core_hotpath.py --benchmark-only`` — timed
+  under pytest-benchmark like the rest of the suite;
+- ``PYTHONPATH=src python benchmarks/bench_core_hotpath.py`` — standalone,
+  rewrites ``benchmarks/BENCH_ccsga.json`` (checked in; the first point
+  on the performance trajectory).  Regenerate it whenever the hot path
+  changes materially and record before/after in CHANGES.md.
+
+The JSON also carries ``smoke_budget_s``, the loose wall-time budget the
+tier-1 smoke test (``tests/test_bench_smoke.py`` / ``make bench-smoke``)
+enforces with a 3× margin to catch accidental O(n²) reintroductions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core import EgalitarianSharing, ccsga
+from repro.workloads import quick_instance
+
+HERE = Path(__file__).parent
+RESULT_FILE = HERE / "BENCH_ccsga.json"
+
+SIZES = ((50, 6), (200, 10), (800, 16))
+SEED = 42
+SIDE = 1000.0
+CAPACITY = 8
+
+# The tier-1 smoke case: small enough to stay cheap in CI, large enough
+# that a reintroduced O(n * sum |S|) scan blows the 3x budget.
+SMOKE_N, SMOKE_M = 300, 10
+SMOKE_BUDGET_S = 0.6
+
+
+class _CountingScheme:
+    """Delegating scheme wrapper that counts share evaluations.
+
+    Counts both the O(1) aggregate fast path (``share_of``) and full
+    ``shares`` dict builds, so the metric is comparable across engine
+    generations.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.count = 0
+        if hasattr(inner, "share_of"):
+            self.share_of = self._share_of
+
+    def shares(self, instance, members, charger):
+        self.count += 1
+        return self.inner.shares(instance, members, charger)
+
+    def _share_of(self, instance, device, size, total_demand, price):
+        self.count += 1
+        return self.inner.share_of(instance, device, size, total_demand, price)
+
+
+def _instance(n, m):
+    return quick_instance(
+        n_devices=n, n_chargers=m, seed=SEED, capacity=CAPACITY, side=SIDE
+    )
+
+
+def run_case(n, m):
+    """Time one full ccsga() run and return its hot-path metrics."""
+    instance = _instance(n, m)
+    scheme = _CountingScheme(EgalitarianSharing())
+    start = time.perf_counter()
+    result = ccsga(instance, scheme=scheme, certify=False)
+    wall = time.perf_counter() - start
+    return {
+        "n_devices": n,
+        "n_chargers": m,
+        "seed": SEED,
+        "wall_s": round(wall, 6),
+        "sweeps": result.sweeps,
+        "switches": result.switches,
+        "sweeps_per_sec": round(result.sweeps / wall, 3),
+        "share_evals": scheme.count,
+        "share_evals_per_sec": round(scheme.count / wall, 1),
+    }
+
+
+def test_hotpath_n50(once, benchmark):
+    stats = once(benchmark, run_case, 50, 6)
+    assert stats["sweeps"] >= 1
+
+
+def test_hotpath_n200(once, benchmark):
+    stats = once(benchmark, run_case, 200, 10)
+    assert stats["sweeps"] >= 1
+
+
+def test_hotpath_n800(once, benchmark):
+    stats = once(benchmark, run_case, 800, 16)
+    assert stats["sweeps"] >= 1
+
+
+def main():
+    cases = []
+    for n, m in SIZES:
+        stats = run_case(n, m)
+        cases.append(stats)
+        print(
+            f"n={n:4d} m={m:3d}: {stats['wall_s']:.3f}s "
+            f"{stats['sweeps_per_sec']:.1f} sweeps/s "
+            f"{stats['share_evals_per_sec']:.0f} share-evals/s",
+            flush=True,
+        )
+    smoke = run_case(SMOKE_N, SMOKE_M)
+    print(f"smoke (n={SMOKE_N}): {smoke['wall_s']:.3f}s (budget {SMOKE_BUDGET_S}s)")
+    payload = {
+        "benchmark": "ccsga_hotpath",
+        "workload": {"seed": SEED, "side": SIDE, "capacity": CAPACITY},
+        "cases": cases,
+        "smoke": {
+            "n_devices": SMOKE_N,
+            "n_chargers": SMOKE_M,
+            "wall_s": smoke["wall_s"],
+            "budget_s": SMOKE_BUDGET_S,
+            "fail_factor": 3.0,
+        },
+    }
+    with open(RESULT_FILE, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

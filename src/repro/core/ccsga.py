@@ -105,7 +105,13 @@ def ccsga(
 
     trace = PotentialTrace()
     trace.record(structure.total_cost)
-    seen_states = {structure.state_key()}
+    # Cycle detection is only needed when the rule lacks a potential
+    # function (the selfish ablation): a potential-guaranteed rule can
+    # never revisit a structure, so tracking seen states would only burn
+    # O(switches) memory.  When tracking, the incrementally maintained
+    # 64-bit Zobrist hash replaces the old O(n) state_key() rehash.
+    track_states = not rule.has_potential
+    seen_states = {structure.zobrist_hash()} if track_states else None
     switches = 0
     sweeps = 0
 
@@ -126,15 +132,16 @@ def ccsga(
             switches += 1
             switched_this_sweep = True
             trace.record(structure.total_cost)
-            key = structure.state_key()
-            if key in seen_states:
-                raise ConvergenceError(
-                    f"switch dynamics revisited a coalition structure after "
-                    f"{switches} switches (rule={rule.name!r}); the game has "
-                    "no potential under this rule",
-                    iterations=switches,
-                )
-            seen_states.add(key)
+            if track_states:
+                key = structure.zobrist_hash()
+                if key in seen_states:
+                    raise ConvergenceError(
+                        f"switch dynamics revisited a coalition structure after "
+                        f"{switches} switches (rule={rule.name!r}); the game has "
+                        "no potential under this rule",
+                        iterations=switches,
+                    )
+                seen_states.add(key)
         if not switched_this_sweep:
             break
     else:

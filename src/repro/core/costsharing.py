@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Protocol, Sequence, runtime_checkable
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -42,6 +42,7 @@ __all__ = [
     "MarginalCostSharing",
     "member_costs",
     "individual_cost",
+    "share_from_aggregates",
 ]
 
 
@@ -84,6 +85,17 @@ class EgalitarianSharing:
         per_head = price / len(members)
         return {i: per_head for i in members}
 
+    def share_of(
+        self,
+        instance: CCSInstance,
+        device: int,
+        size: int,
+        total_demand: float,
+        price: float,
+    ) -> float:
+        """O(1) share from cached session aggregates (see module docs)."""
+        return price / size
+
 
 @dataclass(frozen=True)
 class ProportionalSharing:
@@ -103,6 +115,17 @@ class ProportionalSharing:
         return {
             i: price * instance.devices[i].demand / total for i in members
         }
+
+    def share_of(
+        self,
+        instance: CCSInstance,
+        device: int,
+        size: int,
+        total_demand: float,
+        price: float,
+    ) -> float:
+        """O(1) share from cached session aggregates (see module docs)."""
+        return price * instance.devices[device].demand / total_demand
 
 
 @dataclass(frozen=True)
@@ -226,6 +249,31 @@ class MarginalCostSharing:
             for i in members
         )
         return price - raw_total
+
+
+def share_from_aggregates(
+    scheme: CostSharingScheme,
+    instance: CCSInstance,
+    device: int,
+    size: int,
+    total_demand: float,
+    price: float,
+) -> Optional[float]:
+    """*device*'s price share via the scheme's O(1) fast path, if it has one.
+
+    Schemes whose share depends only on session aggregates — the member
+    count, total demand, and session price — expose ``share_of`` and get
+    evaluated without materializing a member list or a share dict.  This
+    is the inner loop of CCSGA's incremental candidate scans: a join or
+    leave is priced with one tariff call on a cached scalar.  Returns
+    ``None`` for schemes (Shapley, marginal-cost) whose shares depend on
+    the full member composition; callers then fall back to
+    :meth:`CostSharingScheme.shares`.
+    """
+    fast = getattr(scheme, "share_of", None)
+    if fast is None:
+        return None
+    return fast(instance, device, size, total_demand, price)
 
 
 def member_costs(

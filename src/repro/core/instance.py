@@ -90,6 +90,15 @@ class CCSInstance:
             [d.position for d in self.devices], [c.position for c in self.chargers]
         )
 
+        # Per-device demand caches: the numpy vector feeds vectorized scans,
+        # the plain list feeds Python-loop summation on the solver hot path
+        # (kept separate so summation order matches the historical
+        # ``sum(d.demand for ...)`` evaluation exactly).
+        self._demand_list: List[float] = [float(d.demand) for d in self.devices]
+        self._demands = np.array(self._demand_list, dtype=float)
+        self._singleton_price: Optional[np.ndarray] = None
+        self._singleton_cost: Optional[np.ndarray] = None
+
         if self.strict:
             self._validate_strict()
 
@@ -152,6 +161,49 @@ class CCSInstance:
         """Euclidean distance in meters between device and charger indices."""
         return float(self._distance[device, charger])
 
+    @property
+    def demands(self) -> np.ndarray:
+        """Read-only per-device demand vector (index-aligned with :attr:`devices`)."""
+        return self._demands
+
+    def charging_price_for_demand(self, total_demand: float, charger: int) -> float:
+        """Session price at *charger* for an already-summed stored demand.
+
+        The incremental-evaluation fast path: one tariff call on a cached
+        scalar instead of re-iterating a member list.  Agrees with
+        :meth:`charging_price` up to floating-point summation order.
+        """
+        if total_demand == 0.0:
+            return 0.0
+        return self.chargers[charger].price_for_stored(total_demand)
+
+    def singleton_price_matrix(self) -> np.ndarray:
+        """``(n_devices, n_chargers)`` matrix of singleton session prices.
+
+        Entry ``[i, j]`` is the price device *i* pays charging alone at
+        charger *j*.  Built lazily on first use (one tariff evaluation per
+        cell) and cached — CCSGA's candidate scans read it every sweep.
+        """
+        if self._singleton_price is None:
+            self._singleton_price = np.array(
+                [
+                    [ch.price_for_stored(d) for ch in self.chargers]
+                    for d in self._demand_list
+                ],
+                dtype=float,
+            )
+        return self._singleton_price
+
+    def singleton_cost_matrix(self) -> np.ndarray:
+        """``(n_devices, n_chargers)`` matrix of full singleton group costs.
+
+        ``singleton_price_matrix() + moving costs`` — the cost of device
+        *i* founding a fresh singleton session at charger *j*.
+        """
+        if self._singleton_cost is None:
+            self._singleton_cost = self.singleton_price_matrix() + self._moving_cost
+        return self._singleton_cost
+
     def charging_price(self, group: Iterable[int], charger: int) -> float:
         """Session price when device-index *group* shares one session at *charger*.
 
@@ -192,7 +244,12 @@ class CCSInstance:
     def describe(self) -> str:
         """One-line human-readable summary for logs and reports."""
         caps = {c.capacity for c in self.chargers}
-        cap_txt = "unbounded" if caps == {None} else f"capacities {sorted(str(c) for c in caps)}"
+        if caps == {None}:
+            cap_txt = "unbounded"
+        else:
+            finite = sorted(c for c in caps if c is not None)
+            labels = [str(c) for c in finite] + (["unbounded"] if None in caps else [])
+            cap_txt = f"capacities [{', '.join(labels)}]"
         return (
             f"CCSInstance({self.n_devices} devices, {self.n_chargers} chargers, "
             f"{cap_txt}, mobility={type(self.mobility).__name__})"

@@ -6,18 +6,55 @@ coalitions, each bound to a charger.  Unlike the frozen
 moves the game dynamics perform thousands of times: remove a device from
 its coalition, drop it into another (or a fresh singleton), and report
 costs without recomputing the world.
+
+**Incremental-cost engine.**  Every coalition carries cached aggregates —
+total member demand, session price, summed member moving costs, and the
+group cost they compose — refreshed in ``O(|S|)`` only when membership
+actually changes (at most ``2`` coalitions per :meth:`move`).  The hot
+path, hypothetical candidate evaluation (:meth:`cost_if_joined`,
+:meth:`total_cost_if_moved`, :meth:`leave_delta`, :meth:`join_delta`),
+reads those cached scalars and prices a deviation with a *single* tariff
+evaluation, so a full CCSGA sweep is ``O(n · (sessions + chargers))``
+tariff calls rather than ``O(n · Σ|S|)`` member-list rebuilds.
+
+Structures also maintain a Zobrist-style 64-bit hash of the partition
+(:meth:`zobrist_hash`), XOR-composed from per-device tokens mixed with
+per-charger tokens, updated in ``O(1)`` per move — the cycle detector for
+non-potential switch rules no longer rehashes an ``O(n)`` frozenset per
+switch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
-from ..core.costsharing import CostSharingScheme
+import numpy as np
+
+from ..core.costsharing import CostSharingScheme, share_from_aggregates
 from ..core.instance import CCSInstance
 from ..core.schedule import Schedule, Session
 
 __all__ = ["Coalition", "CoalitionStructure"]
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 step — the token generator behind the Zobrist hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _device_token(device: int) -> int:
+    return _splitmix64(0xA0761D6478BD642F + device)
+
+
+def _charger_token(charger: int) -> int:
+    return _splitmix64(0xE7037ED1A0B428DB + charger)
 
 
 @dataclass
@@ -25,17 +62,29 @@ class Coalition:
     """One coalition: a device group bound to a charger.
 
     Mutable by design; only :class:`CoalitionStructure` should touch
-    :attr:`members`.
+    :attr:`members` or the cached aggregates (``total_demand``, ``price``,
+    ``move_sum``, ``fingerprint``), which it keeps coherent with the
+    member set on every move (verified by
+    :meth:`CoalitionStructure.check_invariants`).
     """
 
     cid: int
     charger: int
     members: Set[int]
+    total_demand: float = 0.0
+    price: float = 0.0
+    move_sum: float = 0.0
+    fingerprint: int = field(default=0, repr=False)
 
     @property
     def size(self) -> int:
         """Number of member devices."""
         return len(self.members)
+
+    @property
+    def group_cost(self) -> float:
+        """Cached full session cost: session price + members' moving costs."""
+        return self.price + self.move_sum
 
 
 class CoalitionStructure:
@@ -45,7 +94,9 @@ class CoalitionStructure:
 
     - every device belongs to exactly one coalition;
     - no coalition is empty;
-    - no coalition exceeds its charger's slot capacity.
+    - no coalition exceeds its charger's slot capacity;
+    - every cached per-coalition aggregate, the cached total cost, and the
+      Zobrist hash agree with from-scratch recomputation.
 
     Total comprehensive cost is cached and updated incrementally on moves —
     the potential function of the socially-aware game dynamics.
@@ -58,6 +109,13 @@ class CoalitionStructure:
         self._of_device: Dict[int, int] = {}
         self._next_cid = 0
         self._total_cost = 0.0
+        self._zhash = 0
+        self._dev_token: List[int] = [
+            _device_token(i) for i in range(instance.n_devices)
+        ]
+        self._ch_token: List[int] = [
+            _charger_token(j) for j in range(instance.n_chargers)
+        ]
 
     # ------------------------------------------------------------------ #
     # construction
@@ -66,14 +124,16 @@ class CoalitionStructure:
     def singletons(
         cls, instance: CCSInstance, scheme: CostSharingScheme
     ) -> "CoalitionStructure":
-        """The noncooperative start state: each device alone at its best charger."""
+        """The noncooperative start state: each device alone at its best charger.
+
+        Vectorized: one ``argmin`` over the precomputed singleton-cost
+        matrix instead of ``n · m`` group-cost evaluations (ties break
+        toward the lower charger index, as before).
+        """
         cs = cls(instance, scheme)
+        best = np.argmin(instance.singleton_cost_matrix(), axis=1)
         for i in range(instance.n_devices):
-            best_j = min(
-                range(instance.n_chargers),
-                key=lambda j: (instance.group_cost([i], j), j),
-            )
-            cs._create(best_j, {i})
+            cs._create(int(best[i]), {i})
         return cs
 
     @classmethod
@@ -86,15 +146,45 @@ class CoalitionStructure:
             cs._create(session.charger, set(session.members))
         return cs
 
+    def _refresh(self, coalition: Coalition) -> None:
+        """Recompute a coalition's cached aggregates from its member set.
+
+        ``O(|S|)``, called only when membership changes.  Summation runs
+        over the sorted member list so the cached scalars match what a
+        from-scratch ``scheme.shares(...)`` / ``group_cost`` evaluation
+        would produce.
+        """
+        ordered = sorted(coalition.members)
+        demands = self.instance._demand_list
+        total = 0.0
+        for i in ordered:
+            total += demands[i]
+        coalition.total_demand = total
+        coalition.price = self.instance.charging_price_for_demand(
+            total, coalition.charger
+        )
+        coalition.move_sum = float(
+            self.instance._moving_cost[ordered, coalition.charger].sum()
+        )
+
+    def _key(self, coalition: Coalition) -> int:
+        """Zobrist key of one coalition: mixed member fingerprint × charger."""
+        return _splitmix64(coalition.fingerprint ^ self._ch_token[coalition.charger])
+
     def _create(self, charger: int, members: Set[int]) -> Coalition:
         coalition = Coalition(self._next_cid, charger, set(members))
         self._next_cid += 1
         self._coalitions[coalition.cid] = coalition
+        fingerprint = 0
         for i in members:
             if i in self._of_device:
                 raise ValueError(f"device {i} already placed")
             self._of_device[i] = coalition.cid
-        self._total_cost += self.instance.group_cost(members, charger)
+            fingerprint ^= self._dev_token[i]
+        coalition.fingerprint = fingerprint
+        self._refresh(coalition)
+        self._total_cost += coalition.group_cost
+        self._zhash ^= self._key(coalition)
         return coalition
 
     # ------------------------------------------------------------------ #
@@ -118,58 +208,113 @@ class CoalitionStructure:
         """The coalition currently containing *device*."""
         return self._coalitions[self._of_device[device]]
 
-    def individual_cost(self, device: int) -> float:
-        """The device's current comprehensive cost: price share + moving cost."""
-        coalition = self.coalition_of(device)
+    def _share_in(self, device: int, coalition: Coalition) -> float:
+        """*device*'s price share inside *coalition* (fast path when possible)."""
+        share = share_from_aggregates(
+            self.scheme,
+            self.instance,
+            device,
+            coalition.size,
+            coalition.total_demand,
+            coalition.price,
+        )
+        if share is not None:
+            return share
         shares = self.scheme.shares(
             self.instance, sorted(coalition.members), coalition.charger
         )
-        return shares[device] + self.instance.moving_cost(device, coalition.charger)
+        return shares[device]
+
+    def individual_cost(self, device: int) -> float:
+        """The device's current comprehensive cost: price share + moving cost."""
+        coalition = self.coalition_of(device)
+        return self._share_in(device, coalition) + self.instance.moving_cost(
+            device, coalition.charger
+        )
 
     def cost_if_joined(self, device: int, target: Optional[int], charger: int) -> float:
         """Hypothetical cost of *device* after moving to coalition *target*.
 
         ``target=None`` means founding a fresh singleton at *charger*.
         Returns ``inf`` when the move is inadmissible (capacity, or the
-        device already sits there).
+        device already sits there).  One tariff evaluation on cached
+        aggregates for schemes with an O(1) fast path; falls back to a
+        full share computation otherwise.
         """
+        instance = self.instance
         if target is None:
-            members = [device]
-        else:
-            coalition = self._coalitions[target]
-            if device in coalition.members:
-                return float("inf")
-            if charger != coalition.charger:
-                raise ValueError("target coalition is bound to a different charger")
-            if not self.instance.chargers[charger].admits(coalition.size + 1):
-                return float("inf")
+            price = float(instance.singleton_price_matrix()[device, charger])
+            share = share_from_aggregates(
+                self.scheme, instance, device, 1,
+                instance._demand_list[device], price,
+            )
+            if share is None:
+                shares = self.scheme.shares(instance, [device], charger)
+                share = shares[device]
+            return share + instance.moving_cost(device, charger)
+
+        coalition = self._coalitions[target]
+        if device in coalition.members:
+            return float("inf")
+        if charger != coalition.charger:
+            raise ValueError("target coalition is bound to a different charger")
+        if not instance.chargers[charger].admits(coalition.size + 1):
+            return float("inf")
+        new_total = coalition.total_demand + instance._demand_list[device]
+        new_price = instance.charging_price_for_demand(new_total, charger)
+        share = share_from_aggregates(
+            self.scheme, instance, device, coalition.size + 1, new_total, new_price
+        )
+        if share is None:
             members = sorted(coalition.members | {device})
-        shares = self.scheme.shares(self.instance, members, charger)
-        return shares[device] + self.instance.moving_cost(device, charger)
+            shares = self.scheme.shares(instance, members, charger)
+            share = shares[device]
+        return share + instance.moving_cost(device, charger)
+
+    def leave_delta(self, device: int) -> float:
+        """Change in *device*'s current coalition's cost if it left.
+
+        Always ``<= 0`` under a nondecreasing tariff.  Target-independent,
+        so candidate scans compute it once per device and reuse it across
+        every contemplated destination.
+        """
+        src = self.coalition_of(device)
+        if src.size == 1:
+            return -src.group_cost
+        instance = self.instance
+        new_total = src.total_demand - instance._demand_list[device]
+        new_price = instance.charging_price_for_demand(new_total, src.charger)
+        new_move = src.move_sum - instance.moving_cost(device, src.charger)
+        return (new_price + new_move) - src.group_cost
+
+    def join_delta(self, device: int, target: int) -> float:
+        """Change in coalition *target*'s cost if *device* joined it.
+
+        ``inf`` when the join is inadmissible (already a member, or the
+        target charger is at capacity).
+        """
+        coalition = self._coalitions[target]
+        if device in coalition.members:
+            return float("inf")
+        instance = self.instance
+        if not instance.chargers[coalition.charger].admits(coalition.size + 1):
+            return float("inf")
+        new_total = coalition.total_demand + instance._demand_list[device]
+        new_price = instance.charging_price_for_demand(new_total, coalition.charger)
+        new_move = coalition.move_sum + instance.moving_cost(device, coalition.charger)
+        return (new_price + new_move) - coalition.group_cost
 
     def total_cost_if_moved(
         self, device: int, target: Optional[int], charger: int
     ) -> float:
         """Hypothetical total cost after the move (``inf`` if inadmissible)."""
-        src = self.coalition_of(device)
-        if target is not None:
-            tgt = self._coalitions[target]
-            if device in tgt.members:
-                return float("inf")
-            if not self.instance.chargers[tgt.charger].admits(tgt.size + 1):
-                return float("inf")
-        delta = 0.0
-        old_src = self.instance.group_cost(src.members, src.charger)
-        new_src = self.instance.group_cost(src.members - {device}, src.charger)
-        delta += new_src - old_src
         if target is None:
-            delta += self.instance.group_cost([device], charger)
+            join = float(self.instance.singleton_cost_matrix()[device, charger])
         else:
-            tgt = self._coalitions[target]
-            old_tgt = self.instance.group_cost(tgt.members, tgt.charger)
-            new_tgt = self.instance.group_cost(tgt.members | {device}, tgt.charger)
-            delta += new_tgt - old_tgt
-        return self._total_cost + delta
+            join = self.join_delta(device, target)
+            if join == float("inf"):
+                return float("inf")
+        return self._total_cost + self.leave_delta(device) + join
 
     # ------------------------------------------------------------------ #
     # moves
@@ -177,36 +322,49 @@ class CoalitionStructure:
     def move(self, device: int, target: Optional[int], charger: int) -> None:
         """Move *device* to coalition *target* (or a new singleton at *charger*).
 
-        Updates the cached total cost incrementally and drops the source
-        coalition if it empties.  Raises on inadmissible moves — callers
-        screen with :meth:`cost_if_joined` first.
+        Updates the cached total cost, the per-coalition aggregates, and
+        the Zobrist hash incrementally, and drops the source coalition if
+        it empties.  Raises on inadmissible moves — callers screen with
+        :meth:`cost_if_joined` first.
         """
         src = self.coalition_of(device)
-        if target is not None and self._coalitions[target] is src:
-            raise ValueError(f"device {device} is already in coalition {target}")
-
-        old_src = self.instance.group_cost(src.members, src.charger)
-        src.members.discard(device)
-        new_src = self.instance.group_cost(src.members, src.charger)
-        self._total_cost += new_src - old_src
-        if not src.members:
-            del self._coalitions[src.cid]
-
-        if target is None:
-            dest = Coalition(self._next_cid, charger, set())
-            self._next_cid += 1
-            self._coalitions[dest.cid] = dest
-        else:
+        if target is not None:
             dest = self._coalitions[target]
+            if dest is src:
+                raise ValueError(f"device {device} is already in coalition {target}")
             if not self.instance.chargers[dest.charger].admits(dest.size + 1):
                 raise ValueError(
                     f"coalition {target} is at capacity on charger {dest.charger}"
                 )
             charger = dest.charger
-        old_dst = self.instance.group_cost(dest.members, dest.charger)
+        else:
+            dest = None
+
+        token = self._dev_token[device]
+
+        self._zhash ^= self._key(src)
+        self._total_cost -= src.group_cost
+        src.members.discard(device)
+        src.fingerprint ^= token
+        if src.members:
+            self._refresh(src)
+            self._total_cost += src.group_cost
+            self._zhash ^= self._key(src)
+        else:
+            del self._coalitions[src.cid]
+
+        if dest is None:
+            dest = Coalition(self._next_cid, charger, set())
+            self._next_cid += 1
+            self._coalitions[dest.cid] = dest
+        else:
+            self._zhash ^= self._key(dest)
+            self._total_cost -= dest.group_cost
         dest.members.add(device)
-        new_dst = self.instance.group_cost(dest.members, dest.charger)
-        self._total_cost += new_dst - old_dst
+        dest.fingerprint ^= token
+        self._refresh(dest)
+        self._total_cost += dest.group_cost
+        self._zhash ^= self._key(dest)
         self._of_device[device] = dest.cid
 
     # ------------------------------------------------------------------ #
@@ -221,13 +379,42 @@ class CoalitionStructure:
         return Schedule(sessions, solver=solver, metadata=metadata)
 
     def state_key(self) -> FrozenSet[Tuple[int, FrozenSet[int]]]:
-        """Hashable canonical form — used for cycle detection in selfish dynamics."""
+        """Hashable canonical form of the partition (``O(n)`` to build).
+
+        Exact but expensive; the dynamics use :meth:`zobrist_hash` for
+        per-switch cycle detection and keep this for tests and debugging.
+        """
         return frozenset(
             (c.charger, frozenset(c.members)) for c in self._coalitions.values()
         )
 
+    def zobrist_hash(self) -> int:
+        """Incrementally maintained 64-bit hash of the partition.
+
+        XOR over coalitions of ``mix(member-token XOR ⊕ charger token)``;
+        equal structures always hash equal, distinct structures collide
+        with probability ``~2^-64`` per pair.  O(1) to read, O(1) to
+        maintain per switch — the cycle detector for non-potential rules.
+        """
+        return self._zhash
+
+    def _zobrist_from_scratch(self) -> int:
+        """Recompute the structure hash from first principles (for audits)."""
+        h = 0
+        for c in self._coalitions.values():
+            fingerprint = 0
+            for i in c.members:
+                fingerprint ^= self._dev_token[i]
+            h ^= _splitmix64(fingerprint ^ self._ch_token[c.charger])
+        return h
+
     def check_invariants(self) -> None:
-        """Assert partition, nonemptiness, capacity, and cost-cache coherence."""
+        """Assert partition, nonemptiness, capacity, and cache coherence.
+
+        Cache coherence covers the cached total cost, every coalition's
+        cached aggregates (total demand, session price, moving-cost sum),
+        the member fingerprints, and the Zobrist hash.
+        """
         seen: Set[int] = set()
         recomputed = 0.0
         for c in self._coalitions.values():
@@ -240,6 +427,33 @@ class CoalitionStructure:
             if overlap:
                 raise AssertionError(f"devices {sorted(overlap)} in multiple coalitions")
             seen |= c.members
+            for i in c.members:
+                if self._of_device.get(i) != c.cid:
+                    raise AssertionError(
+                        f"device {i} mapped to coalition {self._of_device.get(i)}, "
+                        f"found in {c.cid}"
+                    )
+            ordered = sorted(c.members)
+            true_demand = sum(self.instance._demand_list[i] for i in ordered)
+            true_price = self.instance.charging_price(ordered, c.charger)
+            true_move = float(self.instance._moving_cost[ordered, c.charger].sum())
+            for label, cached, true in (
+                ("total_demand", c.total_demand, true_demand),
+                ("price", c.price, true_price),
+                ("move_sum", c.move_sum, true_move),
+            ):
+                if abs(cached - true) > 1e-9 * max(1.0, abs(true)):
+                    raise AssertionError(
+                        f"coalition {c.cid}: cached {label} {cached} drifted "
+                        f"from {true}"
+                    )
+            fingerprint = 0
+            for i in c.members:
+                fingerprint ^= self._dev_token[i]
+            if fingerprint != c.fingerprint:
+                raise AssertionError(
+                    f"coalition {c.cid}: cached fingerprint drifted"
+                )
             recomputed += self.instance.group_cost(c.members, c.charger)
         if seen != set(range(self.instance.n_devices)):
             raise AssertionError("coalition structure does not cover all devices")
@@ -247,3 +461,5 @@ class CoalitionStructure:
             raise AssertionError(
                 f"cached total cost {self._total_cost} drifted from {recomputed}"
             )
+        if self._zhash != self._zobrist_from_scratch():
+            raise AssertionError("cached Zobrist hash drifted from recomputation")

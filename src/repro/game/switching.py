@@ -16,6 +16,13 @@ formation literature:
   egalitarian sharing of submodular costs such best-response dynamics can
   cycle; CCSGA's driver therefore pairs this rule with cycle detection.
   Kept for the ablation comparing the two dynamics.
+
+The candidate scan is the hot path of a CCSGA sweep and runs on the
+coalition structure's incremental-cost engine: the cost of *leaving* the
+current coalition is computed once per device and reused across every
+contemplated destination, each *join* is priced with a single tariff
+evaluation on the target's cached aggregates, and the found-a-singleton
+scan reads one precomputed row of the singleton-cost matrix.
 """
 
 from __future__ import annotations
@@ -44,6 +51,66 @@ class SwitchMove:
     total_delta: float
 
 
+def _scan_deltas(
+    structure: CoalitionStructure, device: int
+) -> Iterator[Tuple[float, float, Optional[int], int]]:
+    """Fused candidate scan: yield ``(own_delta, total_delta, target, charger)``.
+
+    One pass over live coalitions plus the charger axis, with exactly one
+    tariff evaluation per candidate (the hypothetical session price after
+    the join — shared between the device's new share and the system-cost
+    delta).  Materializing :class:`SwitchMove` objects is left to callers
+    so :meth:`SwitchRule.best_move` can screen thousands of rejected
+    candidates without allocating.
+    """
+    instance = structure.instance
+    scheme = structure.scheme
+    own_now = structure.individual_cost(device)
+    total_now = structure.total_cost
+    src = structure.coalition_of(device)
+    leave = structure.leave_delta(device)
+    fast_share = getattr(scheme, "share_of", None)
+    demand = instance._demand_list[device]
+    moving = instance._moving_cost
+    chargers = instance.chargers
+
+    for coalition in list(structure.coalitions()):
+        if coalition is src:
+            continue
+        j = coalition.charger
+        size = len(coalition.members)
+        if not chargers[j].admits(size + 1):
+            continue
+        new_total = coalition.total_demand + demand
+        new_price = instance.charging_price_for_demand(new_total, j)
+        move_ij = float(moving[device, j])
+        if fast_share is not None:
+            share = fast_share(instance, device, size + 1, new_total, new_price)
+        else:
+            members = sorted(coalition.members | {device})
+            share = scheme.shares(instance, members, j)[device]
+        own_new = share + move_ij
+        join = (new_price + (coalition.move_sum + move_ij)) - coalition.group_cost
+        total_new = total_now + leave + join
+        yield own_new - own_now, total_new - total_now, coalition.cid, j
+
+    # Founding a singleton at charger j adds exactly the singleton group
+    # cost — one vectorized row read over the precomputed matrix covers
+    # every charger's total-cost delta at once.
+    singleton_prices = instance.singleton_price_matrix()[device]
+    total_new_row = total_now + leave + instance.singleton_cost_matrix()[device]
+    singleton_already = src.size == 1
+    for j in range(instance.n_chargers):
+        if singleton_already and j == src.charger:
+            continue  # identical structure, not a move
+        if fast_share is not None:
+            share = fast_share(instance, device, 1, demand, float(singleton_prices[j]))
+        else:
+            share = scheme.shares(instance, [device], j)[device]
+        own_new = share + float(moving[device, j])
+        yield own_new - own_now, float(total_new_row[j]) - total_now, None, j
+
+
 def candidate_moves(structure: CoalitionStructure, device: int) -> Iterator[SwitchMove]:
     """Enumerate every admissible deviation of *device* with its cost deltas.
 
@@ -52,29 +119,8 @@ def candidate_moves(structure: CoalitionStructure, device: int) -> Iterator[Swit
     excluded.  Shared by every switch rule so they differ only in which
     moves they *permit*.
     """
-    own_now = structure.individual_cost(device)
-    total_now = structure.total_cost
-    src = structure.coalition_of(device)
-
-    for coalition in list(structure.coalitions()):
-        if coalition is src:
-            continue
-        own_new = structure.cost_if_joined(device, coalition.cid, coalition.charger)
-        if own_new == float("inf"):
-            continue
-        total_new = structure.total_cost_if_moved(device, coalition.cid, coalition.charger)
-        yield SwitchMove(
-            device, coalition.cid, coalition.charger,
-            own_new - own_now, total_new - total_now,
-        )
-
-    singleton_already = src.size == 1
-    for j in range(structure.instance.n_chargers):
-        if singleton_already and j == src.charger:
-            continue  # identical structure, not a move
-        own_new = structure.cost_if_joined(device, None, j)
-        total_new = structure.total_cost_if_moved(device, None, j)
-        yield SwitchMove(device, None, j, own_new - own_now, total_new - total_now)
+    for own_delta, total_delta, target, charger in _scan_deltas(structure, device):
+        yield SwitchMove(device, target, charger, own_delta, total_delta)
 
 
 class SwitchRule:
@@ -82,9 +128,16 @@ class SwitchRule:
 
     ``tol`` guards against floating-point ping-pong: improvements smaller
     than ``tol`` do not count as improvements.
+
+    ``has_potential`` declares that the dynamics under this rule admit an
+    exact potential function, so no coalition structure can ever repeat.
+    The CCSGA driver skips cycle-detection bookkeeping entirely for such
+    rules; rules without the guarantee (the selfish ablation) are watched
+    via the structure's O(1) Zobrist hash instead.
     """
 
     name = "abstract"
+    has_potential = False
 
     def __init__(self, tol: float = 1e-9):
         if tol < 0:
@@ -95,6 +148,23 @@ class SwitchRule:
         """True if the rule allows this deviation."""
         raise NotImplementedError
 
+    def _permits_deltas(
+        self,
+        device: int,
+        target: Optional[int],
+        charger: int,
+        own_delta: float,
+        total_delta: float,
+    ) -> bool:
+        """Allocation-free permission check used by :meth:`best_move`.
+
+        The built-in rules override this with a pure delta predicate;
+        the default materializes a :class:`SwitchMove` and defers to
+        :meth:`permits` so custom rules that only override ``permits``
+        keep working.
+        """
+        return self.permits(SwitchMove(device, target, charger, own_delta, total_delta))
+
     def best_move(
         self, structure: CoalitionStructure, device: int
     ) -> Optional[SwitchMove]:
@@ -104,13 +174,18 @@ class SwitchRule:
         coalitions over founding singletons, then lower charger index —
         deterministic so experiments are reproducible.
         """
-        best: Optional[SwitchMove] = None
-        for move in candidate_moves(structure, device):
-            if not self.permits(move):
+        best_key = None
+        best: Optional[Tuple[Optional[int], int, float, float]] = None
+        for own_delta, total_delta, target, charger in _scan_deltas(structure, device):
+            if not self._permits_deltas(device, target, charger, own_delta, total_delta):
                 continue
-            if best is None or self._better(move, best):
-                best = move
-        return best
+            key = (own_delta, target is None, charger, -1 if target is None else target)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (target, charger, own_delta, total_delta)
+        if best is None:
+            return None
+        return SwitchMove(device, best[0], best[1], best[2], best[3])
 
     @staticmethod
     def _better(a: SwitchMove, b: SwitchMove) -> bool:
@@ -127,15 +202,37 @@ class SelfishSwitch(SwitchRule):
     def permits(self, move: SwitchMove) -> bool:
         return move.own_delta < -self.tol
 
+    def _permits_deltas(
+        self,
+        device: int,
+        target: Optional[int],
+        charger: int,
+        own_delta: float,
+        total_delta: float,
+    ) -> bool:
+        return own_delta < -self.tol
+
 
 class SociallyAwareSwitch(SwitchRule):
     """Permit moves lowering both the device's cost and the total cost.
 
     The conjunction makes total comprehensive cost an exact potential of
-    the dynamics — the convergence engine of CCSGA.
+    the dynamics — the convergence engine of CCSGA (and why the driver
+    needs no cycle detection under this rule: ``has_potential = True``).
     """
 
     name = "socially-aware"
+    has_potential = True
 
     def permits(self, move: SwitchMove) -> bool:
         return move.own_delta < -self.tol and move.total_delta < -self.tol
+
+    def _permits_deltas(
+        self,
+        device: int,
+        target: Optional[int],
+        charger: int,
+        own_delta: float,
+        total_delta: float,
+    ) -> bool:
+        return own_delta < -self.tol and total_delta < -self.tol

@@ -93,6 +93,18 @@ class Charger:
         """Price of one session satisfying *stored_demands* (0 if all-zero)."""
         return self.tariff.session_price(self.emitted_energy(stored_demands))
 
+    def price_for_stored(self, total_stored: float) -> float:
+        """Price of a session storing *total_stored* joules in total.
+
+        Fast path for callers that already hold the summed demand — one
+        division and one tariff evaluation instead of re-iterating the
+        group (``session_price(demands) == price_for_stored(sum(demands))``
+        up to summation order).
+        """
+        if total_stored < 0:
+            raise ValueError(f"demands must be nonnegative, got {total_stored}")
+        return self.tariff.session_price(total_stored / self.efficiency)
+
     def session_duration(self, stored_demands: Iterable[float]) -> float:
         """Seconds the session runs, per the pad's service discipline.
 

@@ -1,0 +1,71 @@
+"""Regenerate ``ccsga_golden.json`` — the pinned CCSGA dynamics outputs.
+
+Run from the repo root after any *intentional* behaviour change to the
+game dynamics::
+
+    PYTHONPATH=src python tests/fixtures/capture_ccsga_golden.py
+
+The golden file pins the full observable output of ``ccsga()`` — the
+schedule, the switch/sweep counts, and the entire potential trace — on
+the serialized fixture instances and two seeded random workloads, under
+both paper sharing schemes.  The incremental-cost engine must reproduce
+these numbers exactly (see ``tests/test_game_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import ccsga, EgalitarianSharing, ProportionalSharing
+from repro.io import instance_from_dict
+from repro.workloads import quick_instance
+
+FIXTURES = Path(__file__).parent
+
+
+def load_fixture(name):
+    with open(FIXTURES / f"{name}.json") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def schedule_key(schedule):
+    return sorted(
+        [session.charger, sorted(session.members)] for session in schedule.sessions
+    )
+
+
+def capture(instance, scheme):
+    result = ccsga(instance, scheme=scheme, certify=True)
+    return {
+        "schedule": schedule_key(result.schedule),
+        "switches": result.switches,
+        "sweeps": result.sweeps,
+        "trace": list(result.trace.values),
+        "nash_certified": result.nash_certified,
+    }
+
+
+def main():
+    cases = {}
+    schemes = {
+        "egalitarian": EgalitarianSharing(),
+        "proportional": ProportionalSharing(),
+    }
+    for name in ("small_uniform", "medium_cluster", "testbed"):
+        inst = load_fixture(name)
+        for sname, scheme in schemes.items():
+            cases[f"{name}/{sname}"] = capture(inst, scheme)
+    for n, m, seed in ((24, 4, 7), (40, 6, 2026)):
+        inst = quick_instance(n_devices=n, n_chargers=m, seed=seed, capacity=6)
+        for sname, scheme in schemes.items():
+            cases[f"quick_n{n}_m{m}_s{seed}/{sname}"] = capture(inst, scheme)
+    out = FIXTURES / "ccsga_golden.json"
+    with open(out, "w") as fh:
+        json.dump(cases, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out} ({len(cases)} cases)")
+
+
+if __name__ == "__main__":
+    main()

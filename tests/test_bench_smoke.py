@@ -1,0 +1,53 @@
+"""Tier-1 performance smoke test for the CCSGA hot path.
+
+Runs the smoke case recorded in ``benchmarks/BENCH_ccsga.json`` and fails
+only if wall time regresses more than ``fail_factor`` (3×) beyond the
+recorded budget — a deliberately loose bound that survives slow CI
+machines but catches an accidental reintroduction of the O(n · Σ|S|)
+from-scratch candidate scan (which is ~30× over budget at this size).
+
+Also runnable via ``make bench-smoke`` or
+``pytest -m bench_smoke``; regenerate the budget with
+``PYTHONPATH=src python benchmarks/bench_core_hotpath.py`` after an
+intentional performance change.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ccsga
+from repro.workloads import quick_instance
+
+BENCH_FILE = Path(__file__).parent.parent / "benchmarks" / "BENCH_ccsga.json"
+
+
+@pytest.mark.bench_smoke
+def test_ccsga_smoke_within_walltime_budget():
+    with open(BENCH_FILE) as fh:
+        recorded = json.load(fh)
+    smoke = recorded["smoke"]
+    workload = recorded["workload"]
+    instance = quick_instance(
+        n_devices=smoke["n_devices"],
+        n_chargers=smoke["n_chargers"],
+        seed=workload["seed"],
+        capacity=workload["capacity"],
+        side=workload["side"],
+    )
+    start = time.perf_counter()
+    result = ccsga(instance, certify=False)
+    elapsed = time.perf_counter() - start
+    assert result.sweeps >= 1
+    limit = smoke["budget_s"] * smoke["fail_factor"]
+    assert elapsed < limit, (
+        f"CCSGA smoke case (n={smoke['n_devices']}) took {elapsed:.3f}s, "
+        f"over the regression limit {limit:.3f}s "
+        f"(recorded budget {smoke['budget_s']}s x {smoke['fail_factor']}); "
+        "the hot path has regressed — or, after an intentional change, "
+        "regenerate benchmarks/BENCH_ccsga.json"
+    )

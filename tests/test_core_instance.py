@@ -134,6 +134,25 @@ class TestInstanceQueries:
         text = tiny_instance.describe()
         assert "4 devices" in text and "2 chargers" in text
 
+    def test_describe_capacity_summaries(self, linear_instance):
+        from repro.core import CCSInstance, Device
+        from repro.geometry import Point
+        from repro.wpt import Charger, LinearTariff
+
+        # All-unbounded: the simple label.
+        assert "unbounded" in linear_instance.describe()
+
+        # Mixed finite/unbounded capacities: numeric caps sorted
+        # numerically, unbounded listed last — no stringified interleaving.
+        devices = [Device("d0", Point(0.0, 0.0), demand=10.0)]
+        chargers = [
+            Charger("a", Point(0.0, 0.0), tariff=LinearTariff(5.0, 0.1), capacity=12),
+            Charger("b", Point(1.0, 0.0), tariff=LinearTariff(5.0, 0.1), capacity=2),
+            Charger("c", Point(2.0, 0.0), tariff=LinearTariff(5.0, 0.1), capacity=None),
+        ]
+        text = CCSInstance(devices=devices, chargers=chargers).describe()
+        assert "capacities [2, 12, unbounded]" in text
+
 
 class TestGroupCostStructure:
     def test_group_cost_is_subadditive(self, tiny_instance):

@@ -98,6 +98,19 @@ class TestGameSnippet:
         q = equilibrium_quality(doc_instance, samples=3)
         assert q.baseline in ("optimal", "lower-bound")
 
+    def test_incremental_engine_api(self, doc_instance):
+        from repro.core.costsharing import share_from_aggregates
+        from repro.game import CoalitionStructure, SelfishSwitch, SociallyAwareSwitch
+
+        cs = CoalitionStructure.singletons(doc_instance, EgalitarianSharing())
+        cs.check_invariants()
+        assert isinstance(cs.zobrist_hash(), int)
+        c = cs.coalition_of(0)
+        assert share_from_aggregates(
+            cs.scheme, doc_instance, 0, c.size, c.total_demand, c.price
+        ) == pytest.approx(c.price / c.size)
+        assert SociallyAwareSwitch.has_potential and not SelfishSwitch.has_potential
+
 
 class TestSimSnippet:
     def test_field_trial_api(self):

@@ -1,0 +1,345 @@
+"""The incremental-cost engine: cache coherence, fast-path agreement, goldens.
+
+Three layers of defence for the CCSGA hot-path optimization:
+
+1. **Property tests** (hypothesis): after any random sequence of legal
+   ``move()`` calls, every cached coalition aggregate, the cached total
+   cost, and the Zobrist hash agree with from-scratch recomputation
+   (``check_invariants``), and the O(1) hypothetical-cost fast paths
+   agree with the definitional slow computation.
+2. **Golden tests**: ``ccsga()`` produces the exact same schedules,
+   switch counts, sweep counts, and Nash certificates as the seed
+   (pre-engine) implementation on the serialized fixtures and seeded
+   random workloads — the optimization is behavior-preserving.  Traces
+   are compared to 1e-9 relative tolerance: the engine sums coalition
+   aggregates in sorted member order while the seed summed in set order,
+   which shifts potential values by a few ulp without ever changing a
+   switch decision.
+3. **Unit tests** for the new knobs: ``has_potential``, the Zobrist
+   hash, and the singleton-matrix caches.
+
+Regenerate the golden file deliberately via
+``tests/fixtures/capture_ccsga_golden.py`` if dynamics behaviour changes
+on purpose.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EgalitarianSharing,
+    ProportionalSharing,
+    ShapleySharing,
+    ccsga,
+)
+from repro.game import (
+    CoalitionStructure,
+    SelfishSwitch,
+    SociallyAwareSwitch,
+    SwitchRule,
+    candidate_moves,
+)
+from repro.io import instance_from_dict
+from repro.workloads import quick_instance
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SCHEMES = {
+    "egalitarian": EgalitarianSharing(),
+    "proportional": ProportionalSharing(),
+}
+
+
+def load_fixture(name):
+    with open(FIXTURES / f"{name}.json") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+# --------------------------------------------------------------------- #
+# property tests: cache coherence under random legal move sequences
+
+
+def _apply_random_moves(structure, data, n_moves):
+    """Drive *structure* through a sequence of legal hypothesis-chosen moves."""
+    instance = structure.instance
+    for _ in range(n_moves):
+        device = data.draw(
+            st.integers(min_value=0, max_value=instance.n_devices - 1), label="device"
+        )
+        src = structure.coalition_of(device)
+        options = [
+            c.cid
+            for c in structure.coalitions()
+            if c is not src and instance.chargers[c.charger].admits(c.size + 1)
+        ]
+        # Founding a singleton is encoded as (None, charger).
+        targets = [(cid, None) for cid in options] + [
+            (None, j)
+            for j in range(instance.n_chargers)
+            if not (src.size == 1 and j == src.charger)
+        ]
+        if not targets:
+            continue
+        idx = data.draw(
+            st.integers(min_value=0, max_value=len(targets) - 1), label="target"
+        )
+        target, charger = targets[idx]
+        if charger is None:
+            charger = structure._coalitions[target].charger
+        predicted = structure.total_cost_if_moved(device, target, charger)
+        structure.move(device, target, charger)
+        assert structure.total_cost == pytest.approx(predicted, rel=1e-9)
+
+
+class TestCacheCoherence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_caches_survive_random_move_sequences(self, data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        scheme = data.draw(st.sampled_from(sorted(SCHEMES)), label="scheme")
+        instance = quick_instance(n_devices=8, n_chargers=3, seed=seed, capacity=4)
+        structure = CoalitionStructure.singletons(instance, SCHEMES[scheme])
+        structure.check_invariants()
+        _apply_random_moves(structure, data, n_moves=12)
+        # The one assertion that matters: every cached aggregate, the total
+        # cost, and the Zobrist hash agree with from-scratch recomputation.
+        structure.check_invariants()
+        assert structure.zobrist_hash() == structure._zobrist_from_scratch()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_fast_paths_agree_with_definitional_costs(self, data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        scheme_name = data.draw(st.sampled_from(sorted(SCHEMES)), label="scheme")
+        scheme = SCHEMES[scheme_name]
+        instance = quick_instance(n_devices=7, n_chargers=3, seed=seed, capacity=4)
+        structure = CoalitionStructure.singletons(instance, scheme)
+        _apply_random_moves(structure, data, n_moves=8)
+
+        for device in range(instance.n_devices):
+            src = structure.coalition_of(device)
+            # individual_cost fast path vs definitional shares().
+            shares = scheme.shares(instance, sorted(src.members), src.charger)
+            assert structure.individual_cost(device) == pytest.approx(
+                shares[device] + instance.moving_cost(device, src.charger), rel=1e-9
+            )
+            # leave_delta vs from-scratch group costs.
+            expected_leave = instance.group_cost(
+                src.members - {device}, src.charger
+            ) - instance.group_cost(src.members, src.charger)
+            assert structure.leave_delta(device) == pytest.approx(
+                expected_leave, rel=1e-9, abs=1e-9
+            )
+            for coalition in structure.coalitions():
+                if coalition is src:
+                    continue
+                joined = coalition.members | {device}
+                admissible = instance.chargers[coalition.charger].admits(
+                    coalition.size + 1
+                )
+                got_own = structure.cost_if_joined(
+                    device, coalition.cid, coalition.charger
+                )
+                got_total = structure.total_cost_if_moved(
+                    device, coalition.cid, coalition.charger
+                )
+                if not admissible:
+                    assert got_own == float("inf")
+                    assert got_total == float("inf")
+                    continue
+                exp_shares = scheme.shares(
+                    instance, sorted(joined), coalition.charger
+                )
+                assert got_own == pytest.approx(
+                    exp_shares[device]
+                    + instance.moving_cost(device, coalition.charger),
+                    rel=1e-9,
+                )
+                exp_total = (
+                    sum(
+                        instance.group_cost(c.members, c.charger)
+                        for c in structure.coalitions()
+                        if c is not src and c is not coalition
+                    )
+                    + instance.group_cost(src.members - {device}, src.charger)
+                    + instance.group_cost(joined, coalition.charger)
+                )
+                assert got_total == pytest.approx(exp_total, rel=1e-9)
+
+    def test_fallback_scheme_without_share_of_still_works(self, tiny_instance):
+        # Shapley has no O(1) aggregate fast path; the engine must fall
+        # back to full share computation and stay coherent.
+        scheme = ShapleySharing(exact_limit=4)
+        structure = CoalitionStructure.singletons(tiny_instance, scheme)
+        moves = list(candidate_moves(structure, 0))
+        assert moves
+        target = next(m for m in moves if m.target is not None)
+        shares = scheme.shares(
+            tiny_instance,
+            sorted(structure._coalitions[target.target].members | {0}),
+            target.charger,
+        )
+        assert structure.cost_if_joined(
+            0, target.target, target.charger
+        ) == pytest.approx(
+            shares[0] + tiny_instance.moving_cost(0, target.charger), rel=1e-9
+        )
+        structure.move(0, target.target, target.charger)
+        structure.check_invariants()
+
+
+# --------------------------------------------------------------------- #
+# Zobrist hash semantics
+
+
+class TestZobristHash:
+    def test_hash_changes_on_move_and_restores_on_undo(self, tiny_instance):
+        cs = CoalitionStructure.singletons(tiny_instance, SCHEMES["egalitarian"])
+        h0 = cs.zobrist_hash()
+        src = cs.coalition_of(0)
+        target = next(c for c in cs.coalitions() if c is not src)
+        cs.move(0, target.cid, target.charger)
+        assert cs.zobrist_hash() != h0
+        cs.move(0, None, src.charger)
+        # Back to the identical partition: singleton {0} at its old charger.
+        assert cs.zobrist_hash() == h0
+        assert cs.zobrist_hash() == cs._zobrist_from_scratch()
+
+    def test_equal_partitions_hash_equal_across_structures(self, tiny_instance):
+        a = CoalitionStructure.singletons(tiny_instance, SCHEMES["egalitarian"])
+        b = CoalitionStructure.singletons(tiny_instance, SCHEMES["egalitarian"])
+        assert a.zobrist_hash() == b.zobrist_hash()
+        assert a.state_key() == b.state_key()
+        t = next(c for c in b.coalitions() if 0 not in c.members)
+        b.move(0, t.cid, t.charger)
+        assert a.zobrist_hash() != b.zobrist_hash()
+
+    def test_grouping_matters_not_just_assignment(self, tiny_instance):
+        # {0,1} and {2} at charger 0 must hash differently from {0} and
+        # {1,2} at charger 0 even though every device sits at charger 0.
+        scheme = SCHEMES["egalitarian"]
+        a = CoalitionStructure(tiny_instance, scheme)
+        a._create(0, {0, 1})
+        a._create(0, {2})
+        a._create(1, {3})
+        b = CoalitionStructure(tiny_instance, scheme)
+        b._create(0, {0})
+        b._create(0, {1, 2})
+        b._create(1, {3})
+        assert a.zobrist_hash() != b.zobrist_hash()
+
+
+# --------------------------------------------------------------------- #
+# rule flags and driver bookkeeping
+
+
+class TestHasPotential:
+    def test_flags(self):
+        assert SociallyAwareSwitch.has_potential is True
+        assert SelfishSwitch.has_potential is False
+        assert SwitchRule.has_potential is False
+
+    def test_selfish_rule_still_converges_or_detects_cycles(self, tiny_instance):
+        # The Zobrist-based detector must not false-positive on a run
+        # that legitimately converges.
+        result = ccsga(tiny_instance, rule=SelfishSwitch(), certify=False)
+        assert result.sweeps >= 1
+
+    def test_zobrist_detector_catches_actual_cycles(self, tiny_instance):
+        from repro.errors import ConvergenceError
+
+        class AlwaysSwitch(SwitchRule):
+            # Permits every admissible move — with a finite state space the
+            # dynamics must revisit a structure, and the driver must catch
+            # it via the incrementally maintained hash rather than spin.
+            name = "always"
+
+            def permits(self, move):
+                return True
+
+        with pytest.raises(ConvergenceError):
+            ccsga(tiny_instance, rule=AlwaysSwitch(), certify=False, max_sweeps=200)
+
+
+# --------------------------------------------------------------------- #
+# vectorized singleton machinery
+
+
+class TestSingletonMatrices:
+    def test_singleton_matrices_match_group_cost(self, tiny_instance):
+        prices = tiny_instance.singleton_price_matrix()
+        costs = tiny_instance.singleton_cost_matrix()
+        assert prices.shape == (tiny_instance.n_devices, tiny_instance.n_chargers)
+        for i in range(tiny_instance.n_devices):
+            for j in range(tiny_instance.n_chargers):
+                assert prices[i, j] == pytest.approx(
+                    tiny_instance.charging_price([i], j), rel=1e-12
+                )
+                assert costs[i, j] == pytest.approx(
+                    tiny_instance.group_cost([i], j), rel=1e-12
+                )
+
+    def test_charging_price_for_demand_matches_group_evaluation(self, tiny_instance):
+        total = tiny_instance.total_demand([0, 1, 2])
+        assert tiny_instance.charging_price_for_demand(total, 0) == pytest.approx(
+            tiny_instance.charging_price([0, 1, 2], 0), rel=1e-12
+        )
+        assert tiny_instance.charging_price_for_demand(0.0, 0) == 0.0
+
+    def test_vectorized_singletons_match_per_device_argmin(self, random_instance):
+        cs = CoalitionStructure.singletons(random_instance, SCHEMES["egalitarian"])
+        for i in range(random_instance.n_devices):
+            best_j = min(
+                range(random_instance.n_chargers),
+                key=lambda j: (random_instance.group_cost([i], j), j),
+            )
+            assert cs.coalition_of(i).charger == best_j
+
+
+# --------------------------------------------------------------------- #
+# golden behaviour preservation
+
+
+def _golden():
+    with open(FIXTURES / "ccsga_golden.json") as fh:
+        return json.load(fh)
+
+
+GOLDEN = _golden()
+
+
+def _instance_for(case_name):
+    if case_name.startswith("quick_"):
+        spec, _ = case_name.split("/")
+        parts = dict(
+            (kv[0], int(kv[1:])) for kv in spec.split("_")[1:]
+        )  # quick_n24_m4_s7 -> {"n": 24, "m": 4, "s": 7}
+        return quick_instance(
+            n_devices=parts["n"], n_chargers=parts["m"], seed=parts["s"], capacity=6
+        )
+    return load_fixture(case_name.split("/")[0])
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+class TestGoldenDynamics:
+    def test_ccsga_output_matches_seed_implementation(self, case):
+        instance = _instance_for(case)
+        scheme = SCHEMES[case.rsplit("/", 1)[1]]
+        result = ccsga(instance, scheme=scheme, certify=True)
+        expected = GOLDEN[case]
+        got_schedule = sorted(
+            [s.charger, sorted(s.members)] for s in result.schedule.sessions
+        )
+        assert got_schedule == expected["schedule"]
+        assert result.switches == expected["switches"]
+        assert result.sweeps == expected["sweeps"]
+        assert result.nash_certified == expected["nash_certified"]
+        assert len(result.trace.values) == len(expected["trace"])
+        for got, exp in zip(result.trace.values, expected["trace"]):
+            assert got == pytest.approx(exp, rel=1e-9)
