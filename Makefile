@@ -4,7 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-hotpath golden
+# Worker processes for experiment tasks (see docs/EXECUTION.md); results
+# are identical at any level.  Example: make run-all JOBS=4
+JOBS ?= 1
+# Task-result cache directory used by run-all (re-runs resume from it).
+CACHE_DIR ?= .ccs-bench-cache
+
+.PHONY: test bench bench-smoke bench-hotpath bench-exec golden golden-experiments run-all
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
@@ -24,7 +30,22 @@ bench-hotpath:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+# The whole evaluation through the task executor: parallel with JOBS>1,
+# resumable from CACHE_DIR if interrupted.
+run-all:
+	$(PYTHON) -m repro.cli --all --trials 3 --jobs $(JOBS) --cache-dir $(CACHE_DIR)
+
+# Measure the execution subsystem (serial vs parallel vs cache replay)
+# and rewrite benchmarks/BENCH_exec.json.
+bench-exec:
+	$(PYTHON) benchmarks/bench_exec.py --jobs $(if $(filter 1,$(JOBS)),4,$(JOBS))
+
 # Regenerate the pinned CCSGA dynamics goldens (only after an intentional
 # behaviour change to the game dynamics).
 golden:
 	$(PYTHON) tests/fixtures/capture_ccsga_golden.py
+
+# Regenerate the pinned Table 2/3 evaluation goldens (only after an
+# intentional behaviour change to the experiments or their seeds).
+golden-experiments:
+	$(PYTHON) tests/fixtures/capture_experiments_golden.py

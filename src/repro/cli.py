@@ -4,19 +4,33 @@ Examples::
 
     ccs-bench --list
     ccs-bench table2
-    ccs-bench fig5 fig9 --trials 5
+    ccs-bench fig5 fig9 --trials 5 --jobs 4
     ccs-bench --all --trials 2
+
+Runs are resumable: task results land in ``--cache-dir`` (default
+``.ccs-bench-cache/``, or ``$CCS_BENCH_CACHE_DIR``) keyed by content
+fingerprint, so re-running a killed ``ccs-bench --all`` only computes
+what is missing.  ``--no-cache`` forces a from-scratch run; ``--jobs N``
+fans tasks out over N worker processes with results identical to a
+serial run (see docs/EXECUTION.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .experiments import EXPERIMENTS, FIGURE_BUILDERS, ascii_plot, run_experiment
+from .experiments.exec import ParallelExecutor, ResultCache, SerialExecutor
 
 __all__ = ["main"]
+
+#: Environment override for the default cache directory.
+CACHE_DIR_ENV = "CCS_BENCH_CACHE_DIR"
+
+_DEFAULT_CACHE_DIR = ".ccs-bench-cache"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,6 +51,26 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trials", type=int, default=3, help="instances per sweep point (default 3)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment tasks (default 1 = serial; "
+        "results are identical at any level)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=os.environ.get(CACHE_DIR_ENV, _DEFAULT_CACHE_DIR),
+        help="task-result cache directory; finished tasks are reused on "
+        f"re-runs (default {_DEFAULT_CACHE_DIR!r} or ${CACHE_DIR_ENV})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the task-result cache",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
     parser.add_argument(
         "--plot",
@@ -51,6 +85,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_executor(args: argparse.Namespace):
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.jobs > 1:
+        return ParallelExecutor(args.jobs, cache=cache)
+    return SerialExecutor(cache=cache)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -58,6 +99,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for eid in sorted(EXPERIMENTS):
             print(eid)
         return 0
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     ids = list(EXPERIMENTS) if args.all else args.experiments
     if not ids:
         print("nothing to run: pass experiment ids, --all, or --list", file=sys.stderr)
@@ -66,18 +110,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    executor = _make_executor(args)
     collected = {}
     for eid in ids:
         if args.plot and eid in FIGURE_BUILDERS:
-            result = FIGURE_BUILDERS[eid](args.trials)
             from .experiments import render_series
+            from .experiments.exec import use_executor
 
+            with use_executor(executor):
+                result = FIGURE_BUILDERS[eid](args.trials)
             text = render_series(result) + "\n\n" + ascii_plot(result)
         else:
-            text = run_experiment(eid, trials=args.trials)
+            text = run_experiment(eid, trials=args.trials, executor=executor)
         collected[eid] = text
         print(text)
         print()
+    print(
+        f"tasks: {executor.computed} computed, {executor.cache_hits} from cache "
+        f"(jobs={executor.jobs})",
+        file=sys.stderr,
+    )
     if args.export:
         from .experiments import results_markdown
 

@@ -15,6 +15,7 @@ __all__ = [
     "ScheduleValidationError",
     "ConvergenceError",
     "SimulationError",
+    "UnknownExperimentError",
 ]
 
 
@@ -62,3 +63,19 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event testbed simulator reached an inconsistent state."""
+
+
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id was requested that the runner does not know.
+
+    Also a :class:`KeyError` because the runner registry is mapping-like;
+    callers that caught ``KeyError`` from :func:`repro.experiments.run_experiment`
+    keep working.
+    """
+
+    def __init__(self, unknown, available):
+        self.unknown = sorted(unknown) if isinstance(unknown, (list, tuple, set)) else [unknown]
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown experiment ids {self.unknown}; available: {self.available}"
+        )

@@ -1,6 +1,14 @@
 """Experiment harness: sweeps, figures, tables, rendering, and the runner."""
 
 from .ascii_plot import ascii_plot
+from .exec import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    Task,
+    get_executor,
+    use_executor,
+)
 from .export import export_markdown, results_markdown
 from .fieldmap import field_map
 from .figures import (
@@ -15,7 +23,13 @@ from .figures import (
     fig12_ablation_tariff,
 )
 from .report import SeriesResult, TableResult, render_series, render_table
-from .runner import EXPERIMENTS, FIGURE_BUILDERS, run_all, run_experiment
+from .runner import (
+    EXPERIMENTS,
+    FIGURE_BUILDERS,
+    run_all,
+    run_experiment,
+    validate_experiment_ids,
+)
 from .sweep import Algorithm, sweep_costs, sweep_runtime
 from .tables import (
     FieldStats,
@@ -26,8 +40,15 @@ from .tables import (
 )
 
 __all__ = [
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
     "SeriesResult",
+    "Task",
     "ascii_plot",
+    "get_executor",
+    "use_executor",
+    "validate_experiment_ids",
     "field_map",
     "export_markdown",
     "results_markdown",

@@ -1,0 +1,155 @@
+"""Task executors: serial, process-parallel, and the ambient context.
+
+Both executors share one contract: ``run(tasks)`` returns results in task
+order, consulting the optional :class:`~repro.experiments.exec.cache.ResultCache`
+first and storing every freshly computed result back.  Because tasks are
+independent (seeds derive from ``(seed, trial)`` spawn keys, not stream
+order) the two executors — and any ``--jobs`` level — produce identical
+results; ``tests/test_exec_equivalence.py`` pins that byte-for-byte.
+
+Counters ``computed`` / ``cache_hits`` accumulate per executor instance,
+so a resumed run can prove it did not redo finished work.
+
+The *ambient* executor (:func:`get_executor` / :func:`use_executor`) is
+how the CLI threads ``--jobs``/``--cache-dir`` through the experiment
+registry without changing every figure function's signature; library code
+that wants explicit control passes ``executor=`` instead.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Any, List, Optional, Sequence
+
+from .cache import ResultCache
+from .task import Task, execute_task
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+    "use_executor",
+    "resolve_executor",
+]
+
+
+class Executor:
+    """Common cache/bookkeeping machinery; subclasses provide ``run``."""
+
+    #: Worker count (1 for the serial executor) — informational.
+    jobs: int = 1
+
+    def __init__(self, cache: Optional[ResultCache] = None):
+        self.cache = cache
+        #: Tasks actually executed (cache misses) over this executor's life.
+        self.computed = 0
+        #: Tasks answered from the cache over this executor's life.
+        self.cache_hits = 0
+
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        raise NotImplementedError
+
+    def _load_cached(self, task: Task) -> tuple:
+        if self.cache is None:
+            return False, None
+        hit, value = self.cache.load(task)
+        if hit:
+            self.cache_hits += 1
+        return hit, value
+
+    def _record(self, task: Task, result: Any) -> Any:
+        self.computed += 1
+        if self.cache is not None:
+            self.cache.store(task, result)
+        return result
+
+
+class SerialExecutor(Executor):
+    """Execute tasks one after another in the current process."""
+
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        results = []
+        for task in tasks:
+            hit, value = self._load_cached(task)
+            if not hit:
+                value = self._record(task, execute_task(task))
+            results.append(value)
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Execute cache misses on a :class:`ProcessPoolExecutor`.
+
+    Results are cached (in the parent) as soon as each task finishes, so a
+    run killed mid-way leaves every completed task behind and a restart
+    with the same cache directory resumes instead of recomputing.  A task
+    failure re-raises in the parent after letting already-running tasks
+    finish (and be cached).
+    """
+
+    def __init__(self, jobs: int, cache: Optional[ResultCache] = None):
+        super().__init__(cache)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        results: List[Any] = [None] * len(tasks)
+        misses = []
+        for k, task in enumerate(tasks):
+            hit, value = self._load_cached(task)
+            if hit:
+                results[k] = value
+            else:
+                misses.append(k)
+        if not misses:
+            return results
+
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
+            futures = {pool.submit(execute_task, tasks[k]): k for k in misses}
+            pending = set(futures)
+            failure: Optional[BaseException] = None
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for fut in done:
+                    k = futures[fut]
+                    exc = fut.exception()
+                    if exc is not None:
+                        failure = failure or exc
+                        continue
+                    results[k] = self._record(tasks[k], fut.result())
+                if failure is not None:
+                    for fut in pending:
+                        fut.cancel()
+                    break
+            if failure is not None:
+                raise failure
+        return results
+
+
+#: Ambient executor stack; the base entry is a plain cache-less serial
+#: executor, so library calls outside any context behave exactly like the
+#: pre-executor code path.
+_AMBIENT: List[Executor] = [SerialExecutor()]
+
+
+def get_executor() -> Executor:
+    """The innermost ambient executor (a cache-less serial one by default)."""
+    return _AMBIENT[-1]
+
+
+@contextmanager
+def use_executor(executor: Executor):
+    """Make *executor* ambient for the duration of the ``with`` block."""
+    _AMBIENT.append(executor)
+    try:
+        yield executor
+    finally:
+        _AMBIENT.pop()
+
+
+def resolve_executor(executor: Optional[Executor]) -> Executor:
+    """An explicit executor if given, else the ambient one."""
+    return executor if executor is not None else get_executor()

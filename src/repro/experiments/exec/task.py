@@ -1,0 +1,134 @@
+"""The experiment task model: small, pure, fingerprintable units of work.
+
+A :class:`Task` names a registered *kind* (the computation), a
+JSON-serializable ``params`` mapping (typically a serialized
+:class:`~repro.workloads.WorkloadSpec`), a root ``seed``, and a ``trial``
+index.  Every sweep point / table cell of the evaluation is one task, so
+
+- tasks are independent: the instance seed is derived from
+  ``(seed, trial)`` via :func:`repro.rng.derive_seed` spawn keys, never
+  from shared-stream order, so results do not depend on which tasks ran
+  before (or concurrently);
+- tasks are addressable: :attr:`Task.fingerprint` is the SHA-256 of a
+  canonical JSON payload, the key of the on-disk result cache;
+- tasks are portable: both the task and its result are plain JSON data,
+  so they survive pickling to a worker process and a cache round-trip
+  byte-identically.
+
+Task kinds are registered with :func:`task_kind`; the built-in kinds live
+in :mod:`repro.experiments.exec.kinds` and are loaded lazily on first
+execution so this module stays import-light.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
+
+__all__ = [
+    "Task",
+    "TaskKindError",
+    "canonical_json",
+    "execute_task",
+    "task_kind",
+]
+
+#: Bump when the payload layout changes — old cache entries then miss
+#: cleanly instead of replaying results computed under different rules.
+TASK_SCHEMA_VERSION = 1
+
+#: kind name → callable(params, seed, trial) -> JSON-serializable result.
+_KINDS: Dict[str, Callable[[Mapping[str, Any], int, int], Any]] = {}
+
+
+class TaskKindError(KeyError):
+    """A task named a kind that is not registered."""
+
+
+def task_kind(name: str):
+    """Register a function as the implementation of task kind *name*.
+
+    The function receives ``(params, seed, trial)`` and must return plain
+    JSON data (dicts/lists of numbers and strings): the result is cached
+    on disk as JSON and must round-trip byte-identically.
+    """
+
+    def decorator(fn):
+        if name in _KINDS:
+            raise ValueError(f"task kind {name!r} registered twice")
+        _KINDS[name] = fn
+        return fn
+
+    return decorator
+
+
+def _canon(value: Any) -> Any:
+    """Canonicalize *value* for fingerprinting.
+
+    Mappings become sorted dicts, sequences become lists, ``-0.0`` is
+    normalized to ``0.0`` (they compare equal, so they must fingerprint
+    equal), and non-JSON types are rejected rather than silently
+    stringified — a fingerprint must never conflate distinct inputs.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite float {value!r} cannot be fingerprinted")
+        return 0.0 if value == 0.0 else value
+    if isinstance(value, Mapping):
+        return {str(k): _canon(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    raise TypeError(f"task params must be JSON data, got {type(value).__name__}")
+
+
+def canonical_json(value: Any) -> str:
+    """One canonical JSON text per value: sorted keys, no whitespace."""
+    return json.dumps(_canon(value), sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of experiment work: ``(kind, params, seed, trial)``."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    trial: int = 0
+
+    def payload(self) -> Dict[str, Any]:
+        """The canonical dict this task fingerprints as."""
+        return {
+            "version": TASK_SCHEMA_VERSION,
+            "kind": self.kind,
+            "params": _canon(self.params),
+            "seed": int(self.seed),
+            "trial": int(self.trial),
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of the canonical payload — the cache key."""
+        text = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def execute_task(task: Task) -> Any:
+    """Run *task* and return its (JSON-serializable) result.
+
+    Safe to call in a worker process: the built-in kinds are imported on
+    first use, so an unpickled task finds its implementation.
+    """
+    if task.kind not in _KINDS:
+        from . import kinds  # noqa: F401 — registers the built-in task kinds
+
+    try:
+        fn = _KINDS[task.kind]
+    except KeyError:
+        raise TaskKindError(
+            f"unknown task kind {task.kind!r}; registered: {sorted(_KINDS)}"
+        ) from None
+    return fn(dict(task.params), int(task.seed), int(task.trial))

@@ -4,27 +4,18 @@ Each function regenerates one figure as a :class:`SeriesResult`; the
 matching benchmark in ``benchmarks/`` runs it and prints the series, and
 EXPERIMENTS.md records the observed shape against the paper's claims.
 All functions take ``trials``/``seed`` so benchmarks can run quickly while
-the CLI runs full-size sweeps.
+the CLI runs full-size sweeps, plus an optional ``executor`` — each
+``(sweep value, trial)`` point is one independent
+:class:`~repro.experiments.exec.Task`, so figures parallelize and cache
+through the ambient executor (see docs/EXECUTION.md).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..core import (
-    EgalitarianSharing,
-    ProportionalSharing,
-    ShapleySharing,
-    ccsa,
-    ccsga,
-    comprehensive_cost,
-    member_costs,
-    noncooperation,
-    optimal_schedule,
-)
-from ..game import SelfishSwitch, SociallyAwareSwitch
-from ..workloads import DEFAULT_SPEC, LARGE_SCALE_SPEC, WorkloadSpec, generate_instance
+from ..workloads import DEFAULT_SPEC, WorkloadSpec
+from .exec import Executor, Task, resolve_executor, spec_to_params
 from .report import SeriesResult
 from .sweep import sweep_costs, sweep_runtime
 
@@ -40,11 +31,15 @@ __all__ = [
     "fig12_ablation_capacity",
 ]
 
+#: The cost-sharing schemes compared in Fig 11 (see exec.kinds.SCHEME_NAMES).
+_FIG11_SCHEMES = ("egalitarian", "proportional", "shapley")
+
 
 def fig5_cost_vs_devices(
     values: Sequence[int] = (10, 20, 40, 60, 80, 100),
     trials: int = 3,
     seed: int = 5,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Comprehensive cost vs number of devices (CCSA / CCSGA / NCA)."""
     return sweep_costs(
@@ -56,6 +51,7 @@ def fig5_cost_vs_devices(
         trials=trials,
         seed=seed,
         x_label="n",
+        executor=executor,
     )
 
 
@@ -63,6 +59,7 @@ def fig6_cost_vs_chargers(
     values: Sequence[int] = (2, 4, 6, 9, 12, 16),
     trials: int = 3,
     seed: int = 6,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Comprehensive cost vs number of chargers."""
     return sweep_costs(
@@ -74,6 +71,7 @@ def fig6_cost_vs_chargers(
         trials=trials,
         seed=seed,
         x_label="m",
+        executor=executor,
     )
 
 
@@ -81,6 +79,7 @@ def fig7_cost_vs_base_price(
     values: Sequence[float] = (0.0, 10.0, 20.0, 40.0, 60.0, 80.0),
     trials: int = 3,
     seed: int = 7,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Comprehensive cost vs session base price.
 
@@ -97,6 +96,7 @@ def fig7_cost_vs_base_price(
         trials=trials,
         seed=seed,
         x_label="base_price",
+        executor=executor,
     )
 
 
@@ -104,6 +104,7 @@ def fig8_cost_vs_field_side(
     values: Sequence[float] = (100.0, 200.0, 400.0, 600.0, 800.0, 1000.0),
     trials: int = 3,
     seed: int = 8,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Comprehensive cost vs field side length.
 
@@ -120,6 +121,7 @@ def fig8_cost_vs_field_side(
         trials=trials,
         seed=seed,
         x_label="side_m",
+        executor=executor,
     )
 
 
@@ -128,12 +130,14 @@ def fig9_runtime(
     trials: int = 2,
     seed: int = 9,
     include_optimal_upto: int = 14,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Wall-clock runtime vs number of devices (the CCSGA-speed claim).
 
     OPT is exponential, so its series is only measured up to
     *include_optimal_upto* devices and reported as ``nan`` beyond.
     """
+    executor = resolve_executor(executor)
     result = sweep_runtime(
         "fig9",
         "Fig 9: solver runtime (seconds) vs number of devices",
@@ -143,19 +147,30 @@ def fig9_runtime(
         trials=trials,
         seed=seed,
         x_label="n",
+        executor=executor,
     )
+    opt_values = [n for n in values if n <= include_optimal_upto]
+    tasks = [
+        Task(
+            kind="point_runtime",
+            params={
+                "spec": spec_to_params(DEFAULT_SPEC.with_(n_devices=int(n))),
+                "algos": ["OPT"],
+            },
+            seed=seed,
+            trial=t,
+        )
+        for n in opt_values
+        for t in range(trials)
+    ]
+    points = executor.run(tasks)
     opt_series: List[float] = []
     for n in values:
         if n > include_optimal_upto:
             opt_series.append(float("nan"))
             continue
-        spec = DEFAULT_SPEC.with_(n_devices=int(n))
-        total = 0.0
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            t0 = time.perf_counter()
-            optimal_schedule(instance)
-            total += time.perf_counter() - t0
+        k = opt_values.index(n)
+        total = sum(points[k * trials + t]["OPT"] for t in range(trials))
         opt_series.append(total / trials)
     result.add("OPT", opt_series)
     return result
@@ -165,12 +180,13 @@ def fig10_convergence(
     values: Sequence[int] = (10, 25, 50, 75, 100, 150),
     trials: int = 3,
     seed: int = 10,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """CCSGA switch operations and sweeps to reach the pure Nash equilibrium.
 
     The abstract's convergence theorem, measured: switches grow gently with
     n, every terminal state certifies as a pure NE, and the potential trace
-    is strictly decreasing (asserted here — a failed run raises).
+    is strictly decreasing (asserted inside each task — a failed run raises).
     """
     result = SeriesResult(
         name="fig10",
@@ -178,20 +194,22 @@ def fig10_convergence(
         x_label="n",
         x_values=list(values),
     )
+    tasks = [
+        Task(
+            kind="point_convergence",
+            params={"spec": spec_to_params(DEFAULT_SPEC.with_(n_devices=int(n)))},
+            seed=seed,
+            trial=t,
+        )
+        for n in values
+        for t in range(trials)
+    ]
+    points = resolve_executor(executor).run(tasks)
     switches: List[float] = []
     sweeps: List[float] = []
-    for n in values:
-        spec = DEFAULT_SPEC.with_(n_devices=int(n))
-        s_total, p_total = 0.0, 0.0
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            run = ccsga(instance)
-            if not run.nash_certified:
-                raise AssertionError(f"CCSGA terminal state not a NE at n={n}")
-            if not run.trace.is_strictly_decreasing():
-                raise AssertionError(f"potential not strictly decreasing at n={n}")
-            s_total += run.switches
-            p_total += run.sweeps
+    for k in range(len(values)):
+        s_total = sum(points[k * trials + t]["switches"] for t in range(trials))
+        p_total = sum(points[k * trials + t]["sweeps"] for t in range(trials))
         switches.append(s_total / trials)
         sweeps.append(p_total / trials)
     result.add("switches", switches)
@@ -203,6 +221,7 @@ def fig11_sharing_fairness(
     trials: int = 5,
     seed: int = 11,
     spec: Optional[WorkloadSpec] = None,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Cost-sharing schemes compared on heterogeneous-demand instances.
 
@@ -213,33 +232,26 @@ def fig11_sharing_fairness(
     proportional and Shapley schemes compress them.
     """
     spec = spec or DEFAULT_SPEC.with_(demand_model="lognormal", n_devices=24)
-    schemes = {
-        "egalitarian": EgalitarianSharing(),
-        "proportional": ProportionalSharing(),
-        "shapley": ShapleySharing(exact_limit=6, samples=400),
-    }
     result = SeriesResult(
         name="fig11",
         title="Fig 11: cost-sharing schemes — mean member cost and per-joule dispersion",
         x_label="metric",
         x_values=[0, 1],  # 0 = mean member cost, 1 = per-joule price std
     )
-    for label, scheme in schemes.items():
-        mean_costs, dispersions = [], []
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            run = ccsga(instance, scheme=scheme, certify=False)
-            costs = member_costs(run.schedule, instance, scheme)
-            per_joule = [
-                (costs[i] - instance.moving_cost(i, run.schedule.session_of(i).charger))
-                / instance.devices[i].demand
-                for i in range(instance.n_devices)
-            ]
-            mean_costs.append(sum(costs.values()) / len(costs))
-            mu = sum(per_joule) / len(per_joule)
-            dispersions.append(
-                (sum((x - mu) ** 2 for x in per_joule) / len(per_joule)) ** 0.5
-            )
+    tasks = [
+        Task(
+            kind="point_sharing",
+            params={"spec": spec_to_params(spec), "scheme": label},
+            seed=seed,
+            trial=t,
+        )
+        for label in _FIG11_SCHEMES
+        for t in range(trials)
+    ]
+    points = resolve_executor(executor).run(tasks)
+    for k, label in enumerate(_FIG11_SCHEMES):
+        mean_costs = [points[k * trials + t]["mean_cost"] for t in range(trials)]
+        dispersions = [points[k * trials + t]["dispersion"] for t in range(trials)]
         result.add(
             label,
             [
@@ -254,6 +266,7 @@ def fig12_ablation_tariff(
     exponents: Sequence[float] = (0.6, 0.7, 0.8, 0.9, 1.0),
     trials: int = 3,
     seed: int = 12,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Ablation: tariff concavity sweep.
 
@@ -267,15 +280,22 @@ def fig12_ablation_tariff(
         x_label="exponent",
         x_values=list(exponents),
     )
+    tasks = [
+        Task(
+            kind="point_saving",
+            params={
+                "spec": spec_to_params(DEFAULT_SPEC.with_(tariff_exponent=float(alpha)))
+            },
+            seed=seed,
+            trial=t,
+        )
+        for alpha in exponents
+        for t in range(trials)
+    ]
+    points = resolve_executor(executor).run(tasks)
     savings: List[float] = []
-    for alpha in exponents:
-        spec = DEFAULT_SPEC.with_(tariff_exponent=float(alpha))
-        total = 0.0
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            c_ccsa = comprehensive_cost(ccsa(instance), instance)
-            c_nca = comprehensive_cost(noncooperation(instance), instance)
-            total += 100.0 * (c_nca - c_ccsa) / c_nca
+    for k in range(len(exponents)):
+        total = sum(points[k * trials + t]["saving_pct"] for t in range(trials))
         savings.append(total / trials)
     result.add("CCSA saving %", savings)
     return result
@@ -285,6 +305,7 @@ def fig12_ablation_capacity(
     capacities: Sequence[int] = (1, 2, 3, 4, 6, 8),
     trials: int = 3,
     seed: int = 13,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Ablation: slot-capacity sweep.
 
@@ -299,21 +320,26 @@ def fig12_ablation_capacity(
         x_label="capacity",
         x_values=list(capacities),
     )
+    tasks = [
+        Task(
+            kind="point_capacity",
+            params={"spec": spec_to_params(DEFAULT_SPEC.with_(capacity=int(cap)))},
+            seed=seed,
+            trial=t,
+        )
+        for cap in capacities
+        for t in range(trials)
+    ]
+    points = resolve_executor(executor).run(tasks)
     savings: List[float] = []
     group_sizes: List[float] = []
-    for cap in capacities:
-        spec = DEFAULT_SPEC.with_(capacity=int(cap))
-        s_total, g_total = 0.0, 0.0
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            sched = ccsa(instance)
-            c_ccsa = comprehensive_cost(sched, instance)
-            c_nca = comprehensive_cost(noncooperation(instance), instance)
-            s_total += 100.0 * (c_nca - c_ccsa) / c_nca
-            sizes = sched.group_sizes()
-            g_total += sum(sizes) / len(sizes)
-        savings.append(s_total / trials)
-        group_sizes.append(g_total / trials)
+    for k in range(len(capacities)):
+        savings.append(
+            sum(points[k * trials + t]["saving_pct"] for t in range(trials)) / trials
+        )
+        group_sizes.append(
+            sum(points[k * trials + t]["mean_group_size"] for t in range(trials)) / trials
+        )
     result.add("CCSA saving %", savings)
     result.add("mean group size", group_sizes)
     return result

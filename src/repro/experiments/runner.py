@@ -7,8 +7,10 @@ and what EXPERIMENTS.md is distilled from.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
+from ..errors import UnknownExperimentError
+from .exec import Executor, use_executor
 from .figures import (
     fig5_cost_vs_devices,
     fig6_cost_vs_chargers,
@@ -23,7 +25,13 @@ from .figures import (
 from .report import render_series, render_table
 from .tables import table1_parameters, table2_optimality, table3_field
 
-__all__ = ["EXPERIMENTS", "FIGURE_BUILDERS", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "FIGURE_BUILDERS",
+    "run_experiment",
+    "run_all",
+    "validate_experiment_ids",
+]
 
 
 def _table1() -> str:
@@ -71,18 +79,45 @@ FIGURE_BUILDERS = {
 }
 
 
-def run_experiment(experiment_id: str, trials: int = 3) -> str:
-    """Run one experiment by id and return its rendered text."""
-    try:
-        fn = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
-        ) from None
-    return fn(trials)
+def validate_experiment_ids(ids: Iterable[str]) -> List[str]:
+    """Return *ids* as a list, or raise :class:`UnknownExperimentError`."""
+    ids = list(ids)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise UnknownExperimentError(unknown, EXPERIMENTS)
+    return ids
 
 
-def run_all(trials: int = 3, only: Optional[List[str]] = None) -> Dict[str, str]:
-    """Run every experiment (or the ids in *only*) and return their outputs."""
-    ids = only if only is not None else list(EXPERIMENTS)
-    return {eid: run_experiment(eid, trials=trials) for eid in ids}
+def run_experiment(
+    experiment_id: str, trials: int = 3, executor: Optional[Executor] = None
+) -> str:
+    """Run one experiment by id and return its rendered text.
+
+    *executor* (a :class:`~repro.experiments.exec.SerialExecutor` or
+    :class:`~repro.experiments.exec.ParallelExecutor`) is made ambient for
+    the duration, so every task the experiment spawns runs — and caches —
+    through it; ``None`` keeps whatever executor is already ambient.
+    """
+    (eid,) = validate_experiment_ids([experiment_id])
+    fn = EXPERIMENTS[eid]
+    if executor is None:
+        return fn(trials)
+    with use_executor(executor):
+        return fn(trials)
+
+
+def run_all(
+    trials: int = 3,
+    only: Optional[List[str]] = None,
+    executor: Optional[Executor] = None,
+) -> Dict[str, str]:
+    """Run every experiment (or the ids in *only*) and return their outputs.
+
+    Unknown ids in *only* raise :class:`UnknownExperimentError` up front —
+    before any experiment runs — rather than failing midway or being
+    silently skipped.
+    """
+    ids = validate_experiment_ids(only if only is not None else list(EXPERIMENTS))
+    return {
+        eid: run_experiment(eid, trials=trials, executor=executor) for eid in ids
+    }

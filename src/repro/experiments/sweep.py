@@ -3,39 +3,138 @@
 Every cost-vs-parameter figure in the evaluation has the same shape: vary
 one :class:`~repro.workloads.generators.WorkloadSpec` field, generate
 several seeded instances per value, run each algorithm, and average the
-comprehensive cost.  :func:`sweep_costs` is that loop, once.
+comprehensive cost.  :func:`sweep_costs` is that loop, once — decomposed
+into one :class:`~repro.experiments.exec.Task` per ``(value, trial)``
+point so the ambient executor can parallelize and cache it.
+
+Instance seeds derive from ``(seed, trial)`` spawn keys
+(:func:`repro.rng.derive_seed`): the same trial index sees the same
+instance seed at every sweep value and for every algorithm — a paired
+comparison — and results are independent of execution order.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..core import CCSInstance, Schedule, comprehensive_cost
+from ..rng import derive_seed
 from ..workloads import WorkloadSpec, generate_instance
+from .exec import Executor, Task, perf_timer, resolve_executor, spec_to_params
 from .report import SeriesResult
 
-__all__ = ["Algorithm", "sweep_costs", "sweep_runtime"]
+__all__ = ["Algorithm", "DEFAULT_ALGORITHM_NAMES", "sweep_costs", "sweep_runtime"]
 
 #: An algorithm under sweep: instance in, schedule out.
 Algorithm = Callable[[CCSInstance], Schedule]
 
-
-def _default_algorithms() -> Dict[str, Algorithm]:
-    # Imported lazily to keep this module import-light for the harness.
-    from ..core import ccsa, ccsga, noncooperation
-
-    return {
-        "NCA": noncooperation,
-        "CCSA": ccsa,
-        "CCSGA": lambda inst: ccsga(inst, certify=False).schedule,
-    }
+#: The algorithms every cost/runtime sweep compares by default.
+DEFAULT_ALGORITHM_NAMES = ("NCA", "CCSA", "CCSGA")
 
 
-def _algorithms(algorithms: Optional[Mapping[str, Algorithm]]) -> Mapping[str, Algorithm]:
+def _point_tasks(
+    kind: str,
+    base_spec: WorkloadSpec,
+    param: str,
+    values: Sequence,
+    labels: Sequence[str],
+    trials: int,
+    seed: int,
+) -> List[Task]:
+    tasks = []
+    for v in values:
+        spec = spec_to_params(base_spec.with_(**{param: v}))
+        for t in range(trials):
+            tasks.append(
+                Task(kind=kind, params={"spec": spec, "algos": list(labels)}, seed=seed, trial=t)
+            )
+    return tasks
+
+
+def _aggregate(
+    result: SeriesResult,
+    labels: Sequence[str],
+    point_results: Sequence[Mapping[str, float]],
+    n_values: int,
+    trials: int,
+) -> SeriesResult:
+    """Mean each label's metric over trials, per sweep value, in order."""
+    sums: Dict[str, List[float]] = {label: [] for label in labels}
+    for k in range(n_values):
+        totals = {label: 0.0 for label in labels}
+        for t in range(trials):
+            point = point_results[k * trials + t]
+            for label in labels:
+                totals[label] += point[label]
+        for label in labels:
+            sums[label].append(totals[label] / trials)
+    for label, ys in sums.items():
+        result.add(label, ys)
+    return result
+
+
+def _sweep_custom(
+    result: SeriesResult,
+    base_spec: WorkloadSpec,
+    param: str,
+    values: Sequence,
+    algorithms: Mapping[str, Algorithm],
+    trials: int,
+    seed: int,
+    timed: bool,
+) -> SeriesResult:
+    """In-process fallback for ad-hoc algorithm callables.
+
+    Callables cannot be fingerprinted or shipped to a worker, so custom
+    sweeps bypass the executor — but use the same derived seeds, so a
+    custom mapping that equals the default registry reproduces the
+    executor path's numbers exactly.
+    """
+    sums: Dict[str, List[float]] = {label: [] for label in algorithms}
+    for v in values:
+        spec = base_spec.with_(**{param: v})
+        totals = {label: 0.0 for label in algorithms}
+        for t in range(trials):
+            instance = generate_instance(spec, seed=derive_seed(seed, t))
+            for label, algo in algorithms.items():
+                if timed:
+                    t0 = perf_timer()
+                    algo(instance)
+                    totals[label] += perf_timer() - t0
+                else:
+                    totals[label] += comprehensive_cost(algo(instance), instance)
+        for label in algorithms:
+            sums[label].append(totals[label] / trials)
+    for label, ys in sums.items():
+        result.add(label, ys)
+    return result
+
+
+def _sweep(
+    kind: str,
+    name: str,
+    title: str,
+    base_spec: WorkloadSpec,
+    param: str,
+    values: Sequence,
+    algorithms: Optional[Mapping[str, Algorithm]],
+    trials: int,
+    seed: int,
+    x_label: Optional[str],
+    executor: Optional[Executor],
+) -> SeriesResult:
+    result = SeriesResult(
+        name=name, title=title, x_label=x_label or param, x_values=list(values)
+    )
     if algorithms is not None:
-        return algorithms
-    return _default_algorithms()
+        return _sweep_custom(
+            result, base_spec, param, values, algorithms, trials, seed,
+            timed=(kind == "point_runtime"),
+        )
+    labels = DEFAULT_ALGORITHM_NAMES
+    tasks = _point_tasks(kind, base_spec, param, values, labels, trials, seed)
+    point_results = resolve_executor(executor).run(tasks)
+    return _aggregate(result, labels, point_results, len(values), trials)
 
 
 def sweep_costs(
@@ -48,30 +147,21 @@ def sweep_costs(
     trials: int = 5,
     seed: int = 0,
     x_label: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Average comprehensive cost of each algorithm across a parameter sweep.
 
     For each value ``v`` of *param*, generates *trials* instances from
-    ``base_spec.with_(param=v)`` with seeds ``seed + trial`` (identical
-    across algorithms — a paired comparison) and records the mean cost.
+    ``base_spec.with_(param=v)`` with seeds ``derive_seed(seed, trial)``
+    (identical across values and algorithms — a paired comparison) and
+    records the mean cost.  With the default algorithms, each
+    ``(value, trial)`` point is one cacheable task on *executor* (the
+    ambient one if ``None``).
     """
-    algos = _algorithms(algorithms)
-    result = SeriesResult(
-        name=name, title=title, x_label=x_label or param, x_values=list(values)
+    return _sweep(
+        "point_costs", name, title, base_spec, param, values,
+        algorithms, trials, seed, x_label, executor,
     )
-    sums = {label: [] for label in algos}
-    for v in values:
-        spec = base_spec.with_(**{param: v})
-        totals = {label: 0.0 for label in algos}
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            for label, algo in algos.items():
-                totals[label] += comprehensive_cost(algo(instance), instance)
-        for label in algos:
-            sums[label].append(totals[label] / trials)
-    for label, ys in sums.items():
-        result.add(label, ys)
-    return result
 
 
 def sweep_runtime(
@@ -84,28 +174,15 @@ def sweep_runtime(
     trials: int = 3,
     seed: int = 0,
     x_label: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> SeriesResult:
     """Mean wall-clock seconds of each algorithm across a parameter sweep.
 
     Same pairing discipline as :func:`sweep_costs`; timing covers only the
-    solver call, not instance generation.
+    solver call, not instance generation.  (Timings are measured, so only
+    cache-replayed runs are bit-reproducible — see docs/EXECUTION.md.)
     """
-    algos = _algorithms(algorithms)
-    result = SeriesResult(
-        name=name, title=title, x_label=x_label or param, x_values=list(values)
+    return _sweep(
+        "point_runtime", name, title, base_spec, param, values,
+        algorithms, trials, seed, x_label, executor,
     )
-    sums = {label: [] for label in algos}
-    for v in values:
-        spec = base_spec.with_(**{param: v})
-        totals = {label: 0.0 for label in algos}
-        for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            for label, algo in algos.items():
-                t0 = time.perf_counter()
-                algo(instance)
-                totals[label] += time.perf_counter() - t0
-        for label in algos:
-            sums[label].append(totals[label] / trials)
-    for label, ys in sums.items():
-        result.add(label, ys)
-    return result

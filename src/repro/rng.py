@@ -12,7 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["RandomState", "ensure_rng", "spawn"]
+__all__ = ["RandomState", "derive_seed", "ensure_rng", "spawn"]
 
 #: Anything accepted where a random source is expected.
 RandomState = Union[None, int, np.random.Generator]
@@ -40,3 +40,18 @@ def spawn(rng: np.random.Generator, n: int) -> list:
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def derive_seed(root: int, *path: int) -> int:
+    """Derive a child seed from *root* along a spawn-key *path*.
+
+    Uses :class:`numpy.random.SeedSequence` spawn keys, the same mechanism
+    :func:`spawn` relies on, so children are statistically independent of
+    each other and of the root stream.  Unlike drawing child seeds from a
+    shared generator, the result depends only on ``(root, path)`` — never
+    on how many seeds were derived before — which is what lets experiment
+    tasks run in any order (or in parallel) and still see identical
+    randomness.
+    """
+    ss = np.random.SeedSequence(int(root), spawn_key=tuple(int(p) for p in path))
+    return int(ss.generate_state(1, dtype=np.uint32)[0])

@@ -1,0 +1,250 @@
+"""The on-disk result cache: round-trips, corruption handling, resume.
+
+Robustness contract: a cache entry that is truncated, bit-flipped,
+hand-edited, or simply garbage is *detected* (checksum / fingerprint /
+schema validation), logged, and recomputed — never crashed on, never
+served stale.  Resume contract: a run killed partway leaves its finished
+tasks behind, and a restart with the same cache dir recomputes only the
+missing ones (counted via the executors' ``computed`` bookkeeping).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.errors import UnknownExperimentError
+from repro.experiments import run_all, run_experiment
+from repro.experiments.exec import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    Task,
+    execute_task,
+    task_kind,
+)
+from repro.experiments.exec.task import _KINDS
+
+
+@pytest.fixture
+def counting_kind(tmp_path):
+    """A registered task kind that counts executions and can be 'killed'.
+
+    Each execution appends to a side file (so counts survive worker
+    processes); if the poison file exists, trials >= 2 raise — simulating
+    a run dying partway through.
+    """
+    calls = tmp_path / "calls.log"
+    poison = tmp_path / "poison"
+    name = "test_counting"
+
+    @task_kind(name)
+    def _counting(params, seed, trial):
+        with open(calls, "a") as fh:
+            fh.write(f"{trial}\n")
+        if poison.exists() and trial >= 2:
+            raise RuntimeError(f"injected failure at trial {trial}")
+        return {"value": float(seed + trial * 10)}
+
+    yield {
+        "name": name,
+        "calls": lambda: len(calls.read_text().splitlines()) if calls.exists() else 0,
+        "poison": poison,
+    }
+    del _KINDS[name]
+
+
+def _tasks(name, n=5, seed=7):
+    return [Task(kind=name, params={"i": "x"}, seed=seed, trial=t) for t in range(n)]
+
+
+class TestCacheRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = Task(kind="k", params={"a": 1}, seed=3, trial=2)
+        result = {"cost": 12.5, "n": 4, "rows": [[1, 2.0, "x"]]}
+        cache.store(task, result)
+        hit, loaded = cache.load(task)
+        assert hit and loaded == result
+        assert len(cache) == 1
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        hit, value = ResultCache(tmp_path).load(Task(kind="k", seed=1))
+        assert not hit and value is None
+
+    def test_different_tasks_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        t1 = Task(kind="k", params={"a": 1}, seed=1)
+        t2 = Task(kind="k", params={"a": 1}, seed=2)
+        cache.store(t1, "one")
+        cache.store(t2, "two")
+        assert cache.load(t1) == (True, "one")
+        assert cache.load(t2) == (True, "two")
+
+
+class TestCacheCorruption:
+    def _stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = Task(kind="k", params={"a": 1}, seed=3)
+        path = cache.store(task, {"cost": 1.25})
+        return cache, task, path
+
+    def _assert_detected(self, cache, task, path, caplog):
+        with caplog.at_level(logging.WARNING, "repro.experiments.exec.cache"):
+            hit, value = cache.load(task)
+        assert not hit and value is None
+        assert any("discarding cache entry" in r.message for r in caplog.records)
+        assert not path.exists(), "corrupt entry should be deleted"
+
+    def test_truncated_entry_detected(self, tmp_path, caplog):
+        cache, task, path = self._stored(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        self._assert_detected(cache, task, path, caplog)
+
+    def test_garbage_entry_detected(self, tmp_path, caplog):
+        cache, task, path = self._stored(tmp_path)
+        path.write_bytes(b"\x00\xff not json")
+        self._assert_detected(cache, task, path, caplog)
+
+    def test_tampered_result_fails_checksum(self, tmp_path, caplog):
+        cache, task, path = self._stored(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["result"]["cost"] = 999.0  # stale/poisoned value, checksum now wrong
+        path.write_text(json.dumps(doc))
+        self._assert_detected(cache, task, path, caplog)
+
+    def test_misplaced_entry_fails_fingerprint(self, tmp_path, caplog):
+        cache, task, path = self._stored(tmp_path)
+        other = Task(kind="k", params={"a": 2}, seed=3)
+        # Simulate a mis-filed entry: another task's document at this path.
+        other_path = cache.store(other, {"cost": 7.0})
+        path.write_text(other_path.read_text())
+        self._assert_detected(cache, task, path, caplog)
+
+    def test_wrong_version_entry_detected(self, tmp_path, caplog):
+        cache, task, path = self._stored(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["version"] = 999
+        path.write_text(json.dumps(doc))
+        self._assert_detected(cache, task, path, caplog)
+
+    def test_corrupt_entry_is_recomputed_through_executor(
+        self, tmp_path, caplog, counting_kind
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = _tasks(counting_kind["name"], n=2)
+        ex = SerialExecutor(cache=cache)
+        first = ex.run(tasks)
+        assert counting_kind["calls"]() == 2
+
+        cache.path_for(tasks[0]).write_text("{broken")
+        ex2 = SerialExecutor(cache=ResultCache(tmp_path / "cache"))
+        with caplog.at_level(logging.WARNING, "repro.experiments.exec.cache"):
+            again = ex2.run(tasks)
+        assert again == first
+        assert ex2.computed == 1 and ex2.cache_hits == 1
+        assert counting_kind["calls"]() == 3  # only the corrupted task reran
+
+        # The rewritten entry is healthy again.
+        ex3 = SerialExecutor(cache=ResultCache(tmp_path / "cache"))
+        assert ex3.run(tasks) == first and ex3.computed == 0
+
+
+class TestResume:
+    def test_completed_tasks_not_recomputed(self, tmp_path, counting_kind):
+        cache_dir = tmp_path / "cache"
+        tasks = _tasks(counting_kind["name"])
+
+        ex1 = SerialExecutor(cache=ResultCache(cache_dir))
+        ex1.run(tasks[:3])
+        assert ex1.computed == 3
+
+        ex2 = SerialExecutor(cache=ResultCache(cache_dir))
+        results = ex2.run(tasks)
+        assert ex2.computed == 2 and ex2.cache_hits == 3
+        assert counting_kind["calls"]() == 5
+        assert results == [{"value": float(7 + t * 10)} for t in range(5)]
+
+    def test_killed_run_resumes_from_cache(self, tmp_path, counting_kind):
+        """A run that dies partway is completed by a restart, not redone."""
+        cache_dir = tmp_path / "cache"
+        tasks = _tasks(counting_kind["name"])
+
+        counting_kind["poison"].write_text("")  # the run will die at trial 2
+        ex1 = SerialExecutor(cache=ResultCache(cache_dir))
+        with pytest.raises(RuntimeError, match="injected failure"):
+            ex1.run(tasks)
+        assert ex1.computed == 2  # trials 0 and 1 finished and were cached
+
+        counting_kind["poison"].unlink()
+        ex2 = SerialExecutor(cache=ResultCache(cache_dir))
+        results = ex2.run(tasks)
+        assert ex2.cache_hits == 2 and ex2.computed == 3
+        # First run: trials 0, 1 and the fatal attempt at 2 (3 calls);
+        # resume: trials 2, 3, 4 (3 calls) — 0 and 1 never recomputed.
+        assert counting_kind["calls"]() == 3 + 3
+        assert results == [{"value": float(7 + t * 10)} for t in range(5)]
+
+    def test_parallel_resumes_serial_cache_and_vice_versa(self, tmp_path, counting_kind):
+        cache_dir = tmp_path / "cache"
+        tasks = _tasks(counting_kind["name"])
+        SerialExecutor(cache=ResultCache(cache_dir)).run(tasks[:2])
+
+        par = ParallelExecutor(2, cache=ResultCache(cache_dir))
+        par.run(tasks)
+        assert par.cache_hits == 2 and par.computed == 3
+
+        ser = SerialExecutor(cache=ResultCache(cache_dir))
+        ser.run(tasks)
+        assert ser.cache_hits == 5 and ser.computed == 0
+
+    def test_cli_second_run_computes_nothing(self, tmp_path, capsys):
+        argv = ["table3", "--trials", "1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 computed, 0 from cache" in first.err
+
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "0 computed, 1 from cache" in second.err
+        assert second.out == first.out
+
+    def test_cli_no_cache_always_computes(self, tmp_path, capsys):
+        argv = [
+            "table3", "--trials", "1", "--cache-dir", str(tmp_path / "c"), "--no-cache",
+        ]
+        for _ in range(2):
+            assert main(argv) == 0
+            assert "1 computed, 0 from cache" in capsys.readouterr().err
+        assert not (tmp_path / "c").exists()
+
+
+class TestRunAllValidation:
+    def test_run_all_unknown_id_raises(self):
+        with pytest.raises(UnknownExperimentError, match="fig99"):
+            run_all(trials=1, only=["table1", "fig99"])
+
+    def test_run_all_validates_before_running_anything(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with pytest.raises(UnknownExperimentError):
+            run_all(
+                trials=1,
+                only=["table3", "nope"],
+                executor=SerialExecutor(cache=ResultCache(cache_dir)),
+            )
+        assert len(ResultCache(cache_dir)) == 0, "no experiment should have run"
+
+    def test_run_experiment_unknown_id_raises_keyerror_compatible(self):
+        with pytest.raises(UnknownExperimentError):
+            run_experiment("fig99")
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    def test_unknown_task_kind_raises(self):
+        from repro.experiments.exec import TaskKindError
+
+        with pytest.raises(TaskKindError, match="no_such_kind"):
+            execute_task(Task(kind="no_such_kind"))

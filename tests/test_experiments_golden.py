@@ -1,0 +1,76 @@
+"""Golden regression test for the evaluation's headline tables.
+
+Pins the rendered Table 2 and Table 3 (and their aggregate statistics)
+against ``tests/fixtures/experiments_golden.json`` so the executor
+subsystem — or any future refactor of the experiment harness — cannot
+silently drift the numbers EXPERIMENTS.md reports.  The parallel run
+doubles as an end-to-end check that ``--jobs`` reproduces the pinned
+bytes, not merely that serial == parallel.
+
+Regenerate deliberately via ``make golden-experiments`` (see
+``tests/fixtures/capture_experiments_golden.py``) after an intentional
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ParallelExecutor,
+    render_table,
+    table2_optimality,
+    table3_field,
+)
+
+GOLDEN_FILE = Path(__file__).parent / "fixtures" / "experiments_golden.json"
+
+TABLE2_ARGS = {"device_counts": (6, 8, 10, 12), "trials": 5, "seed": 101}
+TABLE3_ARGS = {"rounds": 10, "seed": 3}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_FILE) as fh:
+        return json.load(fh)
+
+
+def test_golden_args_in_sync(golden):
+    assert golden["table2"]["args"] == {
+        k: list(v) if isinstance(v, tuple) else v for k, v in TABLE2_ARGS.items()
+    }
+    assert golden["table3"]["args"] == dict(TABLE3_ARGS)
+
+
+def test_table2_rendered_output_pinned(golden):
+    stats = table2_optimality(**TABLE2_ARGS)
+    assert render_table(stats.table) == golden["table2"]["rendered"]
+    assert stats.avg_gap_vs_optimal_pct == pytest.approx(
+        golden["table2"]["avg_gap_vs_optimal_pct"], rel=1e-12
+    )
+    assert stats.avg_saving_vs_nca_pct == pytest.approx(
+        golden["table2"]["avg_saving_vs_nca_pct"], rel=1e-12
+    )
+
+
+def test_table3_rendered_output_pinned(golden):
+    stats = table3_field(**TABLE3_ARGS)
+    assert render_table(stats.table) == golden["table3"]["rendered"]
+    assert stats.avg_improvement_pct == pytest.approx(
+        golden["table3"]["avg_improvement_pct"], rel=1e-12
+    )
+    assert stats.ccsa_mean_cost == pytest.approx(
+        golden["table3"]["ccsa_mean_cost"], rel=1e-12
+    )
+    assert stats.nca_mean_cost == pytest.approx(
+        golden["table3"]["nca_mean_cost"], rel=1e-12
+    )
+
+
+def test_table2_parallel_matches_golden_bytes(golden):
+    """--jobs N must reproduce the pinned bytes, not just serial parity."""
+    stats = table2_optimality(**TABLE2_ARGS, executor=ParallelExecutor(2))
+    assert render_table(stats.table) == golden["table2"]["rendered"]
