@@ -10,7 +10,7 @@ JOBS ?= 1
 # Task-result cache directory used by run-all (re-runs resume from it).
 CACHE_DIR ?= .ccs-bench-cache
 
-.PHONY: test bench bench-smoke bench-hotpath bench-exec golden golden-experiments run-all
+.PHONY: test bench bench-smoke bench-hotpath bench-exec bench-service golden golden-experiments run-all serve-smoke
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
@@ -39,6 +39,19 @@ run-all:
 # and rewrite benchmarks/BENCH_exec.json.
 bench-exec:
 	$(PYTHON) benchmarks/bench_exec.py --jobs $(if $(filter 1,$(JOBS)),4,$(JOBS))
+
+# Measure the service daemon (throughput + submit latency) and rewrite
+# benchmarks/BENCH_service.json.
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
+
+# End-to-end daemon smoke: generated stream -> journal -> metrics, then
+# crash-recover from the journal and verify byte-identical state.
+serve-smoke:
+	$(PYTHON) -m repro.service --n 200 --rate 0.5 --seed 7 \
+		--journal .serve-smoke.jsonl --metrics-json .serve-smoke-metrics.json \
+		--check-recovery
+	rm -f .serve-smoke.jsonl .serve-smoke-metrics.json
 
 # Regenerate the pinned CCSGA dynamics goldens (only after an intentional
 # behaviour change to the game dynamics).

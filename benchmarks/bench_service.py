@@ -1,0 +1,135 @@
+"""Benchmark the charging-service daemon: sustained throughput and
+per-submission decision latency.
+
+Drives a seeded Poisson stream of n ∈ {100, 1000, 5000} requests through
+:class:`~repro.service.kernel.ChargingService` (no journal — measuring
+the kernel, not the filesystem) with sessions retiring on the normal
+epoch cadence, and reports:
+
+- sustained request throughput (submissions processed / wall-clock s),
+- p50 / p99 wall-clock latency of a single ``submit`` call (admission
+  decision + quote + any epoch boundary work folded into that call),
+- replanner operation counts per request (the incrementality signal —
+  flat per-request candidate work as n grows 50x).
+
+Two entry points:
+
+- ``pytest benchmarks/bench_service.py --benchmark-only`` — the n=1000
+  case timed under pytest-benchmark;
+- ``PYTHONPATH=src python benchmarks/bench_service.py`` — standalone,
+  rewrites ``benchmarks/BENCH_service.json`` (checked in).  Wall-clock
+  numbers are host-dependent context, not CI-enforced thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.geometry import Field, Point
+from repro.service import ChargingService, ServiceConfig, generate_requests
+from repro.wpt import Charger
+
+HERE = Path(__file__).parent
+RESULT_FILE = HERE / "BENCH_service.json"
+
+SIZES = (100, 1000, 5000)
+SEED = 42
+RATE = 2.0  # requests/s of logical time
+FIELD = 400.0
+N_CHARGERS = 8
+
+
+def make_chargers():
+    side = int(N_CHARGERS ** 0.5) or 1
+    chargers = []
+    for i in range(N_CHARGERS):
+        r, c = divmod(i, side)
+        chargers.append(
+            Charger(
+                charger_id=f"c{i}",
+                position=Point(
+                    FIELD * (c + 1) / (side + 1),
+                    FIELD * (r + 1) / (side + 2),
+                ),
+                capacity=10,
+            )
+        )
+    return chargers
+
+
+def run_once(n: int) -> dict:
+    requests = generate_requests(
+        n, rate=RATE, field=Field(FIELD, FIELD), rng=SEED
+    )
+    service = ChargingService(make_chargers(), config=ServiceConfig())
+    latencies = []
+    t_start = time.perf_counter()
+    for request in requests:
+        t0 = time.perf_counter()
+        service.submit(request)
+        latencies.append(time.perf_counter() - t0)
+    service.drain()
+    elapsed = time.perf_counter() - t_start
+    latencies.sort()
+    ops = dict(service.planner.ops)
+    counts = service.counts()
+    candidates = ops["insert_candidates"] + ops["scan_candidates"]
+    return {
+        "n": n,
+        "wall_s": round(elapsed, 4),
+        "sustained_req_per_s": round(n / elapsed, 1),
+        "submit_p50_us": round(1e6 * latencies[len(latencies) // 2], 1),
+        "submit_p99_us": round(1e6 * latencies[min(n - 1, (99 * n) // 100)], 1),
+        "sessions": len(service.final_schedule()),
+        "done": counts["done"],
+        "candidates_per_request": round(candidates / n, 1),
+        "full_solves": ops["full_solves"],
+    }
+
+
+def test_service_submit_benchmark(benchmark):
+    """pytest-benchmark entry: time one full n=1000 service run."""
+    pytest_bench_n = 1000
+
+    def run():
+        return run_once(pytest_bench_n)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["full_solves"] == 0
+
+
+def main() -> int:
+    results = []
+    for n in SIZES:
+        result = run_once(n)
+        results.append(result)
+        print(
+            f"n={n:5d}: {result['sustained_req_per_s']:9.1f} req/s  "
+            f"p50={result['submit_p50_us']:8.1f}us  "
+            f"p99={result['submit_p99_us']:8.1f}us  "
+            f"candidates/req={result['candidates_per_request']:6.1f}  "
+            f"sessions={result['sessions']}"
+        )
+    doc = {
+        "benchmark": "charging-service daemon submit throughput/latency",
+        "config": {
+            "rate_req_per_s": RATE,
+            "field_m": FIELD,
+            "chargers": N_CHARGERS,
+            "epoch_s": ServiceConfig().epoch,
+            "window_s": ServiceConfig().window,
+            "seed": SEED,
+        },
+        "results": results,
+        "python": sys.version.split()[0],
+    }
+    RESULT_FILE.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
-"""``ccs-bench`` — command-line entry point for the reconstructed evaluation.
+"""Command-line entry points: ``ccs-bench`` and ``ccs-serve``.
 
-Examples::
+``ccs-bench`` regenerates the paper's evaluation::
 
     ccs-bench --list
     ccs-bench table2
@@ -13,11 +13,19 @@ fingerprint, so re-running a killed ``ccs-bench --all`` only computes
 what is missing.  ``--no-cache`` forces a from-scratch run; ``--jobs N``
 fans tasks out over N worker processes with results identical to a
 serial run (see docs/EXECUTION.md).
+
+``ccs-serve`` runs the charging-as-a-service daemon over a generated or
+recorded request stream (see docs/SERVICE.md)::
+
+    ccs-serve --loadgen poisson --n 200 --rate 0.5 --seed 7 \\
+        --journal service.jsonl --metrics-json metrics.json
+    ccs-serve --trace requests.jsonl --journal service.jsonl --check-recovery
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -25,7 +33,7 @@ from typing import List, Optional
 from .experiments import EXPERIMENTS, FIGURE_BUILDERS, ascii_plot, run_experiment
 from .experiments.exec import ParallelExecutor, ResultCache, SerialExecutor
 
-__all__ = ["main"]
+__all__ = ["main", "serve_main"]
 
 #: Environment override for the default cache directory.
 CACHE_DIR_ENV = "CCS_BENCH_CACHE_DIR"
@@ -137,6 +145,186 @@ def main(argv: Optional[List[str]] = None) -> int:
             fh.write(results_markdown(collected, trials=args.trials))
             fh.write("\n")
         print(f"wrote {args.export}", file=sys.stderr)
+    return 0
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    from .service.loadgen import PROFILES
+
+    parser = argparse.ArgumentParser(
+        prog="ccs-serve",
+        description=(
+            "Run the cooperative charging-as-a-service daemon over a "
+            "request stream (see docs/SERVICE.md)."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="replay a recorded JSONL request trace instead of generating",
+    )
+    source.add_argument(
+        "--loadgen",
+        choices=PROFILES,
+        default="poisson",
+        help="arrival profile for the generated stream (default poisson)",
+    )
+    parser.add_argument("--n", type=int, default=100, help="requests to generate (default 100)")
+    parser.add_argument(
+        "--rate", type=float, default=0.5, help="mean arrival rate in req/s (default 0.5)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="advance the logical clock to this time after the last "
+        "submission (default: drain immediately)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="loadgen seed (default 0)")
+    parser.add_argument(
+        "--journal", metavar="PATH", help="write the durable journal to PATH"
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the final metrics snapshot to PATH as JSON",
+    )
+    parser.add_argument(
+        "--epoch", type=float, default=60.0, help="replanning period in s (default 60)"
+    )
+    parser.add_argument(
+        "--window", type=float, default=120.0, help="commitment window in s (default 120)"
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=256, help="admission queue bound (default 256)"
+    )
+    parser.add_argument(
+        "--max-active", type=int, default=None, help="active-device cap (default none)"
+    )
+    parser.add_argument(
+        "--chargers", type=int, default=4, help="chargers on the field grid (default 4)"
+    )
+    parser.add_argument(
+        "--field", type=float, default=100.0, help="square field side in m (default 100)"
+    )
+    parser.add_argument(
+        "--deadline-slack",
+        type=float,
+        default=None,
+        help="give generated requests deadlines this many seconds out",
+    )
+    parser.add_argument(
+        "--max-price-factor",
+        type=float,
+        default=None,
+        help="give generated requests price caps of factor * demand^0.8",
+    )
+    parser.add_argument(
+        "--check-recovery",
+        action="store_true",
+        help="after the run, recover a fresh daemon from the journal and "
+        "verify the schedule and metrics match byte-for-byte "
+        "(requires --journal)",
+    )
+    return parser
+
+
+def _grid_chargers(k: int, side: float):
+    """*k* chargers on a deterministic sqrt-grid over a square field."""
+    import math
+
+    from .geometry import Point
+    from .wpt import Charger
+
+    cols = max(1, math.ceil(math.sqrt(k)))
+    rows = max(1, math.ceil(k / cols))
+    chargers = []
+    for i in range(k):
+        r, c = divmod(i, cols)
+        chargers.append(
+            Charger(
+                charger_id=f"c{i}",
+                position=Point(
+                    side * (c + 1) / (cols + 1), side * (r + 1) / (rows + 1)
+                ),
+            )
+        )
+    return chargers
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``ccs-serve`` entry point; returns a process exit code."""
+    from .geometry import Field
+    from .service import ChargingService, ServiceConfig
+    from .service.loadgen import generate_requests, read_trace
+
+    args = _build_serve_parser().parse_args(argv)
+    if args.check_recovery and not args.journal:
+        print("--check-recovery requires --journal", file=sys.stderr)
+        return 2
+    if args.chargers < 1:
+        print(f"--chargers must be >= 1, got {args.chargers}", file=sys.stderr)
+        return 2
+
+    if args.trace:
+        requests = read_trace(args.trace)
+    else:
+        requests = generate_requests(
+            args.n,
+            rate=args.rate,
+            field=Field(args.field, args.field),
+            profile=args.loadgen,
+            deadline_slack=args.deadline_slack,
+            max_price_factor=args.max_price_factor,
+            rng=args.seed,
+        )
+
+    chargers = _grid_chargers(args.chargers, args.field)
+    config = ServiceConfig(
+        epoch=args.epoch,
+        window=args.window,
+        queue_limit=args.queue_limit,
+        max_active=args.max_active,
+    )
+    service = ChargingService(chargers, config=config, journal_path=args.journal)
+    for request in requests:
+        service.submit(request)
+    if args.duration is not None:
+        service.advance(args.duration)
+    service.drain()
+
+    counts = service.counts()
+    sessions = service.final_schedule()
+    print(f"requests: {len(requests)}  sessions: {len(sessions)}")
+    print("  " + "  ".join(f"{state}={n}" for state, n in sorted(counts.items())))
+    ops = service.planner.ops
+    print(
+        f"replanner: {ops['moves']} moves, {ops['repair_moves']} repairs, "
+        f"{ops['full_solves']} full solves"
+    )
+
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(service.metrics_snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_json}", file=sys.stderr)
+
+    if args.check_recovery:
+        service.journal.close()
+        recovered = ChargingService.recover(args.journal, chargers, config=config)
+        ok = (
+            recovered.final_schedule() == sessions
+            and recovered.metrics_snapshot() == service.metrics_snapshot()
+        )
+        recovered.journal.close()
+        if not ok:
+            print("recovery check FAILED: recovered state diverged", file=sys.stderr)
+            return 1
+        print("recovery check OK", file=sys.stderr)
+    if service.journal is not None:
+        service.journal.close()
     return 0
 
 

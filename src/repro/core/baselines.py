@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
 
 from ..rng import RandomState, ensure_rng
 from .instance import CCSInstance

@@ -23,16 +23,15 @@ which is the cooperation-sustaining property the paper highlights.
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..rng import RandomState, ensure_rng
+from ..rng import ensure_rng
 from .instance import CCSInstance
-from .schedule import Schedule, Session
+from .schedule import Schedule
 
 __all__ = [
     "CostSharingScheme",

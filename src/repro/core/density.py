@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..submodular import SetFunction, densest_subset

@@ -11,11 +11,11 @@ touching workload code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError, InfeasibleError
+from ..errors import ConfigurationError
 from ..geometry import Field, distance_matrix
 from ..mobility import LinearMobility, MobilityModel
 from ..wpt import Charger, is_concave_nondecreasing

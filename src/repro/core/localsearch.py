@@ -18,10 +18,10 @@ benchmarks to quantify how much headroom the main algorithms leave.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from .instance import CCSInstance
-from .schedule import Schedule, Session, comprehensive_cost, validate_schedule
+from .schedule import Schedule, Session, validate_schedule
 
 __all__ = ["improve_schedule"]
 

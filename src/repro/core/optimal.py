@@ -18,7 +18,7 @@ admitting charger.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import InfeasibleError
 from .instance import CCSInstance

@@ -16,6 +16,8 @@ __all__ = [
     "ConvergenceError",
     "SimulationError",
     "UnknownExperimentError",
+    "ServiceError",
+    "JournalError",
 ]
 
 
@@ -63,6 +65,24 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event testbed simulator reached an inconsistent state."""
+
+
+class ServiceError(ReproError):
+    """The charging-service daemon was driven into an invalid operation.
+
+    For example: recovering a journal against a service constructed with a
+    different configuration, or submitting a request whose device
+    identifier is already being served.
+    """
+
+
+class JournalError(ServiceError):
+    """The durable service journal cannot be written or adopted.
+
+    Note that *reading* a damaged journal is not an error: recovery
+    silently keeps the longest valid record prefix (see
+    :meth:`repro.service.journal.Journal.read_records`).
+    """
 
 
 class UnknownExperimentError(ReproError, KeyError):

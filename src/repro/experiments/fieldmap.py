@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..core import CCSInstance, Schedule
-from ..geometry import Field
 
 __all__ = ["field_map"]
 

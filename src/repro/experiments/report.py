@@ -9,7 +9,7 @@ parsing strings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["SeriesResult", "TableResult", "render_series", "render_table"]
 

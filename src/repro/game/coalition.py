@@ -408,6 +408,15 @@ class CoalitionStructure:
             h ^= _splitmix64(fingerprint ^ self._ch_token[c.charger])
         return h
 
+    def _expected_coverage(self) -> Set[int]:
+        """Device indices the structure must partition.
+
+        The batch solvers cover every instance device; growable service
+        structures (``repro.service.plan``) override this to the currently
+        active subset so the same invariant checker serves both.
+        """
+        return set(range(self.instance.n_devices))
+
     def check_invariants(self) -> None:
         """Assert partition, nonemptiness, capacity, and cache coherence.
 
@@ -455,7 +464,7 @@ class CoalitionStructure:
                     f"coalition {c.cid}: cached fingerprint drifted"
                 )
             recomputed += self.instance.group_cost(c.members, c.charger)
-        if seen != set(range(self.instance.n_devices)):
+        if seen != self._expected_coverage():
             raise AssertionError("coalition structure does not cover all devices")
         if abs(recomputed - self._total_cost) > 1e-6 * max(1.0, abs(recomputed)):
             raise AssertionError(

@@ -24,7 +24,7 @@ while both are disciplined by the private top-up price.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 __all__ = ["MisreportOutcome", "misreport_gain", "IncentiveProfile", "incentive_profile"]
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from typing import List
 
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import RandomState, ensure_rng

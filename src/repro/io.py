@@ -10,7 +10,7 @@ versioned envelope, refusing payloads it cannot faithfully reconstruct
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict
 
 from .core import CCSInstance, Device, Schedule, Session
 from .errors import ConfigurationError

@@ -21,7 +21,7 @@ cooperation strengthens operators with good locations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..core import CCSInstance, Schedule, ccsga, comprehensive_cost
 from ..errors import ConfigurationError

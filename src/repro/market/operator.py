@@ -8,10 +8,10 @@ competition dynamics in :mod:`.competition` optimize over.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import List
 
 from ..core import CCSInstance, Schedule
-from ..wpt import Charger, PowerLawTariff
+from ..wpt import Charger
 
 __all__ = ["charger_revenues", "charger_utilization", "with_base_price"]
 

@@ -9,7 +9,7 @@ knowing who comes next.  This module generates such request streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from ..core import Device
 from ..energy import uniform_demands

@@ -31,7 +31,16 @@ class OnlineOutcome:
 
     @property
     def competitive_ratio(self) -> float:
-        """``online / clairvoyant-offline`` — 1.0 means no regret."""
+        """``online / clairvoyant-offline`` — 1.0 means no regret.
+
+        A zero offline cost (possible under a degenerate tariff with no
+        base fee and free volume) is handled explicitly rather than
+        raising ``ZeroDivisionError``: if the online cost is also zero
+        the policy matched the optimum (ratio 1.0); otherwise the ratio
+        is unbounded and reported as ``float("inf")``.
+        """
+        if self.offline_cost == 0.0:
+            return 1.0 if self.online_cost == 0.0 else float("inf")
         return self.online_cost / self.offline_cost
 
 

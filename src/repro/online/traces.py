@@ -15,7 +15,7 @@ actually judged on:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List
 
 from ..core import Device
 from ..energy import uniform_demands

@@ -8,7 +8,7 @@ seed alone and independent components can be given independent streams.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

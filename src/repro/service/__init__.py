@@ -1,0 +1,61 @@
+"""repro.service — a long-lived charging-as-a-service daemon.
+
+The offline solvers answer "given these n devices, what is the best
+coalition structure?"; this package answers the *operational* question
+the paper's title poses — charging as a **service**: requests arrive over
+time, each gets an immediate admission decision and a price quote, and an
+epoch-based replanner folds admitted work into the live plan using the
+incremental coalition engine (never a from-scratch re-solve).
+
+Layout:
+
+- :mod:`.clock` / :mod:`.request` — logical time and the request lifecycle;
+- :mod:`.admission` — bounded-queue admission with explicit rejection reasons;
+- :mod:`.plan` — growable instance + coalition structure + incremental
+  replanner (fold / improve / repair);
+- :mod:`.kernel` — the :class:`ChargingService` event loop;
+- :mod:`.journal` — append-only checksummed JSONL durability, with
+  :meth:`ChargingService.recover` crash recovery;
+- :mod:`.metrics` — deterministic counters / gauges / histograms;
+- :mod:`.loadgen` — seeded Poisson / burst / diurnal request streams;
+- :mod:`.policy` — adapter running the daemon under the online harness.
+
+See ``docs/SERVICE.md`` for the lifecycle, journal format, and recovery
+semantics.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, earliest_departure
+from .clock import ServiceClock
+from .journal import Journal, record_checksum
+from .kernel import ChargingService, ServiceConfig
+from .loadgen import PROFILES, generate_requests, read_trace, write_trace
+from .metrics import Counter, Gauge, Histogram, Metrics
+from .plan import GrowableCoalitionStructure, IncrementalPlanner, PlanInstance
+from .policy import ServicePolicy
+from .request import ChargingRequest, RequestRecord, RequestState
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "earliest_departure",
+    "ServiceClock",
+    "Journal",
+    "record_checksum",
+    "ChargingService",
+    "ServiceConfig",
+    "PROFILES",
+    "generate_requests",
+    "read_trace",
+    "write_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "GrowableCoalitionStructure",
+    "IncrementalPlanner",
+    "PlanInstance",
+    "ServicePolicy",
+    "ChargingRequest",
+    "RequestRecord",
+    "RequestState",
+]

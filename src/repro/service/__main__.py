@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — alias for the ``ccs-serve`` CLI."""
+
+from ..cli import serve_main
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

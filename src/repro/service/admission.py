@@ -1,0 +1,113 @@
+"""The admission controller: every request gets an immediate answer.
+
+A production charging service cannot queue unboundedly or accept work it
+will provably fail — rejection is a first-class outcome, decided the
+moment a request arrives and always with an explicit reason:
+
+- ``duplicate`` — the device (or request id) is already being served;
+- ``queue-full`` — the admission queue is at its bound;
+- ``capacity`` — the plan is at its configured active-device limit;
+- ``deadline`` — even the *fastest* path through the epoch grid (fold at
+  the next boundary, depart once the window elapses) misses the deadline;
+- ``price`` — the standalone quote already exceeds the customer's cap,
+  so no cooperative outcome (which never costs more than the quote) can
+  satisfy them either.
+
+Checks run in that order; the first failure wins, so rejection-reason
+counters are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .request import ChargingRequest
+
+__all__ = ["AdmissionDecision", "AdmissionController", "earliest_departure"]
+
+
+#: Rejection reasons, in check order.
+REASON_DUPLICATE = "duplicate"
+REASON_QUEUE_FULL = "queue-full"
+REASON_CAPACITY = "capacity"
+REASON_DEADLINE = "deadline"
+REASON_PRICE = "price"
+
+REASONS = (
+    REASON_DUPLICATE,
+    REASON_QUEUE_FULL,
+    REASON_CAPACITY,
+    REASON_DEADLINE,
+    REASON_PRICE,
+)
+
+
+def earliest_departure(now: float, epoch: float, window: float) -> float:
+    """Earliest time a request submitted at *now* could start charging.
+
+    The kernel folds queues at epoch-grid times ``k·epoch`` and departs a
+    session at the first grid point at least ``window`` after it opened.
+    A submission at exactly a grid time is folded at the *next* boundary
+    (the boundary's own fold has already run when the submission is
+    processed).
+    """
+    first_fold = (math.floor(now / epoch) + 1) * epoch
+    waits = math.ceil(window / epoch - 1e-12)
+    return first_fold + max(waits, 0) * epoch
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Stateless policy object: the kernel supplies the current load."""
+
+    def __init__(
+        self,
+        epoch: float,
+        window: float,
+        queue_limit: int,
+        max_active: Optional[int] = None,
+    ):
+        self.epoch = float(epoch)
+        self.window = float(window)
+        self.queue_limit = int(queue_limit)
+        self.max_active = max_active
+
+    def decide(
+        self,
+        request: ChargingRequest,
+        now: float,
+        queue_depth: int,
+        active_devices: int,
+        quote: float,
+        duplicate: bool = False,
+    ) -> AdmissionDecision:
+        """Admit or reject *request* given the service's current load.
+
+        *quote* is the standalone (best-singleton) cost the kernel
+        computed for the device; *active_devices* counts devices placed in
+        the live plan plus those queued ahead of this request.
+        """
+        if duplicate:
+            return AdmissionDecision(False, REASON_DUPLICATE)
+        if queue_depth >= self.queue_limit:
+            return AdmissionDecision(False, REASON_QUEUE_FULL)
+        if self.max_active is not None and active_devices >= self.max_active:
+            return AdmissionDecision(False, REASON_CAPACITY)
+        if request.deadline is not None:
+            if request.deadline < earliest_departure(now, self.epoch, self.window):
+                return AdmissionDecision(False, REASON_DEADLINE)
+        if request.max_price is not None and quote > request.max_price:
+            return AdmissionDecision(False, REASON_PRICE)
+        return AdmissionDecision(True)

@@ -1,0 +1,50 @@
+"""The service's logical clock.
+
+The daemon is *deterministic*: every decision depends only on the input
+event stream, never on wall time.  :class:`ServiceClock` is the single
+source of "now" inside the kernel — it only moves forward, and it moves
+exactly when an input event (a submission, an explicit drain) says so.
+Wall-clock latency is measured outside the kernel, by the benchmark
+harness, precisely so that metrics snapshots stay byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = ["ServiceClock"]
+
+
+class ServiceClock:
+    """A monotone logical clock, advanced explicitly by the event loop."""
+
+    def __init__(self, start: float = 0.0):
+        if not (math.isfinite(start) and start >= 0.0):
+            raise ConfigurationError(
+                f"clock must start at a finite nonnegative time, got {start}"
+            )
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current logical time in seconds."""
+        return self._now
+
+    def advance(self, to: float) -> float:
+        """Move time forward to *to*; earlier targets are ignored.
+
+        Lenience (rather than an error) on non-advancing targets is what
+        makes re-feeding an already-journaled event stream after crash
+        recovery a sequence of no-ops.
+        """
+        t = float(to)
+        if not math.isfinite(t):
+            raise ConfigurationError(f"cannot advance the clock to {to}")
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceClock(now={self._now!r})"

@@ -1,0 +1,155 @@
+"""Append-only durable journal of service state transitions.
+
+One JSON object per line, written append-only::
+
+    {"data": {...}, "event": "submit", "seq": 4, "sha": "…16 hex…", "t": 361.25}
+
+``sha`` is a truncated SHA-256 over the record's canonical JSON (the same
+canonicalization as the experiment result cache), and ``seq`` is a dense
+counter — so a reader can tell exactly where a ``kill -9`` tore the file:
+:func:`Journal.read_records` returns the longest valid prefix and stops at
+the first unparsable, checksum-failing, or out-of-sequence line.
+
+Recovery discipline (see :meth:`repro.service.kernel.ChargingService.recover`):
+``submit`` and ``drain`` records are the *inputs*; every other event is a
+deterministic consequence the kernel re-derives by replaying them.  The
+journal still records all transitions, because an auditor (or an operator
+tailing the file) should see the full lifecycle without running a replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import JournalError
+from ..experiments.exec.task import canonical_json
+
+__all__ = ["Journal", "record_checksum"]
+
+#: Journal line-format version; bump on layout changes.
+JOURNAL_SCHEMA = 1
+
+#: Events that recovery replays; everything else is re-derived.
+INPUT_EVENTS = frozenset({"submit", "advance", "drain"})
+
+#: Hex digits of SHA-256 kept per record (collision-detection, not crypto).
+_SHA_LEN = 16
+
+
+def record_checksum(seq: int, t: float, event: str, data: Dict[str, Any]) -> str:
+    """Truncated SHA-256 over the record's canonical JSON body."""
+    body = canonical_json({"seq": seq, "t": t, "event": event, "data": data})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:_SHA_LEN]
+
+
+class Journal:
+    """An append-only, checksummed JSONL log of kernel transitions."""
+
+    def __init__(self, path: Union[str, Path], truncate: bool = True):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "w" if truncate else "a"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        self.seq = 0
+
+    def append(self, event: str, t: float, data: Dict[str, Any]) -> int:
+        """Write one record and flush it; returns the record's ``seq``."""
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        seq = self.seq
+        t = float(t)
+        doc = {
+            "data": data,
+            "event": event,
+            "seq": seq,
+            "sha": record_checksum(seq, t, event, data),
+            "t": t,
+        }
+        self._fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.seq += 1
+        return seq
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def commit_to(self, path: Union[str, Path]) -> None:
+        """Atomically move this journal's file to *path* and keep appending.
+
+        Used by recovery: the replayed journal is written to a sibling
+        temp file and swapped in with :func:`os.replace`, so the on-disk
+        journal is never observable half-rewritten.
+        """
+        self.close()
+        os.replace(self.path, path)
+        self.path = Path(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # reading
+
+    @staticmethod
+    def read_records(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], bool]:
+        """Longest valid record prefix of the file, plus a torn-tail flag.
+
+        Returns ``(records, torn)`` where *torn* is true when anything
+        after the valid prefix had to be discarded (truncated line, bad
+        checksum, seq gap).  A missing file reads as an empty journal.
+        """
+        path = Path(path)
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return [], False
+
+        expected_seq = 0
+        lines = raw.split("\n")
+        for k, line in enumerate(lines):
+            if line == "":
+                # The final newline leaves one empty tail element; anything
+                # else empty mid-file is damage.
+                torn = k != len(lines) - 1
+                return records, torn
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                return records, True
+            if not isinstance(doc, dict):
+                return records, True
+            try:
+                seq, t, event, data, sha = (
+                    doc["seq"], doc["t"], doc["event"], doc["data"], doc["sha"],
+                )
+            except KeyError:
+                return records, True
+            if seq != expected_seq:
+                return records, True
+            try:
+                want = record_checksum(seq, t, event, data)
+            except (TypeError, ValueError):
+                return records, True
+            if sha != want:
+                return records, True
+            records.append(doc)
+            expected_seq += 1
+        return records, False
+
+    @staticmethod
+    def input_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Filter a record list down to the replayable input events."""
+        return [r for r in records if r["event"] in INPUT_EVENTS]

@@ -1,0 +1,559 @@
+"""The charging-service daemon kernel.
+
+:class:`ChargingService` is a deterministic, event-driven state machine:
+customers :meth:`submit` requests, the admission controller answers
+immediately, and an epoch-grid event loop folds admitted batches into the
+live coalition plan (via the PR-1 incremental engine — never a batch
+re-solve), departs sessions once their commitment window elapses, expires
+requests that miss their deadlines, and completes sessions when the pads
+finish transmitting.
+
+Time is *logical* (:class:`~repro.service.clock.ServiceClock`): the kernel
+touches no wall clock and no ambient randomness, so a fixed input stream
+always produces byte-identical journals, metrics snapshots, and session
+logs — the property the crash-recovery tests assert literally.
+
+Epoch timeline (``epoch`` = fold period, ``window`` = commitment window)::
+
+    t=0        e          2e         3e
+    |----------|----------|----------|---->
+       submit──┤ fold      │ depart (opened + window elapsed)
+               └ admitted requests enter the live plan, improve, repair
+
+Durability: every transition is appended to a checksummed JSONL journal.
+``submit``/``drain`` records are the *inputs*; :meth:`recover` replays
+them through a fresh kernel, re-deriving everything else, and atomically
+rewrites the journal to the canonical form — after which re-feeding the
+original stream (idempotent per request id) converges on the exact bytes
+an uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..core.costsharing import CostSharingScheme, EgalitarianSharing
+from ..errors import ConfigurationError, ServiceError
+from ..mobility import MobilityModel
+from ..wpt import Charger
+from .admission import AdmissionController
+from .clock import ServiceClock
+from .journal import JOURNAL_SCHEMA, Journal
+from .metrics import Metrics
+from .plan import IncrementalPlanner
+from .request import ChargingRequest, RequestRecord, RequestState
+
+__all__ = ["ServiceConfig", "ChargingService"]
+
+#: Fixed histogram buckets (seconds / ratios / sizes) — part of the
+#: snapshot contract, so recovery comparisons bin identically.
+_LATENCY_BUCKETS = (30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0)
+_CHARGE_BUCKETS = (300.0, 600.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0)
+_RATIO_BUCKETS = (0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
+_SIZE_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the daemon (all logical-time seconds).
+
+    Parameters
+    ----------
+    epoch:
+        Replanning period: admitted requests buffered since the last grid
+        point ``k·epoch`` are folded into the plan at the next one.
+    window:
+        Commitment window: a coalition departs (freezes and starts
+        charging) at the first grid point at least *window* after it was
+        opened.
+    queue_limit:
+        Bound on the admitted-but-not-yet-planned queue; submissions
+        beyond it are rejected (``queue-full``), never silently buffered.
+    max_active:
+        Optional cap on devices concurrently queued or in the live plan
+        (``capacity`` rejections); ``None`` = unbounded.
+    improvement_sweeps / repair_rounds / tol:
+        Replanner bounds, passed to
+        :class:`~repro.service.plan.IncrementalPlanner`.
+    """
+
+    epoch: float = 60.0
+    window: float = 120.0
+    queue_limit: int = 256
+    max_active: Optional[int] = None
+    improvement_sweeps: int = 2
+    repair_rounds: int = 3
+    tol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.epoch <= 0:
+            raise ConfigurationError(f"epoch must be positive, got {self.epoch}")
+        if self.window <= 0:
+            raise ConfigurationError(f"window must be positive, got {self.window}")
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.max_active is not None and self.max_active < 1:
+            raise ConfigurationError(
+                f"max_active must be >= 1 or None, got {self.max_active}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form, pinned into the journal's ``open`` record."""
+        return {
+            "epoch": float(self.epoch),
+            "window": float(self.window),
+            "queue_limit": int(self.queue_limit),
+            "max_active": None if self.max_active is None else int(self.max_active),
+            "improvement_sweeps": int(self.improvement_sweeps),
+            "repair_rounds": int(self.repair_rounds),
+            "tol": float(self.tol),
+        }
+
+
+class ChargingService:
+    """A long-lived charging-as-a-service daemon (see module docstring)."""
+
+    def __init__(
+        self,
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel] = None,
+        scheme: Optional[CostSharingScheme] = None,
+        config: Optional[ServiceConfig] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.scheme: CostSharingScheme = (
+            scheme if scheme is not None else EgalitarianSharing()
+        )
+        self.planner = IncrementalPlanner(
+            chargers,
+            mobility=mobility,
+            scheme=self.scheme,
+            tol=self.config.tol,
+            improvement_sweeps=self.config.improvement_sweeps,
+            repair_rounds=self.config.repair_rounds,
+        )
+        self.chargers = self.planner.instance.chargers
+        self.admission = AdmissionController(
+            epoch=self.config.epoch,
+            window=self.config.window,
+            queue_limit=self.config.queue_limit,
+            max_active=self.config.max_active,
+        )
+        self.clock = ServiceClock()
+        self.metrics = Metrics()
+        self.requests: Dict[str, RequestRecord] = {}
+        self._queue: List[str] = []
+        self._rid_of_index: Dict[int, str] = {}
+        self._opened_at: Dict[int, float] = {}
+        self._completions: List[tuple] = []
+        self._sessions: List[Dict[str, Any]] = []
+        self._session_seq = 0
+        self._epoch_index = 0  # boundaries processed so far: epoch * index
+        self.journal: Optional[Journal] = (
+            Journal(journal_path) if journal_path is not None else None
+        )
+        if self.journal is not None:
+            self.journal.append("open", 0.0, self._open_payload())
+        # Pre-register every metric so empty snapshots are fully shaped.
+        for name in (
+            "submitted", "admitted", "rejected", "grouped", "expired",
+            "completed", "sessions_departed",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("admission_latency", _LATENCY_BUCKETS)
+        self.metrics.histogram("time_to_charge", _CHARGE_BUCKETS)
+        self.metrics.histogram("cost_vs_quote", _RATIO_BUCKETS)
+        self.metrics.histogram("session_size", _SIZE_BUCKETS)
+        self._update_gauges()
+
+    def _open_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "config": self.config.to_dict(),
+            "chargers": [c.charger_id for c in self.chargers],
+            "scheme": self.scheme.name,
+            "mobility": type(self.planner.instance.mobility).__name__,
+        }
+
+    def _journal(self, event: str, t: float, data: Dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.append(event, t, data)
+
+    # ------------------------------------------------------------------ #
+    # input events
+
+    def submit(self, request: ChargingRequest) -> str:
+        """Process one submission; returns the request's resulting state.
+
+        Idempotent per ``request_id``: resubmitting a known id is a no-op
+        returning the current state (this is what makes re-feeding an
+        event stream after crash recovery safe).
+        """
+        known = self.requests.get(request.request_id)
+        if known is not None:
+            return known.state
+        self._advance_to(request.submitted_at)
+        now = self.clock.now
+        self._journal("submit", request.submitted_at, request.to_dict())
+        self.metrics.counter("submitted").inc()
+
+        record = RequestRecord(request)
+        self.requests[request.request_id] = record
+        quote, quote_charger = self.planner.quote(request.device)
+        record.quote, record.quote_charger = quote, quote_charger
+        duplicate = self._device_in_service(request.device.device_id)
+        decision = self.admission.decide(
+            request,
+            now=now,
+            queue_depth=len(self._queue),
+            active_devices=len(self._rid_of_index) + len(self._queue),
+            quote=quote,
+            duplicate=duplicate,
+        )
+        if not decision:
+            record.state = RequestState.REJECTED
+            record.reason = decision.reason
+            self._journal(
+                "reject", now, {"id": request.request_id, "reason": decision.reason}
+            )
+            self.metrics.counter("rejected").inc()
+            self.metrics.counter(f"rejected.{decision.reason}").inc()
+        else:
+            record.state = RequestState.ADMITTED
+            self._queue.append(request.request_id)
+            self._journal(
+                "admit",
+                now,
+                {
+                    "id": request.request_id,
+                    "quote": float(quote),
+                    "charger": self.chargers[quote_charger].charger_id,
+                },
+            )
+            self.metrics.counter("admitted").inc()
+        self._update_gauges()
+        return record.state
+
+    def advance(self, to: float) -> None:
+        """Drive the event loop forward to logical time *to*.
+
+        Time movement is an *input*: the target is journaled (like
+        ``submit``/``drain``) so recovery can replay the epoch boundaries
+        it triggers.  Targets at or before the current clock are complete
+        no-ops — not even journaled — which keeps re-feeding a stream
+        after recovery idempotent.
+        """
+        t = float(to)
+        if t <= self.clock.now + _TIME_EPS:
+            return
+        self._journal("advance", t, {})
+        self._advance_to(t)
+
+    def _advance_to(self, to: float) -> None:
+        """Advance without journaling (``submit``/``drain`` carry their own
+        time; replaying them re-derives the same boundary processing).
+
+        Processes every epoch boundary up to *to* (completions →
+        departures → expirations → fold, in that order at each boundary)
+        and any session completions due.  Earlier targets are no-ops.
+        """
+        t = float(to)
+        while (self._epoch_index + 1) * self.config.epoch <= t + _TIME_EPS:
+            boundary = (self._epoch_index + 1) * self.config.epoch
+            self._run_epoch(boundary)
+            self._epoch_index += 1
+        self._process_completions(t)
+        self.clock.advance(t)
+        self._update_gauges()
+
+    def drain(self) -> None:
+        """Flush the service: fold the queue, depart everything, complete.
+
+        An input event (journaled) marking end-of-stream: advances to the
+        next epoch boundary so queued requests get planned, force-departs
+        every live coalition regardless of window age, and runs all
+        resulting sessions to completion.  After ``drain`` every request
+        is in a terminal state.
+
+        Draining an already-drained service is a complete no-op (not even
+        journaled) — the drain analogue of idempotent ``submit``, so
+        re-feeding a recovered daemon its original input stream converges
+        on the identical journal.
+        """
+        if not (self._queue or self._rid_of_index or self._completions):
+            return
+        t0 = self.clock.now
+        self._journal("drain", t0, {})
+        boundary = (self._epoch_index + 1) * self.config.epoch
+        self._advance_to(boundary)
+        for cid in self.planner.live_cids():
+            self._depart(cid, boundary)
+        while self._completions:
+            self._process_completions(self._completions[0][0])
+        self.clock.advance(max(t0, boundary))
+        self._update_gauges()
+
+    # ------------------------------------------------------------------ #
+    # the epoch machine
+
+    def _run_epoch(self, boundary: float) -> None:
+        self._process_completions(boundary)
+        self._process_departures(boundary)
+        self._process_expirations(boundary)
+        self._fold(boundary)
+        self.clock.advance(boundary)
+
+    def _process_departures(self, boundary: float) -> None:
+        due = sorted(
+            cid
+            for cid, opened in self._opened_at.items()
+            if boundary - opened >= self.config.window - _TIME_EPS
+        )
+        for cid in due:
+            self._depart(cid, boundary)
+
+    def _depart(self, cid: int, boundary: float) -> None:
+        opened = self._opened_at.pop(cid, boundary)
+        info = self.planner.retire(cid)
+        seq = self._session_seq
+        self._session_seq += 1
+        charger = self.chargers[info["charger"]]
+        completes = boundary + charger.session_duration(info["demands"])
+        devices = self.planner.instance.devices
+        member_ids = [devices[i].device_id for i in info["members"]]
+        request_ids, costs = [], {}
+        for i, device_id in zip(info["members"], member_ids):
+            rid = self._rid_of_index.pop(i)
+            request_ids.append(rid)
+            record = self.requests[rid]
+            realized = info["shares"][i] + info["moving"][i]
+            record.state = RequestState.CHARGING
+            record.departed_at = boundary
+            record.session_seq = seq
+            record.realized_cost = realized
+            costs[device_id] = float(realized)
+            if record.quote:
+                self.metrics.histogram("cost_vs_quote").observe(realized / record.quote)
+        session = {
+            "seq": seq,
+            "charger": charger.charger_id,
+            "members": member_ids,
+            "requests": request_ids,
+            "price": float(info["price"]),
+            "costs": costs,
+            "opened": float(opened),
+            "departed": float(boundary),
+            "completes": float(completes),
+        }
+        self._sessions.append(session)
+        heapq.heappush(self._completions, (completes, seq))
+        self._journal("depart", boundary, session)
+        self.metrics.counter("sessions_departed").inc()
+        self.metrics.histogram("session_size").observe(len(member_ids))
+
+    def _process_expirations(self, boundary: float) -> None:
+        still_queued: List[str] = []
+        for rid in self._queue:
+            record = self.requests[rid]
+            deadline = record.request.deadline
+            if deadline is not None and deadline <= boundary + _TIME_EPS:
+                self._expire(record, boundary, where="queue")
+            else:
+                still_queued.append(rid)
+        self._queue = still_queued
+        # Planned requests are checked *forward*: departures for this
+        # boundary have already run, so the next chance to depart is
+        # ``boundary + epoch`` — a member whose deadline falls before that
+        # is doomed and expires now (a deadline exactly on a boundary can
+        # still be met by departing at that boundary, which happens first).
+        horizon = boundary + self.config.epoch - _TIME_EPS
+        for index in self.planner.active_indices():
+            rid = self._rid_of_index[index]
+            record = self.requests[rid]
+            deadline = record.request.deadline
+            if deadline is not None and deadline < horizon:
+                self.planner.remove(index)
+                del self._rid_of_index[index]
+                self._expire(record, boundary, where="plan")
+
+    def _expire(self, record: RequestRecord, boundary: float, where: str) -> None:
+        record.state = RequestState.EXPIRED
+        record.reason = where
+        self._journal(
+            "expire", boundary, {"id": record.request.request_id, "where": where}
+        )
+        self.metrics.counter("expired").inc()
+        self.metrics.counter(f"expired.{where}").inc()
+
+    def _fold(self, boundary: float) -> None:
+        if self._queue:
+            batch, self._queue = self._queue, []
+            indices: List[int] = []
+            for rid in batch:
+                record = self.requests[rid]
+                index = self.planner.add(record.request.device, ceiling=record.quote)
+                record.device_index = index
+                self._rid_of_index[index] = rid
+                indices.append(index)
+            self.planner.fold(indices)
+            for rid in batch:
+                record = self.requests[rid]
+                coalition = self.planner.structure.coalition_of(record.device_index)
+                record.state = RequestState.GROUPED
+                record.grouped_at = boundary
+                self._journal(
+                    "plan",
+                    boundary,
+                    {
+                        "id": rid,
+                        "charger": self.chargers[coalition.charger].charger_id,
+                    },
+                )
+                self.metrics.counter("grouped").inc()
+                self.metrics.histogram("admission_latency").observe(
+                    boundary - record.request.submitted_at
+                )
+        # Coalitions born this epoch (fresh folds, or singletons split off
+        # by improvement/repair moves) start their commitment window now.
+        live = set(self.planner.live_cids())
+        for cid in list(self._opened_at):
+            if cid not in live:
+                del self._opened_at[cid]
+        for cid in sorted(live):
+            if cid not in self._opened_at:
+                self._opened_at[cid] = boundary
+
+    def _process_completions(self, t: float) -> None:
+        while self._completions and self._completions[0][0] <= t + _TIME_EPS:
+            completes, seq = heapq.heappop(self._completions)
+            session = self._sessions[seq]
+            self._journal("complete", completes, {"session": seq})
+            for rid in session["requests"]:
+                record = self.requests[rid]
+                record.state = RequestState.DONE
+                record.completed_at = completes
+                self.metrics.counter("completed").inc()
+                self.metrics.histogram("time_to_charge").observe(
+                    completes - record.request.submitted_at
+                )
+            self.clock.advance(completes)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def _device_in_service(self, device_id: str) -> bool:
+        queued = any(
+            self.requests[rid].request.device.device_id == device_id
+            for rid in self._queue
+        )
+        if queued:
+            return True
+        return any(
+            self.requests[rid].request.device.device_id == device_id
+            for rid in self._rid_of_index.values()
+        )
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        self.metrics.gauge("active_devices").set(len(self._rid_of_index))
+        self.metrics.gauge("live_coalitions").set(self.planner.structure.n_coalitions)
+        self.metrics.gauge("charging_sessions").set(len(self._completions))
+        self.metrics.gauge("clock").set(self.clock.now)
+
+    def request_state(self, request_id: str) -> str:
+        """Current lifecycle state of *request_id*."""
+        return self.requests[request_id].state
+
+    def counts(self) -> Dict[str, int]:
+        """Requests per lifecycle state (from the records — ground truth).
+
+        At any instant each request is in exactly one state, so
+        ``submitted total == sum of every bucket`` — the conservation law
+        the property tests check against the metrics counters.
+        """
+        buckets = {
+            RequestState.ADMITTED: 0,
+            RequestState.GROUPED: 0,
+            RequestState.CHARGING: 0,
+            RequestState.DONE: 0,
+            RequestState.REJECTED: 0,
+            RequestState.EXPIRED: 0,
+        }
+        for record in self.requests.values():
+            buckets[record.state] += 1
+        return buckets
+
+    def final_schedule(self) -> List[Dict[str, Any]]:
+        """Departed sessions in departure order — the service's output.
+
+        Plain JSON data; byte-identical across reruns and recovery for a
+        fixed input stream.
+        """
+        return [dict(session) for session in self._sessions]
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Deterministic plain-dict snapshot of every metric."""
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # durability
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: Union[str, Path],
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel] = None,
+        scheme: Optional[CostSharingScheme] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> "ChargingService":
+        """Rebuild a killed daemon from its journal, exactly.
+
+        Reads the longest valid record prefix (a torn tail from ``kill
+        -9`` is dropped), replays the *input* records (``submit`` /
+        ``drain``) through a fresh kernel — every other transition is
+        re-derived deterministically — and atomically rewrites the journal
+        file to the canonical replayed form.  The returned service is
+        byte-equivalent (journal, metrics snapshot, session log) to one
+        that processed the same inputs without interruption, and keeps
+        appending to the same journal path.
+
+        Construction arguments are code, not data: pass the same chargers
+        and configuration the dead daemon ran with.  The journal's ``open``
+        header is checked against them and a
+        :class:`~repro.errors.ServiceError` is raised on mismatch.
+        """
+        records, _torn = Journal.read_records(journal_path)
+        tmp_path = str(journal_path) + ".recover"
+        service = cls(
+            chargers,
+            mobility=mobility,
+            scheme=scheme,
+            config=config,
+            journal_path=tmp_path,
+        )
+        if records and records[0]["event"] == "open":
+            ours = service._open_payload()
+            if records[0]["data"] != ours:
+                service.journal.close()
+                raise ServiceError(
+                    "journal was written by a differently configured service: "
+                    f"{records[0]['data']} != {ours}"
+                )
+        for record in Journal.input_records(records):
+            if record["event"] == "submit":
+                service.submit(ChargingRequest.from_dict(record["data"]))
+            elif record["event"] == "advance":
+                service.advance(record["t"])
+            else:
+                service.drain()
+        service.journal.commit_to(journal_path)
+        return service

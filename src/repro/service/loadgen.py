@@ -1,0 +1,152 @@
+"""Synthetic request streams for driving (and benchmarking) the daemon.
+
+Three arrival profiles, all seeded and fully deterministic:
+
+- ``poisson`` — memoryless arrivals at a constant rate, the standard
+  open-loop service workload;
+- ``burst`` — a low background rate punctuated by periodic bursts in
+  which a clump of requests lands within a few seconds (a convoy of
+  devices returning from a mission leg together);
+- ``diurnal`` — a sinusoidally modulated rate (thinned from a Poisson
+  majorant), modelling a day/night duty cycle.
+
+A generated stream is a list of :class:`~repro.service.request.ChargingRequest`
+with strictly ordered ids; :func:`write_trace` / :func:`read_trace`
+round-trip streams through JSONL files (one ``ChargingRequest.to_dict``
+per line) so the CLI can replay a recorded trace instead of generating.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core import Device
+from ..energy import uniform_demands
+from ..errors import ConfigurationError
+from ..geometry import Field, uniform_deployment
+from ..rng import RandomState, ensure_rng
+from .request import ChargingRequest
+
+__all__ = ["PROFILES", "generate_requests", "write_trace", "read_trace"]
+
+#: Supported arrival profiles, in CLI/help order.
+PROFILES = ("poisson", "burst", "diurnal")
+
+
+def _arrival_times(
+    profile: str, n: int, rate: float, rng, burst_every: float, burst_size: int
+) -> List[float]:
+    if profile == "poisson":
+        return list(rng.exponential(1.0 / rate, size=n).cumsum())
+    if profile == "burst":
+        # Background Poisson at rate/2, plus clumps of ``burst_size``
+        # requests every ``burst_every`` seconds, each clump spread over
+        # a few seconds.  Take the n earliest of the merged stream.
+        times: List[float] = []
+        t = 0.0
+        while len(times) < n:
+            t += float(rng.exponential(2.0 / rate))
+            times.append(t)
+        horizon = times[-1]
+        k = 1
+        while (k * burst_every) <= horizon and len(times) < 4 * n:
+            base = k * burst_every
+            times.extend(base + float(d) for d in rng.exponential(1.0, size=burst_size))
+            k += 1
+        return sorted(times)[:n]
+    if profile == "diurnal":
+        # Thin a Poisson majorant at ``rate`` down to a sinusoid with a
+        # 1-hour period: lambda(t) = rate * (0.55 + 0.45 sin(2 pi t / 3600)).
+        times = []
+        t = 0.0
+        while len(times) < n:
+            t += float(rng.exponential(1.0 / rate))
+            accept = 0.55 + 0.45 * math.sin(2.0 * math.pi * t / 3600.0)
+            if rng.uniform() < accept:
+                times.append(t)
+        return times
+    raise ConfigurationError(
+        f"unknown load profile {profile!r}; expected one of {PROFILES}"
+    )
+
+
+def generate_requests(
+    n: int,
+    rate: float,
+    field: Optional[Field] = None,
+    profile: str = "poisson",
+    demand_low: float = 10e3,
+    demand_high: float = 40e3,
+    moving_rate: float = 0.05,
+    deadline_slack: Optional[float] = None,
+    max_price_factor: Optional[float] = None,
+    burst_every: float = 600.0,
+    burst_size: int = 8,
+    rng: RandomState = None,
+) -> List[ChargingRequest]:
+    """Generate *n* requests under the given arrival *profile*.
+
+    Positions are uniform over *field* (default 100 m x 100 m) and demands
+    uniform over ``[demand_low, demand_high]`` joules.  When
+    ``deadline_slack`` is set, each request carries a deadline
+    ``submitted_at + slack`` seconds out (jittered +-25%); when
+    ``max_price_factor`` is set, each carries a price cap of
+    ``factor x demand^0.8`` — matched to the default power-law tariff's
+    curvature, so factors near 1.2 leave a deliberate unaffordable tail
+    that exercises ``price`` rejections.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be nonnegative, got {n}")
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+    gen = ensure_rng(rng)
+    field = field if field is not None else Field(100.0, 100.0)
+    times = _arrival_times(profile, n, rate, gen, burst_every, burst_size)
+    positions = uniform_deployment(field, n, gen)
+    demands = uniform_demands(n, demand_low, demand_high, gen)
+    requests: List[ChargingRequest] = []
+    for k, (t, p, d) in enumerate(zip(times, positions, demands)):
+        deadline = None
+        if deadline_slack is not None:
+            deadline = float(t) + deadline_slack * float(gen.uniform(0.75, 1.25))
+        max_price = None
+        if max_price_factor is not None:
+            max_price = max_price_factor * d ** 0.8
+        requests.append(
+            ChargingRequest(
+                request_id=f"r{k:06d}",
+                device=Device(
+                    device_id=f"d{k:06d}",
+                    position=p,
+                    demand=d,
+                    moving_rate=moving_rate,
+                ),
+                submitted_at=float(t),
+                deadline=deadline,
+                max_price=max_price,
+            )
+        )
+    return requests
+
+
+def write_trace(path: Union[str, Path], requests: List[ChargingRequest]) -> None:
+    """Write a request stream as JSONL (one ``to_dict`` per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for request in requests:
+            fh.write(json.dumps(request.to_dict(), sort_keys=True) + "\n")
+
+
+def read_trace(path: Union[str, Path]) -> List[ChargingRequest]:
+    """Read a JSONL request trace written by :func:`write_trace`."""
+    requests: List[ChargingRequest] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                requests.append(ChargingRequest.from_dict(json.loads(line)))
+    return requests

@@ -1,0 +1,141 @@
+"""Built-in service observability: counters, gauges, fixed-bucket histograms.
+
+Deliberately dependency-free and *deterministic*: every observed value is
+a function of the input event stream (logical times, costs, sizes), never
+of wall time, so a metrics snapshot is byte-reproducible across runs and
+across crash recovery — which the recovery tests assert literally.
+
+:meth:`Metrics.snapshot` returns plain nested dicts (sorted keys when
+JSON-dumped) — the one format shared by tests, the CLI report, and the
+``--metrics-json`` export.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (must be nonnegative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counters only go up, got increment {n}")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time measurement (queue depth, live coalitions, clock)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style snapshot output.
+
+    ``bounds`` are the finite upper bucket edges; an implicit ``+inf``
+    bucket catches the rest.  Buckets are fixed at construction so two
+    runs (or a run and its recovery) always bin identically.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Sequence[float]):
+        edges: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {edges}")
+        self.bounds = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Bin one observation (``value <= bound`` lands in that bucket)."""
+        v = float(value)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.total += 1
+        self.sum += v
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the smallest bound covering *q* mass.
+
+        Returns ``inf`` when the quantile falls in the overflow bucket and
+        ``0.0`` on an empty histogram.  Coarse by design — for reporting,
+        not statistics.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        need = q * self.total
+        seen = 0
+        for bound, count in zip(self.bounds, self.counts):
+            seen += count
+            if seen >= need:
+                return bound
+        return float("inf")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict form: per-bucket counts keyed by upper bound."""
+        buckets = {f"le_{bound:g}": count for bound, count in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {"buckets": buckets, "count": self.total, "sum": self.sum}
+
+
+class Metrics:
+    """A registry of named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) the counter *name*."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or lazily create) the gauge *name*."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str, bounds: Sequence[float] = ()) -> Histogram:
+        """Get the histogram *name*, creating it with *bounds* on first use."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(bounds)
+            return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything, as plain nested dicts (deterministic content)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.snapshot() for k, h in sorted(self._histograms.items())},
+        }

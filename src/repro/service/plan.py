@@ -1,0 +1,565 @@
+"""Incremental replanning on top of the PR-1 coalition engine.
+
+The batch solvers work on a frozen :class:`~repro.core.instance.CCSInstance`;
+a service cannot — devices arrive, charge, and leave while the plan is
+live.  This module supplies the three pieces that bridge the gap without
+ever re-solving from scratch:
+
+- :class:`PlanInstance` — a *growable* instance facade exposing exactly
+  the surface the incremental engine reads (cached demand list, the
+  moving-cost matrix, lazy singleton price/cost matrices, tariff fast
+  paths).  Adding a device costs ``O(m)`` (one matrix row); nothing else
+  is recomputed.
+- :class:`GrowableCoalitionStructure` — the PR-1
+  :class:`~repro.game.coalition.CoalitionStructure` extended with
+  ``place`` / ``remove`` / ``retire``, so devices can enter a live
+  partition, drop out (expiry), or leave wholesale when a session departs.
+  All cached aggregates, the running total cost, and the Zobrist hash stay
+  incrementally maintained; ``check_invariants`` still audits everything.
+- :class:`IncrementalPlanner` — the epoch replanner: fold a batch of
+  admitted devices into the current structure (one ``O(sessions + m)``
+  candidate scan each), run a bounded socially-aware improvement pass over
+  the touched neighborhood, then *repair* individual rationality so no
+  member's comprehensive cost ever exceeds its admission quote.  The
+  repair always terminates: a device's best singleton cost equals its
+  quote and is independent of everyone else, so forcing a persistent
+  violator into a singleton pins it at the quote forever.
+
+Every candidate evaluation is tallied in :attr:`IncrementalPlanner.ops`;
+tests assert per-request work stays bounded by the *live* plan size, not
+by the total number of requests ever served.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core import Device
+from ..core.costsharing import CostSharingScheme, EgalitarianSharing
+from ..errors import ConfigurationError, ServiceError
+from ..game.coalition import CoalitionStructure, _device_token
+from ..game.switching import SelfishSwitch, SociallyAwareSwitch
+from ..mobility import LinearMobility, MobilityModel
+from ..wpt import Charger
+
+__all__ = ["PlanInstance", "GrowableCoalitionStructure", "IncrementalPlanner"]
+
+
+class PlanInstance:
+    """A growable CCS instance: fixed chargers, devices added over time.
+
+    Presents the same read surface as :class:`~repro.core.instance.CCSInstance`
+    (demand list, moving-cost matrix, singleton matrices, price fast
+    paths) so the coalition engine and every cost-sharing scheme work
+    unchanged, while :meth:`add_device` appends one device in ``O(m)``.
+    Device indices are append-only and never reused — a retired device's
+    row simply stops being referenced.
+    """
+
+    def __init__(
+        self,
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel] = None,
+    ):
+        if not chargers:
+            raise ConfigurationError("a plan needs at least one charger")
+        self.chargers: Tuple[Charger, ...] = tuple(chargers)
+        charger_ids = [c.charger_id for c in self.chargers]
+        if len(set(charger_ids)) != len(charger_ids):
+            raise ConfigurationError("charger identifiers must be unique")
+        self.mobility: MobilityModel = (
+            mobility if mobility is not None else LinearMobility()
+        )
+        self.devices: List[Device] = []
+        self._demand_list: List[float] = []
+        self._device_ids: Dict[str, int] = {}
+        m = len(self.chargers)
+        cap = 16
+        self._mc_buf = np.empty((cap, m), dtype=float)
+        self._sp_buf = np.empty((cap, m), dtype=float)
+        self._sc_buf = np.empty((cap, m), dtype=float)
+        self._n = 0
+        self._sync_views()
+
+    def _sync_views(self) -> None:
+        n = self._n
+        self._moving_cost = self._mc_buf[:n]
+        self._singleton_price = self._sp_buf[:n]
+        self._singleton_cost = self._sc_buf[:n]
+
+    # ------------------------------------------------------------------ #
+    # growth
+
+    def quote_rows(self, device: Device) -> Tuple[np.ndarray, np.ndarray]:
+        """``(moving-cost row, singleton-price row)`` for a device.
+
+        ``O(m)``: one mobility evaluation and one tariff evaluation per
+        charger.  Used both for pre-admission quoting (the device may
+        never enter the plan) and by :meth:`add_device`.
+        """
+        move = np.array(
+            [
+                self.mobility.moving_cost(device.position, c.position, device.moving_rate)
+                for c in self.chargers
+            ],
+            dtype=float,
+        )
+        price = np.array(
+            [c.price_for_stored(device.demand) for c in self.chargers], dtype=float
+        )
+        return move, price
+
+    def best_singleton(self, device: Device) -> Tuple[float, int]:
+        """Cheapest standalone option: ``(cost, charger index)``.
+
+        The admission *quote*: what the device would pay charging alone at
+        its best charger.  Ties break toward the lower charger index.
+        """
+        move, price = self.quote_rows(device)
+        costs = move + price
+        admitting = [j for j, c in enumerate(self.chargers) if c.admits(1)]
+        if not admitting:
+            raise ServiceError("no charger admits even a single device")
+        j = min(admitting, key=lambda j: (float(costs[j]), j))
+        return float(costs[j]), j
+
+    def add_device(self, device: Device) -> int:
+        """Append *device*; returns its (permanent) index.  ``O(m)``.
+
+        A device identifier may recur (a device coming back for another
+        charge after finishing an earlier session); ``device_index`` then
+        resolves to the latest index.  Guarding against *concurrently*
+        served duplicates is the kernel's admission job.
+        """
+        move, price = self.quote_rows(device)
+        if self._n == self._mc_buf.shape[0]:
+            grown = self._mc_buf.shape[0] * 2
+            for name in ("_mc_buf", "_sp_buf", "_sc_buf"):
+                buf = getattr(self, name)
+                new = np.empty((grown, buf.shape[1]), dtype=float)
+                new[: self._n] = buf[: self._n]
+                setattr(self, name, new)
+        i = self._n
+        self._mc_buf[i] = move
+        self._sp_buf[i] = price
+        self._sc_buf[i] = move + price
+        self._n += 1
+        self._sync_views()
+        self.devices.append(device)
+        self._demand_list.append(float(device.demand))
+        self._device_ids[device.device_id] = i
+        return i
+
+    # ------------------------------------------------------------------ #
+    # the CCSInstance read surface
+
+    @property
+    def n_devices(self) -> int:
+        """Devices ever added (indices run ``0..n_devices-1``)."""
+        return self._n
+
+    @property
+    def n_chargers(self) -> int:
+        """Number of chargers (fixed for the plan's lifetime)."""
+        return len(self.chargers)
+
+    def device_index(self, device_id: str) -> int:
+        """Index of the device with identifier *device_id*."""
+        try:
+            return self._device_ids[device_id]
+        except KeyError:
+            raise KeyError(f"unknown device {device_id!r}") from None
+
+    def moving_cost(self, device: int, charger: int) -> float:
+        """Moving cost of device index *device* to charger index *charger*."""
+        return float(self._moving_cost[device, charger])
+
+    def charging_price_for_demand(self, total_demand: float, charger: int) -> float:
+        """Session price for an already-summed stored demand (O(1) fast path)."""
+        if total_demand == 0.0:
+            return 0.0
+        return self.chargers[charger].price_for_stored(total_demand)
+
+    def singleton_price_matrix(self) -> np.ndarray:
+        """``(n, m)`` singleton session prices (maintained incrementally)."""
+        return self._singleton_price
+
+    def singleton_cost_matrix(self) -> np.ndarray:
+        """``(n, m)`` singleton group costs (price + moving cost)."""
+        return self._singleton_cost
+
+    def charging_price(self, group, charger: int) -> float:
+        """Session price when *group* shares one session at *charger*."""
+        members = list(group)
+        return self.chargers[charger].session_price(
+            self.devices[i].demand for i in members
+        )
+
+    def group_cost(self, group, charger: int) -> float:
+        """Full session cost: price plus the members' moving costs."""
+        members = list(group)
+        if not members:
+            return 0.0
+        price = self.charging_price(members, charger)
+        return price + float(self._moving_cost[members, charger].sum())
+
+    def total_demand(self, group) -> float:
+        """Sum of stored-energy demands over device indices in *group*."""
+        return sum(self.devices[i].demand for i in group)
+
+    def capacity_of(self, charger: int) -> Optional[int]:
+        """Slot capacity of charger index *charger* (``None`` = unbounded)."""
+        return self.chargers[charger].capacity
+
+
+class GrowableCoalitionStructure(CoalitionStructure):
+    """The PR-1 coalition structure, opened up for a live service plan.
+
+    Three additional mutations, all maintaining the cached total cost,
+    the per-coalition aggregates, and the Zobrist hash incrementally:
+
+    - :meth:`place` — a *new* device enters an existing coalition or
+      founds a singleton (``move`` without a source);
+    - :meth:`remove` — a device drops out (deadline expiry);
+    - :meth:`retire` — a whole coalition leaves the plan (its session
+      departed and is now charging).
+
+    Coverage is the set of currently placed devices, not
+    ``range(n_devices)`` — retired indices are tombstones.
+    """
+
+    def __init__(self, instance: PlanInstance, scheme: CostSharingScheme):
+        super().__init__(instance, scheme)
+
+    def register_device(self, device: int) -> None:
+        """Extend the Zobrist token table to cover a newly added index."""
+        while len(self._dev_token) <= device:
+            self._dev_token.append(_device_token(len(self._dev_token)))
+
+    def _expected_coverage(self) -> Set[int]:
+        return set(self._of_device)
+
+    def is_placed(self, device: int) -> bool:
+        """True while *device* sits in some live coalition."""
+        return device in self._of_device
+
+    def place(self, device: int, target: Optional[int], charger: int):
+        """Insert an unplaced *device* (``target=None`` founds a singleton).
+
+        Returns the receiving :class:`~repro.game.coalition.Coalition`.
+        """
+        if device in self._of_device:
+            raise ValueError(f"device {device} already placed")
+        if target is None:
+            return self._create(charger, {device})
+        dest = self._coalitions[target]
+        if dest.charger != charger:
+            raise ValueError("target coalition is bound to a different charger")
+        if not self.instance.chargers[dest.charger].admits(dest.size + 1):
+            raise ValueError(
+                f"coalition {target} is at capacity on charger {dest.charger}"
+            )
+        token = self._dev_token[device]
+        self._zhash ^= self._key(dest)
+        self._total_cost -= dest.group_cost
+        dest.members.add(device)
+        dest.fingerprint ^= token
+        self._refresh(dest)
+        self._total_cost += dest.group_cost
+        self._zhash ^= self._key(dest)
+        self._of_device[device] = dest.cid
+        return dest
+
+    def remove(self, device: int) -> int:
+        """Drop *device* from its coalition; returns the source cid.
+
+        The coalition is deleted if it empties.  The caller is responsible
+        for re-establishing individual rationality of the survivors
+        (:meth:`IncrementalPlanner._repair`) — removing a member can raise
+        the per-head share of those left behind.
+        """
+        src = self.coalition_of(device)
+        token = self._dev_token[device]
+        self._zhash ^= self._key(src)
+        self._total_cost -= src.group_cost
+        src.members.discard(device)
+        src.fingerprint ^= token
+        del self._of_device[device]
+        if src.members:
+            self._refresh(src)
+            self._total_cost += src.group_cost
+            self._zhash ^= self._key(src)
+        else:
+            del self._coalitions[src.cid]
+        return src.cid
+
+    def retire(self, cid: int):
+        """Remove coalition *cid* wholesale; returns the dead Coalition.
+
+        Other coalitions are untouched (a departure never changes anyone
+        else's bill), so no repair is needed afterwards.
+        """
+        coalition = self._coalitions.pop(cid)
+        self._zhash ^= self._key(coalition)
+        self._total_cost -= coalition.group_cost
+        for i in coalition.members:
+            del self._of_device[i]
+        return coalition
+
+
+class IncrementalPlanner:
+    """Epoch-based replanner: fold, improve, repair — never re-solve.
+
+    Owns the growable instance + structure pair and the per-device cost
+    ceilings (admission quotes).  All mutation entry points keep two
+    invariants the kernel's tests assert:
+
+    1. every placed device's comprehensive cost is at most its ceiling
+       (individual rationality against the standalone quote);
+    2. the structure's cached aggregates are coherent
+       (:meth:`~repro.game.coalition.CoalitionStructure.check_invariants`).
+    """
+
+    def __init__(
+        self,
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel] = None,
+        scheme: Optional[CostSharingScheme] = None,
+        tol: float = 1e-9,
+        improvement_sweeps: int = 2,
+        repair_rounds: int = 3,
+    ):
+        if improvement_sweeps < 0:
+            raise ConfigurationError(
+                f"improvement_sweeps must be nonnegative, got {improvement_sweeps}"
+            )
+        if repair_rounds < 0:
+            raise ConfigurationError(
+                f"repair_rounds must be nonnegative, got {repair_rounds}"
+            )
+        self.instance = PlanInstance(chargers, mobility)
+        self.scheme: CostSharingScheme = (
+            scheme if scheme is not None else EgalitarianSharing()
+        )
+        self.structure = GrowableCoalitionStructure(self.instance, self.scheme)
+        self.tol = float(tol)
+        self.improvement_sweeps = improvement_sweeps
+        self.repair_rounds = repair_rounds
+        self._social = SociallyAwareSwitch(tol=self.tol)
+        self._selfish = SelfishSwitch(tol=self.tol)
+        self.ceiling: Dict[int, float] = {}
+        #: Operation tally for the incremental-work regression tests.
+        #: ``full_solves`` stays 0 by construction — there is no code path
+        #: that hands the live plan to a batch solver.
+        self.ops: Dict[str, int] = {
+            "insert_candidates": 0,
+            "scan_candidates": 0,
+            "moves": 0,
+            "repair_moves": 0,
+            "full_solves": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # quoting and membership
+
+    def quote(self, device: Device) -> Tuple[float, int]:
+        """Standalone quote for a (not yet admitted) device: ``(cost, charger)``."""
+        return self.instance.best_singleton(device)
+
+    def add(self, device: Device, ceiling: float) -> int:
+        """Register an admitted device (not yet placed); returns its index."""
+        index = self.instance.add_device(device)
+        self.structure.register_device(index)
+        self.ceiling[index] = float(ceiling)
+        return index
+
+    def active_indices(self) -> List[int]:
+        """Sorted indices of devices currently placed in the live plan."""
+        return sorted(self.structure._of_device)
+
+    def individual_cost(self, device: int) -> float:
+        """Current comprehensive cost of a placed device."""
+        return self.structure.individual_cost(device)
+
+    # ------------------------------------------------------------------ #
+    # the epoch fold
+
+    def _insert(self, device: int) -> int:
+        """Place one new device at its own-cost argmin; returns the cid.
+
+        One pass over live coalitions plus the precomputed singleton-cost
+        row — ``O(n_coalitions + m)`` candidate evaluations, each a single
+        tariff call on cached aggregates.  Tie-breaks mirror the switch
+        rules: cheaper first, then joins over singletons, then lower
+        charger, then lower cid.
+        """
+        st, inst = self.structure, self.instance
+        best_key: Optional[Tuple[float, int, int, int]] = None
+        best: Optional[Tuple[Optional[int], int]] = None
+        for coalition in st.coalitions():
+            cost = st.cost_if_joined(device, coalition.cid, coalition.charger)
+            self.ops["insert_candidates"] += 1
+            if cost == float("inf"):
+                continue
+            key = (cost, 0, coalition.charger, coalition.cid)
+            if best_key is None or key < best_key:
+                best_key, best = key, (coalition.cid, coalition.charger)
+        row = inst.singleton_cost_matrix()[device]
+        for j in range(inst.n_chargers):
+            self.ops["insert_candidates"] += 1
+            if not inst.chargers[j].admits(1):
+                continue
+            key = (float(row[j]), 1, j, -1)
+            if best_key is None or key < best_key:
+                best_key, best = key, (None, j)
+        if best is None:
+            raise ServiceError("no feasible placement for admitted device")
+        target, charger = best
+        coalition = st.place(device, target, charger)
+        self.ops["moves"] += 1
+        return coalition.cid
+
+    def fold(self, indices: Sequence[int]) -> Dict[int, int]:
+        """Fold a batch of registered devices into the live structure.
+
+        Returns ``{device index: receiving cid}`` (the cid *at insertion
+        time*; improvement moves may relocate devices afterwards).  After
+        the fold the individual-rationality invariant holds for every
+        placed device.
+        """
+        placements: Dict[int, int] = {}
+        touched: Set[int] = set()
+        for device in sorted(indices):
+            cid = self._insert(device)
+            placements[device] = cid
+            touched |= self.structure._coalitions[cid].members
+        touched = self._improve(touched)
+        self._repair(touched)
+        return placements
+
+    def _improve(self, touched: Set[int]) -> Set[int]:
+        """Bounded socially-aware best-response sweeps over *touched*.
+
+        Each permitted switch strictly lowers the total comprehensive cost
+        (the game's potential), so sweeps cannot cycle; we additionally
+        cap them at :attr:`improvement_sweeps`.  Returns the grown touched
+        set (destination coalitions join the neighborhood).
+        """
+        st = self.structure
+        for _ in range(self.improvement_sweeps):
+            moved = False
+            for device in sorted(touched):
+                if not st.is_placed(device):
+                    continue
+                self.ops["scan_candidates"] += st.n_coalitions + self.instance.n_chargers
+                move = self._social.best_move(st, device)
+                if move is None:
+                    continue
+                st.move(device, move.target, move.charger)
+                self.ops["moves"] += 1
+                moved = True
+                touched |= st.coalition_of(device).members
+            if not moved:
+                break
+        return touched
+
+    def _repair(self, touched: Set[int]) -> None:
+        """Re-establish ``cost <= ceiling`` for every placed device.
+
+        Membership churn can push a bystander above its quote (e.g. a
+        base-fee-dominated session losing a member raises everyone's
+        per-head share).  Violators take their best selfish move — always
+        at most the standalone quote, because founding a singleton at the
+        quote's charger is available — and after
+        :attr:`repair_rounds` rounds any stragglers are *forced* into
+        their best singleton, whose cost equals the quote exactly and can
+        never be disturbed by other devices leaving.
+        """
+        st, inst = self.structure, self.instance
+        for _ in range(self.repair_rounds):
+            violators = [
+                d for d in self.active_indices()
+                if st.individual_cost(d) > self.ceiling[d] + self.tol
+            ]
+            if not violators:
+                return
+            for device in violators:
+                self.ops["scan_candidates"] += st.n_coalitions + inst.n_chargers
+                move = self._selfish.best_move(st, device)
+                if move is None:
+                    continue
+                st.move(device, move.target, move.charger)
+                self.ops["repair_moves"] += 1
+        while True:
+            violators = [
+                d for d in self.active_indices()
+                if st.individual_cost(d) > self.ceiling[d] + self.tol
+            ]
+            if not violators:
+                return
+            progressed = False
+            for device in violators:
+                # A force earlier in this pass may have shifted this
+                # device's share either way; recheck before acting.
+                if st.individual_cost(device) <= self.ceiling[device] + self.tol:
+                    continue
+                row = inst.singleton_cost_matrix()[device]
+                j = min(
+                    (j for j in range(inst.n_chargers) if inst.chargers[j].admits(1)),
+                    key=lambda j: (float(row[j]), j),
+                )
+                src = st.coalition_of(device)
+                if src.size == 1 and src.charger == j:
+                    continue
+                st.move(device, None, j)
+                self.ops["repair_moves"] += 1
+                progressed = True
+            if not progressed:
+                # Every remaining "violator" already sits at its best
+                # singleton (cost == quote); nothing more can help.
+                return
+
+    # ------------------------------------------------------------------ #
+    # departures and expiries
+
+    def remove(self, device: int) -> None:
+        """Expire a placed device out of the plan, then repair survivors."""
+        cid = self.structure.remove(device)
+        del self.ceiling[device]
+        survivors = (
+            set(self.structure._coalitions[cid].members)
+            if cid in self.structure._coalitions
+            else set()
+        )
+        self._repair(survivors)
+
+    def retire(self, cid: int) -> Dict[str, object]:
+        """Depart coalition *cid*; returns the frozen session accounting.
+
+        The returned dict carries everything the kernel journals and
+        meters: charger index, sorted member indices, session price, the
+        per-member price shares (exact, via the scheme), and per-member
+        moving costs.
+        """
+        st, inst = self.structure, self.instance
+        coalition = st._coalitions[cid]
+        members = sorted(coalition.members)
+        shares = self.scheme.shares(inst, members, coalition.charger)
+        info = {
+            "charger": coalition.charger,
+            "members": members,
+            "price": coalition.price,
+            "demands": [inst._demand_list[i] for i in members],
+            "shares": {i: float(shares[i]) for i in members},
+            "moving": {i: inst.moving_cost(i, coalition.charger) for i in members},
+        }
+        st.retire(cid)
+        for i in members:
+            del self.ceiling[i]
+        return info
+
+    def live_cids(self) -> List[int]:
+        """Sorted cids of the live coalitions (creation order = cid order)."""
+        return sorted(self.structure._coalitions)

@@ -1,0 +1,81 @@
+"""Adapter exposing the service daemon as an online scheduling policy.
+
+The online harness (:mod:`repro.online.harness`) benchmarks anything with
+a ``name`` and a ``run(arrivals, chargers, mobility) -> (Schedule,
+CCSInstance)``.  :class:`ServicePolicy` drives a fresh
+:class:`~repro.service.kernel.ChargingService` over the arrival stream
+(submit each arrival at its timestamp, then drain) and freezes the
+departed sessions into a standard :class:`~repro.core.schedule.Schedule`
+— so the daemon's epoch fold/improve/repair loop can be measured with the
+same competitive-ratio machinery as :class:`~repro.online.scheduler.GreedyDispatch`
+and :class:`~repro.online.scheduler.BatchScheduler`.
+
+Requests carry no deadline or price cap here: the harness contract is
+that every arrived device ends up in the schedule, so the adapter runs
+the daemon in its always-admit regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core import CCSInstance, Schedule, Session
+from ..core.costsharing import CostSharingScheme
+from ..errors import ConfigurationError
+from ..mobility import MobilityModel
+from ..online.arrivals import Arrival
+from ..wpt import Charger
+from .kernel import ChargingService, ServiceConfig
+from .request import ChargingRequest
+
+__all__ = ["ServicePolicy"]
+
+
+class ServicePolicy:
+    """Run the charging-service kernel as an online policy."""
+
+    name = "online-service"
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        scheme: Optional[CostSharingScheme] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.scheme = scheme
+
+    def run(
+        self,
+        arrivals: Sequence[Arrival],
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel] = None,
+    ) -> Tuple[Schedule, CCSInstance]:
+        """Feed *arrivals* through a fresh daemon; return its schedule."""
+        if not arrivals:
+            raise ConfigurationError("no arrivals were scheduled")
+        service = ChargingService(
+            chargers, mobility=mobility, scheme=self.scheme, config=self.config
+        )
+        for k, arrival in enumerate(arrivals):
+            service.submit(
+                ChargingRequest(
+                    request_id=f"p{k:06d}",
+                    device=arrival.device,
+                    submitted_at=arrival.time,
+                )
+            )
+        service.drain()
+        instance = CCSInstance(
+            devices=[a.device for a in arrivals],
+            chargers=list(chargers),
+            mobility=service.planner.instance.mobility,
+        )
+        charger_index = {c.charger_id: j for j, c in enumerate(service.chargers)}
+        sessions = [
+            Session(
+                charger=charger_index[s["charger"]],
+                members=frozenset(instance.device_index(d) for d in s["members"]),
+            )
+            for s in service.final_schedule()
+        ]
+        return Schedule(sessions, solver=self.name), instance

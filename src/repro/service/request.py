@@ -1,0 +1,167 @@
+"""Charging requests and their service lifecycle.
+
+A :class:`ChargingRequest` is what a customer hands the daemon: a device
+(who/where/how much energy), a submission time, and optional service
+terms — a deadline by which charging must have *started* and a maximum
+acceptable price.  The kernel tracks each request through the lifecycle::
+
+    SUBMITTED ── admission ──> ADMITTED ── epoch fold ──> GROUPED
+        │                         │                          │
+        └──> REJECTED             └──> EXPIRED (queue)       ├──> CHARGING ──> DONE
+                                                             └──> EXPIRED (plan)
+
+Requests serialize to plain JSON (:meth:`ChargingRequest.to_dict` /
+:meth:`ChargingRequest.from_dict`) because submissions are exactly what
+the durable journal must replay to reconstruct a killed daemon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core import Device
+from ..errors import ConfigurationError
+from ..geometry import Point
+
+__all__ = ["RequestState", "ChargingRequest", "RequestRecord"]
+
+
+class RequestState:
+    """Lifecycle states (plain strings so they journal/JSON naturally)."""
+
+    SUBMITTED = "submitted"
+    ADMITTED = "admitted"
+    GROUPED = "grouped"
+    CHARGING = "charging"
+    DONE = "done"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+
+    #: States a request can never leave.
+    TERMINAL = frozenset({DONE, REJECTED, EXPIRED})
+
+
+@dataclass(frozen=True)
+class ChargingRequest:
+    """One customer request: a device asking for service under given terms.
+
+    Parameters
+    ----------
+    request_id:
+        Stable identifier, unique within one daemon's lifetime.
+    device:
+        The requesting device (position, demand, moving-cost valuation).
+    submitted_at:
+        Logical submission time in seconds.
+    deadline:
+        Optional absolute time by which the request's session must have
+        *departed* (started charging); otherwise it expires.
+    max_price:
+        Optional cap on the comprehensive cost the customer accepts.  The
+        admission controller rejects requests whose standalone quote
+        already exceeds it; admitted requests are guaranteed to realize a
+        cost no greater than their quote (see docs/SERVICE.md).
+    """
+
+    request_id: str
+    device: Device
+    submitted_at: float
+    deadline: Optional[float] = None
+    max_price: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ConfigurationError("request_id must be a nonempty string")
+        if not (math.isfinite(self.submitted_at) and self.submitted_at >= 0.0):
+            raise ConfigurationError(
+                f"request {self.request_id!r}: submitted_at must be a finite "
+                f"nonnegative time, got {self.submitted_at}"
+            )
+        if self.deadline is not None and (
+            not math.isfinite(self.deadline) or self.deadline <= self.submitted_at
+        ):
+            raise ConfigurationError(
+                f"request {self.request_id!r}: deadline must be finite and after "
+                f"submission ({self.submitted_at}), got {self.deadline}"
+            )
+        if self.max_price is not None and (
+            not math.isfinite(self.max_price) or self.max_price <= 0.0
+        ):
+            raise ConfigurationError(
+                f"request {self.request_id!r}: max_price must be finite and "
+                f"positive, got {self.max_price}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form; the journal's ``submit`` record payload."""
+        return {
+            "id": self.request_id,
+            "t": float(self.submitted_at),
+            "deadline": None if self.deadline is None else float(self.deadline),
+            "max_price": None if self.max_price is None else float(self.max_price),
+            "device": {
+                "id": self.device.device_id,
+                "x": float(self.device.position.x),
+                "y": float(self.device.position.y),
+                "demand": float(self.device.demand),
+                "moving_rate": float(self.device.moving_rate),
+                "speed": float(self.device.speed),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChargingRequest":
+        """Inverse of :meth:`to_dict`; used by journal replay and traces."""
+        dev = data["device"]
+        return cls(
+            request_id=data["id"],
+            device=Device(
+                device_id=dev["id"],
+                position=Point(float(dev["x"]), float(dev["y"])),
+                demand=float(dev["demand"]),
+                moving_rate=float(dev["moving_rate"]),
+                speed=float(dev.get("speed", 1.0)),
+            ),
+            submitted_at=float(data["t"]),
+            deadline=data.get("deadline"),
+            max_price=data.get("max_price"),
+        )
+
+
+class RequestRecord:
+    """Mutable per-request tracking state inside the kernel."""
+
+    __slots__ = (
+        "request",
+        "state",
+        "quote",
+        "quote_charger",
+        "reason",
+        "device_index",
+        "grouped_at",
+        "departed_at",
+        "completed_at",
+        "session_seq",
+        "realized_cost",
+    )
+
+    def __init__(self, request: ChargingRequest):
+        self.request = request
+        self.state: str = RequestState.SUBMITTED
+        self.quote: Optional[float] = None
+        self.quote_charger: Optional[int] = None
+        self.reason: Optional[str] = None
+        self.device_index: Optional[int] = None
+        self.grouped_at: Optional[float] = None
+        self.departed_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.session_seq: Optional[int] = None
+        self.realized_cost: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestRecord({self.request.request_id!r}, state={self.state!r}, "
+            f"quote={self.quote!r})"
+        )

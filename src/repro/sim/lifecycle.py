@@ -15,9 +15,9 @@ which reward schedulers that keep nodes near their chargers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from ..core import CCSInstance, Device, EgalitarianSharing, Schedule
+from ..core import CCSInstance, Device, Schedule
 from ..energy import Battery, ConstantPowerConsumption, ConsumptionModel, LocomotionModel
 from ..errors import ConfigurationError
 from ..rng import ensure_rng

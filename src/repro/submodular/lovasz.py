@@ -12,7 +12,7 @@ convex exactly when ``f`` is submodular.  We use it two ways:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

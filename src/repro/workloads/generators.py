@@ -9,7 +9,7 @@ random instance with these parameters" and differs only in its seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..energy import lognormal_demands, uniform_demands
 from ..errors import ConfigurationError

@@ -8,7 +8,7 @@ from repro.core import CCSInstance, Device
 from repro.errors import ConfigurationError
 from repro.geometry import Point
 from repro.mobility import ManhattanMobility
-from repro.wpt import Charger, LinearTariff, PowerLawTariff
+from repro.wpt import Charger, LinearTariff
 
 
 class TestDevice:

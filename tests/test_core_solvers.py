@@ -18,8 +18,8 @@ from repro.core import (
     random_grouping,
     validate_schedule,
 )
-from repro.errors import ConvergenceError, InfeasibleError
-from repro.game import SelfishSwitch, SociallyAwareSwitch
+from repro.errors import ConvergenceError
+from repro.game import SelfishSwitch
 from repro.workloads import quick_instance
 from repro.core import CCSInstance, Device
 from repro.geometry import Point
@@ -118,7 +118,6 @@ class TestCCSGA:
             assert comprehensive_cost(res.schedule, inst) <= c_nca + 1e-9
 
     def test_warm_start_from_ccsa_never_hurts(self, random_instance):
-        cold = ccsga(random_instance)
         warm = ccsga(random_instance, warm_start=ccsa(random_instance))
         c_warm = comprehensive_cost(warm.schedule, random_instance)
         c_ccsa = comprehensive_cost(ccsa(random_instance), random_instance)

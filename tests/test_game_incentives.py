@@ -9,7 +9,6 @@ import pytest
 from repro.core import EgalitarianSharing, ProportionalSharing, ccsa
 from repro.game import (
     IncentiveProfile,
-    MisreportOutcome,
     incentive_profile,
     misreport_gain,
 )

@@ -22,7 +22,7 @@ from repro import (
 from repro.core import improve_schedule
 from repro.experiments import render_series, render_table, sweep_costs, table2_optimality
 from repro.sim import FieldTrialConfig, NoiseModel, execute_round
-from repro.workloads import SMALL_SCALE_SPEC, generate_instance, testbed_instance as make_testbed
+from repro.workloads import SMALL_SCALE_SPEC, testbed_instance as make_testbed
 
 
 class TestSchedulingPipeline:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ccsa, comprehensive_cost, noncooperation
+from repro.core import ccsa, noncooperation
 from repro.errors import ConfigurationError
 from repro.market import (
     CompetitionConfig,

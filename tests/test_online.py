@@ -149,3 +149,23 @@ class TestHarness:
             BatchScheduler(window=1e12), make_arrivals(20), make_chargers()
         )
         assert out.competitive_ratio == pytest.approx(1.0)
+
+    def test_service_daemon_runs_under_the_harness(self):
+        # The charging-service kernel, adapted as an online policy, is
+        # feasible and competitive on the same footing as the schedulers.
+        from repro.service import ServicePolicy
+
+        out = evaluate_policy(ServicePolicy(), make_arrivals(25), make_chargers())
+        assert out.policy == "online-service"
+        assert 0.95 <= out.competitive_ratio <= 2.5
+
+    def test_zero_offline_cost_does_not_divide_by_zero(self):
+        # Regression: a degenerate free instance used to raise
+        # ZeroDivisionError; now 0/0 reads as "matched the optimum" and
+        # anything/0 as unbounded regret.
+        from repro.online.harness import OnlineOutcome
+
+        free = OnlineOutcome(policy="p", online_cost=0.0, offline_cost=0.0, n_sessions=1)
+        assert free.competitive_ratio == 1.0
+        worse = OnlineOutcome(policy="p", online_cost=3.0, offline_cost=0.0, n_sessions=1)
+        assert worse.competitive_ratio == float("inf")

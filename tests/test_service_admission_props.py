@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the service daemon's contracts.
+
+Three invariants, over randomized request streams and configurations:
+
+1. **Price safety** — no served request ever pays more than its quote,
+   and hence never more than its ``max_price`` cap;
+2. **Rejection is final** — a rejected request's device never appears in
+   any departed session;
+3. **Conservation** — at every observation point, every submitted
+   request is in exactly one lifecycle state and the metrics counters
+   agree with the ground-truth records.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Device
+from repro.geometry import Point
+from repro.service import ChargingRequest, ChargingService, RequestState, ServiceConfig
+from repro.wpt import Charger
+
+CHARGERS = [
+    Charger(charger_id="c0", position=Point(20.0, 20.0)),
+    Charger(charger_id="c1", position=Point(80.0, 80.0)),
+]
+
+
+@st.composite
+def request_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=18))
+    requests = []
+    t = 0.0
+    for k in range(n):
+        t += draw(st.floats(min_value=0.5, max_value=90.0))
+        demand = draw(st.floats(min_value=5e3, max_value=50e3))
+        deadline = None
+        if draw(st.booleans()):
+            deadline = t + draw(st.floats(min_value=30.0, max_value=1200.0))
+        max_price = None
+        if draw(st.booleans()):
+            # Spans well below to well above realistic quotes, so both
+            # price rejections and admissions are exercised.
+            max_price = draw(st.floats(min_value=100.0, max_value=20000.0))
+        requests.append(
+            ChargingRequest(
+                request_id=f"r{k}",
+                device=Device(
+                    device_id=f"d{k}",
+                    position=Point(
+                        draw(st.floats(min_value=0.0, max_value=100.0)),
+                        draw(st.floats(min_value=0.0, max_value=100.0)),
+                    ),
+                    demand=demand,
+                ),
+                submitted_at=t,
+                deadline=deadline,
+                max_price=max_price,
+            )
+        )
+    return requests
+
+
+def conservation_holds(svc, submitted_so_far):
+    counts = svc.counts()
+    assert sum(counts.values()) == submitted_so_far
+    counters = svc.metrics_snapshot()["counters"]
+    assert counters["submitted"] == submitted_so_far
+    # Terminal counters match the records; live states are the remainder.
+    assert counters["rejected"] == counts[RequestState.REJECTED]
+    assert counters["expired"] == counts[RequestState.EXPIRED]
+    assert counters["completed"] == counts[RequestState.DONE]
+    live = (
+        counts[RequestState.ADMITTED]
+        + counts[RequestState.GROUPED]
+        + counts[RequestState.CHARGING]
+    )
+    assert counters["admitted"] == submitted_so_far - counters["rejected"]
+    assert live == (
+        counters["admitted"] - counters["expired"] - counters["completed"]
+    )
+
+
+@given(request_streams(), st.sampled_from([30.0, 60.0]), st.sampled_from([60.0, 180.0]))
+@settings(max_examples=40, deadline=None)
+def test_service_invariants(requests, epoch, window):
+    config = ServiceConfig(epoch=epoch, window=window, queue_limit=8)
+    svc = ChargingService(CHARGERS, config=config)
+
+    for k, request in enumerate(requests):
+        svc.submit(request)
+        conservation_holds(svc, k + 1)  # at every epoch/submission point
+    svc.drain()
+    conservation_holds(svc, len(requests))
+
+    rejected_devices = {
+        rec.request.device.device_id
+        for rec in svc.requests.values()
+        if rec.state == RequestState.REJECTED
+    }
+    served = set()
+    for session in svc.final_schedule():
+        served.update(session["members"])
+        # Per-session accounting: shares + moving == per-member costs.
+        assert set(session["costs"]) == set(session["members"])
+    # Rejected requests never appear in any departed session.
+    assert not (rejected_devices & served)
+
+    for rid, rec in svc.requests.items():
+        if rec.realized_cost is not None:
+            # Price safety: realized cost <= quote <= max_price cap.
+            assert rec.realized_cost <= rec.quote + 1e-6
+            cap = rec.request.max_price
+            if cap is not None:
+                assert rec.realized_cost <= cap + 1e-6
+        if rec.state == RequestState.REJECTED:
+            assert rec.request.device.device_id not in served
+        if rec.state == RequestState.DONE:
+            assert rec.request.device.device_id in served
+
+
+@given(request_streams())
+@settings(max_examples=25, deadline=None)
+def test_double_submission_never_double_counts(requests):
+    svc = ChargingService(CHARGERS)
+    for request in requests:
+        svc.submit(request)
+        svc.submit(request)  # duplicate id: must be a pure no-op
+    svc.drain()
+    conservation_holds(svc, len(requests))

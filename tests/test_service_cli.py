@@ -1,0 +1,64 @@
+"""Smoke tests for the ``ccs-serve`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import serve_main
+from repro.service import read_trace, write_trace
+from repro.service.loadgen import generate_requests
+
+
+class TestServeCli:
+    def test_loadgen_run(self, capsys):
+        assert serve_main(["--n", "20", "--rate", "0.5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 20" in out
+        assert "0 full solves" in out
+
+    def test_journal_metrics_and_recovery_check(self, tmp_path, capsys):
+        journal = tmp_path / "service.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = serve_main(
+            [
+                "--n", "25", "--rate", "0.4", "--seed", "7",
+                "--duration", "600",
+                "--journal", str(journal),
+                "--metrics-json", str(metrics),
+                "--check-recovery",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "recovery check OK" in captured.err
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["submitted"] == 25
+        assert journal.exists()
+
+    def test_trace_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        requests = generate_requests(10, rate=0.5, rng=11)
+        write_trace(trace, requests)
+        assert [r.request_id for r in read_trace(trace)] == [
+            r.request_id for r in requests
+        ]
+        assert serve_main(["--trace", str(trace)]) == 0
+        assert "requests: 10" in capsys.readouterr().out
+
+    def test_burst_and_diurnal_profiles(self, capsys):
+        for profile in ("burst", "diurnal"):
+            assert serve_main(
+                ["--loadgen", profile, "--n", "10", "--rate", "0.5", "--seed", "2"]
+            ) == 0
+        assert "requests: 10" in capsys.readouterr().out
+
+    def test_check_recovery_requires_journal(self, capsys):
+        assert serve_main(["--check-recovery"]) == 2
+        assert "--check-recovery requires --journal" in capsys.readouterr().err
+
+    def test_entry_point_registered(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as fh:
+            cfg = tomllib.load(fh)
+        assert cfg["project"]["scripts"]["ccs-serve"] == "repro.cli:serve_main"

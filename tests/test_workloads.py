@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ccsa, comprehensive_cost, validate_schedule
+from repro.core import ccsa, validate_schedule
 from repro.errors import ConfigurationError
 from repro.workloads import (
     DEFAULT_SPEC,
