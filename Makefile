@@ -10,11 +10,21 @@ JOBS ?= 1
 # Task-result cache directory used by run-all (re-runs resume from it).
 CACHE_DIR ?= .ccs-bench-cache
 
-.PHONY: test bench bench-smoke bench-hotpath bench-exec bench-service golden golden-experiments run-all serve-smoke
+.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-exec bench-service golden golden-experiments run-all serve-smoke
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Domain-aware static analysis: determinism / numeric / state-discipline
+# invariants (see docs/LINTING.md).  Exit 0 means no unbaselined findings.
+lint:
+	$(PYTHON) -m repro.lint src
+
+# Static types.  Permissive by default with a strict core (pyproject
+# [tool.mypy]); requires mypy (pip install mypy) — CI always runs it.
+typecheck:
+	$(PYTHON) -m mypy
 
 # Quick wall-time regression guard for the CCSGA hot path (also part of
 # the tier-1 suite via the bench_smoke marker).  Fails only on a >3x

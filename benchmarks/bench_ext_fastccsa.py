@@ -34,7 +34,7 @@ def test_ccsa_pruning_ablation(benchmark, once):
         print(f"{label:>6} {cost:>10.1f} {elapsed:>9.2f} "
               f"{100 * (cost - full_cost) / full_cost:>12.2f}% "
               f"{full_time / elapsed:>7.1f}x")
-    for budget, cost, elapsed in rows[1:]:
+    for _budget, cost, _elapsed in rows[1:]:
         assert cost <= 1.05 * full_cost  # at most 5% regression
     # The tightest budget must be decisively faster than the full oracle.
     assert rows[-1][2] < full_time / 2

@@ -40,7 +40,7 @@ def test_mergesplit_vs_ccsga(benchmark, once):
           f"{'merge-split':>12} {'ops':>5} {'stable':>7}")
     for n, nca, ga, sw, ms, ops, stable in rows:
         print(f"{n:>4} {nca:>9.1f} {ga:>9.1f} {sw:>9} {ms:>12.1f} {ops:>5} {stable!s:>7}")
-    for n, nca, ga, sw, ms, ops, stable in rows:
+    for _n, nca, ga, sw, ms, ops, stable in rows:
         assert stable
         assert ga <= nca + 1e-9 and ms <= nca + 1e-9
         # Same ballpark: neither dynamic collapses.

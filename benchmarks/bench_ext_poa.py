@@ -25,7 +25,7 @@ def test_price_of_anarchy(benchmark, once):
     for n, q in rows:
         print(f"{n:>4} {q.baseline:<12} {q.price_of_anarchy:>6.3f} "
               f"{q.price_of_stability:>6.3f} {q.spread:>9.2%}")
-    for n, q in rows:
+    for _n, q in rows:
         assert q.price_of_anarchy >= q.price_of_stability
         if q.baseline == "optimal":
             assert q.price_of_stability >= 1.0 - 1e-9

@@ -29,7 +29,7 @@ def noncooperation(instance: CCSInstance) -> Schedule:
     for i in range(instance.n_devices):
         best_j = min(
             range(instance.n_chargers),
-            key=lambda j: (instance.group_cost([i], j), j),
+            key=lambda j, i=i: (instance.group_cost([i], j), j),
         )
         assignment.append(best_j)
     schedule = singleton_schedule(instance, assignment, solver="noncooperation")
@@ -43,7 +43,7 @@ def nearest_charger(instance: CCSInstance) -> Schedule:
     for i in range(instance.n_devices):
         best_j = min(
             range(instance.n_chargers),
-            key=lambda j: (instance.distance(i, j), j),
+            key=lambda j, i=i: (instance.distance(i, j), j),
         )
         assignment.append(best_j)
     schedule = singleton_schedule(instance, assignment, solver="nearest")
@@ -104,7 +104,7 @@ def demand_greedy(instance: CCSInstance) -> Schedule:
     for i in order:
         j = min(
             range(instance.n_chargers),
-            key=lambda c: (instance.distance(i, c), c),
+            key=lambda c, i=i: (instance.distance(i, c), c),
         )
         bucket = open_sessions.setdefault(j, [])
         bucket.append(i)

@@ -75,7 +75,7 @@ def ccsa(
         for j in range(instance.n_chargers):
             if max_candidates is not None and len(pool) > max_candidates:
                 candidates = sorted(
-                    pool, key=lambda i: (instance.moving_cost(i, j), i)
+                    pool, key=lambda i, j=j: (instance.moving_cost(i, j), i)
                 )[:max_candidates]
             else:
                 candidates = pool

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry import Field, distance_matrix
+from ..numeric import is_exact_zero
 from ..mobility import LinearMobility, MobilityModel
 from ..wpt import Charger, is_concave_nondecreasing
 from .device import Device
@@ -173,7 +174,7 @@ class CCSInstance:
         scalar instead of re-iterating a member list.  Agrees with
         :meth:`charging_price` up to floating-point summation order.
         """
-        if total_demand == 0.0:
+        if is_exact_zero(total_demand):
             return 0.0
         return self.chargers[charger].price_for_stored(total_demand)
 

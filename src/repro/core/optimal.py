@@ -159,7 +159,7 @@ def optimal_bell(instance: CCSInstance, max_devices: int = 9) -> Schedule:
             if not admitting:
                 feasible = False
                 break
-            j = min(admitting, key=lambda c: (instance.group_cost(block, c), c))
+            j = min(admitting, key=lambda c, block=block: (instance.group_cost(block, c), c))
             cost += instance.group_cost(block, j)
             sessions.append(Session(charger=j, members=frozenset(block)))
         if feasible and cost < best_cost:

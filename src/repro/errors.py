@@ -8,6 +8,8 @@ call sites, ``KeyError`` from internal bugs) propagate unchanged.
 
 from __future__ import annotations
 
+from typing import Iterable, List, Union
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -58,7 +60,7 @@ class ConvergenceError(ReproError):
     algorithm got before giving up.
     """
 
-    def __init__(self, message: str, iterations: int = 0):
+    def __init__(self, message: str, iterations: int = 0) -> None:
         super().__init__(message)
         self.iterations = iterations
 
@@ -93,8 +95,10 @@ class UnknownExperimentError(ReproError, KeyError):
     keep working.
     """
 
-    def __init__(self, unknown, available):
-        self.unknown = sorted(unknown) if isinstance(unknown, (list, tuple, set)) else [unknown]
+    def __init__(self, unknown: Union[str, Iterable[str]], available: Iterable[str]) -> None:
+        self.unknown: List[object] = (
+            sorted(unknown) if isinstance(unknown, (list, tuple, set)) else [unknown]
+        )
         self.available = sorted(available)
         super().__init__(
             f"unknown experiment ids {self.unknown}; available: {self.available}"

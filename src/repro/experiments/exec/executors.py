@@ -121,6 +121,9 @@ class ParallelExecutor(Executor):
                         continue
                     results[k] = self._record(tasks[k], fut.result())
                 if failure is not None:
+                    # ccs-lint: ignore[CCS006] -- cancellation order is
+                    # immaterial: no result is recorded here, and completed
+                    # results are keyed by task index, not arrival order.
                     for fut in pending:
                         fut.cancel()
                     break

@@ -27,6 +27,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping
 
+from ...numeric import is_exact_zero
+
 __all__ = [
     "Task",
     "TaskKindError",
@@ -77,7 +79,7 @@ def _canon(value: Any) -> Any:
     if isinstance(value, float):
         if value != value or value in (float("inf"), float("-inf")):
             raise ValueError(f"non-finite float {value!r} cannot be fingerprinted")
-        return 0.0 if value == 0.0 else value
+        return 0.0 if is_exact_zero(value) else value
     if isinstance(value, Mapping):
         return {str(k): _canon(value[k]) for k in sorted(value, key=str)}
     if isinstance(value, (list, tuple)):

@@ -34,6 +34,7 @@ import numpy as np
 from ..core.costsharing import CostSharingScheme, share_from_aggregates
 from ..core.instance import CCSInstance
 from ..core.schedule import Schedule, Session
+from ..numeric import CACHE_REL_TOL, TOTAL_COST_REL_TOL
 
 __all__ = ["Coalition", "CoalitionStructure"]
 
@@ -451,7 +452,7 @@ class CoalitionStructure:
                 ("price", c.price, true_price),
                 ("move_sum", c.move_sum, true_move),
             ):
-                if abs(cached - true) > 1e-9 * max(1.0, abs(true)):
+                if abs(cached - true) > CACHE_REL_TOL * max(1.0, abs(true)):
                     raise AssertionError(
                         f"coalition {c.cid}: cached {label} {cached} drifted "
                         f"from {true}"
@@ -466,7 +467,7 @@ class CoalitionStructure:
             recomputed += self.instance.group_cost(c.members, c.charger)
         if seen != self._expected_coverage():
             raise AssertionError("coalition structure does not cover all devices")
-        if abs(recomputed - self._total_cost) > 1e-6 * max(1.0, abs(recomputed)):
+        if abs(recomputed - self._total_cost) > TOTAL_COST_REL_TOL * max(1.0, abs(recomputed)):
             raise AssertionError(
                 f"cached total cost {self._total_cost} drifted from {recomputed}"
             )

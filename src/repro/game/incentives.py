@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
+from ..numeric import EXACT_ONE, is_exact
+
 __all__ = ["MisreportOutcome", "misreport_gain", "IncentiveProfile", "incentive_profile"]
 
 DEFAULT_FACTORS: Tuple[float, ...] = (0.25, 0.5, 0.75, 0.9, 1.1, 1.25, 1.5)
@@ -118,7 +120,7 @@ def misreport_gain(
     truthful = _realized_cost(instance, instance, device, 1.0, scheme, scheduler)
     best_cost, best_factor = truthful, 1.0
     for factor in factors:
-        if factor == 1.0:
+        if is_exact(factor, EXACT_ONE):
             continue
         reported = _reported_instance(instance, device, factor)
         cost = _realized_cost(instance, reported, device, factor, scheme, scheduler)

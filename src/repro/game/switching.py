@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
+from ..numeric import DEFAULT_REL_TOL
 from .coalition import CoalitionStructure
 
 __all__ = ["SwitchMove", "SwitchRule", "SelfishSwitch", "SociallyAwareSwitch"]
@@ -139,7 +140,7 @@ class SwitchRule:
     name = "abstract"
     has_potential = False
 
-    def __init__(self, tol: float = 1e-9):
+    def __init__(self, tol: float = DEFAULT_REL_TOL):
         if tol < 0:
             raise ValueError(f"tol must be nonnegative, got {tol}")
         self.tol = tol

@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Tuple
 
+from ..numeric import is_exact_zero
+
 __all__ = ["Point", "centroid"]
 
 
@@ -44,7 +46,7 @@ class Point:
         overshoots its destination).  A zero-length segment returns ``self``.
         """
         total = self.distance_to(other)
-        if total == 0.0 or distance >= total:
+        if is_exact_zero(total) or distance >= total:
             return other
         if distance <= 0.0:
             return self

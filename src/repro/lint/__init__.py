@@ -1,0 +1,45 @@
+"""ccs-lint — domain-aware static analysis for the repro codebase.
+
+Generic linters check style; this package checks the *invariants* the
+reproduction's correctness guarantees actually rest on:
+
+- **CCS001** — all randomness flows through :mod:`repro.rng` (task
+  fingerprints and serial==parallel equivalence);
+- **CCS002** — no wall-clock reads in deterministic code (cache/replay
+  byte-identity);
+- **CCS003** — no float-literal ``==``/``!=`` (intent-visible numeric
+  guards via :mod:`repro.numeric`);
+- **CCS004** — coalition cached state is only written by the refresh
+  APIs in ``game/coalition.py`` (incremental-cost coherence);
+- **CCS005** — append-mode opens only in ``service/journal.py``
+  (journal durability / longest-valid-prefix recovery);
+- **CCS006** — no set iteration in canonical-output code
+  (fingerprint / golden byte-stability);
+- **CCS007** — ``json.dumps`` sorts keys in canonical-output code.
+
+Run ``ccs-lint --explain CCS00x`` for any rule's full rationale, or see
+docs/LINTING.md for the catalog, the suppression policy, and the recipe
+for adding a rule.  The analyzer itself is pure stdlib (its only numpy
+exposure is the parent package import) and exposes a small library API
+used by the test suite.
+"""
+
+from __future__ import annotations
+
+from .analyzer import FileReport, analyze_paths, analyze_source, normalize_module
+from .baseline import Baseline
+from .finding import Finding
+from .registry import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Baseline",
+    "FileReport",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "normalize_module",
+    "register",
+]

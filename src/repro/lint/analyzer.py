@@ -1,0 +1,141 @@
+"""Drive the rules over files: parse once, run every applicable rule.
+
+The analyzer is pure stdlib and side-effect free: it reads sources,
+parses them with :mod:`ast`, asks each registered rule for findings, and
+applies inline suppressions.  Baselines are the CLI's concern
+(:mod:`repro.lint.cli`), so library callers — the test suite, a future
+pre-commit hook — always see the full picture.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .finding import Finding
+from .registry import Rule, all_rules
+from .suppress import parse_suppressions
+
+__all__ = ["FileContext", "FileReport", "analyze_paths", "analyze_source", "normalize_module"]
+
+#: Reserved code for files the analyzer cannot parse at all.
+SYNTAX_ERROR_CODE = "CCS000"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need to know about the file under analysis."""
+
+    path: str
+    module: str
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass
+class FileReport:
+    """Per-file analysis outcome: active findings plus suppressed ones."""
+
+    path: str
+    module: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+
+
+def normalize_module(path: Union[str, Path]) -> str:
+    """Repo-normalized module path: the part from the last ``repro/`` on.
+
+    ``src/repro/service/journal.py`` and
+    ``/somewhere/repo/src/repro/service/journal.py`` both normalize to
+    ``repro/service/journal.py``, so rule scoping and baseline keys are
+    independent of the working directory.  Paths outside the package
+    normalize to their POSIX form unchanged.
+    """
+    parts = Path(path).as_posix().split("/")
+    for k in range(len(parts) - 1, -1, -1):
+        if parts[k] == "repro":
+            return "/".join(parts[k:])
+    return "/".join(p for p in parts if p not in (".", ""))
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> FileReport:
+    """Analyze one in-memory source text.
+
+    *module* defaults to ``normalize_module(path)``; tests pass synthetic
+    module paths (e.g. ``repro/service/kernel.py``) to exercise scoped
+    rules on fixture snippets.
+    """
+    mod = module if module is not None else normalize_module(path)
+    ctx = FileContext(path=path, module=mod, source=source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = (exc.offset or 1)
+        snippet = ctx.lines[line - 1] if 0 < line <= len(ctx.lines) else ""
+        finding = Finding(
+            path=path,
+            module=mod,
+            line=line,
+            col=col,
+            code=SYNTAX_ERROR_CODE,
+            message=f"file cannot be parsed: {exc.msg}",
+            snippet=snippet,
+        )
+        return FileReport(path=path, module=mod, findings=[finding], suppressed=[])
+
+    active_rules = list(rules) if rules is not None else all_rules()
+    raw: List[Finding] = []
+    for rule in active_rules:
+        if not rule.applies_to(mod):
+            continue
+        raw.extend(rule.check(tree, ctx))
+
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in sorted(raw, key=Finding.sort_key):
+        if suppressions.is_suppressed(finding.code, finding.line):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    return FileReport(path=path, module=mod, findings=findings, suppressed=suppressed)
+
+
+def _iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    out: List[Path] = []
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            out.extend(
+                f for f in sorted(p.rglob("*.py")) if "__pycache__" not in f.parts
+            )
+        else:
+            out.append(p)
+    return out
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[FileReport]:
+    """Analyze every ``.py`` file under *paths* (files or directories)."""
+    active_rules = list(rules) if rules is not None else all_rules()
+    reports: List[FileReport] = []
+    for file_path in _iter_python_files(paths):
+        text = file_path.read_text(encoding="utf-8")
+        reports.append(
+            analyze_source(text, str(file_path), rules=active_rules)
+        )
+    return reports

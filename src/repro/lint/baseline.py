@@ -1,0 +1,92 @@
+"""The grandfathered-findings baseline.
+
+A baseline lets the CI gate turn on strict *today* while pre-existing
+findings are burned down incrementally: findings recorded in the
+baseline file are reported as "baselined" and do not fail the run; any
+*new* finding does.  This repo's checked-in baseline
+(``.ccs-lint-baseline.json``) is empty — the initial burn-down happened
+in the PR that introduced the linter — but the mechanism stays so a
+future rule can land before its violations are all fixed.
+
+Entries key on ``(code, module, stripped source line)`` rather than line
+numbers, so unrelated edits that shift a file do not resurrect
+grandfathered findings; editing the offending line itself *does* (the
+edit is exactly the moment to fix it properly).  Duplicate keys are
+counted: three identical offending lines need three baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from .finding import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+
+#: Looked up in the current directory when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = ".ccs-lint-baseline.json"
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, entries: "Counter[Tuple[str, str, str]]") -> None:
+        self._entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(Counter())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return cls.empty()
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline file {path}")
+        entries: "Counter[Tuple[str, str, str]]" = Counter()
+        for item in doc.get("findings", []):
+            entries[(str(item["code"]), str(item["module"]), str(item["content"]))] += 1
+        return cls(entries)
+
+    def partition(self, findings: List[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into ``(new, baselined)``.
+
+        Consumes baseline entries as they match, so N grandfathered
+        copies of a line absorb at most N findings.
+        """
+        budget = Counter(self._entries)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    @staticmethod
+    def write(path: Union[str, Path], findings: List[Finding]) -> int:
+        """Record *findings* as the new baseline; returns the entry count."""
+        items: List[Dict[str, Any]] = [
+            {"code": f.code, "module": f.module, "content": f.snippet.strip()}
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        doc = {"version": BASELINE_VERSION, "findings": items}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return len(items)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())

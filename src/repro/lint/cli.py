@@ -1,0 +1,166 @@
+"""The ``ccs-lint`` command line (also ``python -m repro.lint``).
+
+Usage::
+
+    ccs-lint [paths...]                 # analyze (default: src)
+    ccs-lint --explain CCS004           # why a rule exists + approved fix
+    ccs-lint --list-rules               # the rule catalog, one line each
+    ccs-lint --write-baseline           # grandfather current findings
+    ccs-lint --baseline FILE            # explicit baseline location
+
+Exit codes: 0 = clean (no unsuppressed, unbaselined findings),
+1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analyzer import analyze_paths
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .finding import Finding
+from .registry import all_rules, get_rule
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ccs-lint",
+        description=(
+            "Domain-aware static analysis for the repro codebase: enforces the "
+            "determinism, numeric, and state-discipline invariants the "
+            "reproduction's guarantees rest on."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print the full rationale and approved fix for one rule, then exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE_NAME} in the current directory, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary line, not individual findings",
+    )
+    return parser
+
+
+def _resolve_baseline_path(arg: Optional[str], no_baseline: bool) -> Optional[Path]:
+    if no_baseline:
+        return None
+    if arg is not None:
+        return Path(arg)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.exists() else None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.explain:
+        code = args.explain.upper()
+        try:
+            rule = get_rule(code)
+        except KeyError:
+            known = ", ".join(r.code for r in all_rules())
+            print(f"unknown rule {code!r}; known rules: {known}", file=sys.stderr)
+            return 2
+        print(f"{rule.code}: {rule.title}")
+        print()
+        print(rule.explanation())
+        return 0
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.code}  {rule.title}  [scope: {scope}]")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"ccs-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    reports = analyze_paths(args.paths)
+    findings: List[Finding] = []
+    suppressed = 0
+    for report in reports:
+        findings.extend(report.findings)
+        suppressed += len(report.suppressed)
+    findings.sort(key=Finding.sort_key)
+
+    if args.write_baseline:
+        target = (
+            Path(args.baseline) if args.baseline is not None else Path(DEFAULT_BASELINE_NAME)
+        )
+        count = Baseline.write(target, findings)
+        print(f"ccs-lint: wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {target}")
+        return 0
+
+    baseline_path = _resolve_baseline_path(args.baseline, args.no_baseline)
+    baselined: List[Finding] = []
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"ccs-lint: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = baseline.partition(findings)
+
+    if not args.quiet:
+        for finding in findings:
+            print(finding.render())
+
+    n_files = len(reports)
+    summary = (
+        f"ccs-lint: {len(findings)} finding{'s' if len(findings) != 1 else ''} "
+        f"in {n_files} file{'s' if n_files != 1 else ''}"
+    )
+    extras = []
+    if suppressed:
+        extras.append(f"{suppressed} suppressed inline")
+    if baselined:
+        extras.append(f"{len(baselined)} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

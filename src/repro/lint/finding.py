@@ -1,0 +1,45 @@
+"""The unit of lint output: one rule violation at one source location.
+
+A :class:`Finding` is deliberately plain data — the analyzer produces
+them, the CLI renders them, the baseline matches them by
+:meth:`Finding.key` (code + module + source text, *not* line number, so
+grandfathered findings survive unrelated edits that shift lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is the path as given on the command line (what the user
+    clicks on); ``module`` is the repo-normalized module path (e.g.
+    ``repro/service/journal.py``) that rule scoping and the baseline key
+    on, so a baseline recorded from ``src/repro/...`` still matches when
+    the tree is analyzed from another working directory.
+    """
+
+    path: str
+    module: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across pure line-number shifts."""
+        return (self.code, self.module, self.snippet.strip())
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the one-line CLI form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,129 @@
+"""CCS002 — no wall-clock reads in deterministic code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..analyzer import FileContext
+from ..finding import Finding
+from ..registry import Rule, register
+
+__all__ = ["WallClockRule"]
+
+#: time-module members that read the host clock.
+BANNED_TIME_MEMBERS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+#: Fully dotted wall-clock reads on the datetime module.
+BANNED_DATETIME = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """No ``time.time()`` / ``perf_counter()`` / ``datetime.now()`` in library code.
+
+    **Invariant.** Library code under ``src/repro`` never reads the host
+    clock.  The service daemon reads time only through
+    :class:`repro.service.clock.ServiceClock` (a logical clock advanced
+    by input events), and experiment tasks only through the allowlisted
+    ``perf_timer`` in ``repro/experiments/exec/kinds.py`` (which the
+    equivalence suite can pin to zero via ``CCS_BENCH_ZERO_TIMER``).
+
+    **Why.** Task results are fingerprinted and cached by content; the
+    service journal must replay byte-identically after a crash.  A wall
+    -clock read smuggles nondeterminism into both: cached results stop
+    matching fresh runs, recovery diverges from the original execution,
+    and the golden experiment outputs flap.  Wall-clock *latency* is
+    measured outside the kernel by the benchmark harness, exactly so the
+    deterministic core stays clock-free.
+
+    **Approved fix.** Inside the service: take ``clock.now`` (a
+    :class:`ServiceClock`) as input.  Inside experiment tasks: use
+    ``repro.experiments.exec.kinds.perf_timer``.  Benchmarks and scripts
+    outside ``src/`` are not in scope.
+
+    **Allowlisted.** ``repro/experiments/exec/kinds.py`` — the single
+    env-gated timer.
+    """
+
+    code = "CCS002"
+    title = "wall-clock read (time.*/datetime.now) in deterministic library code"
+    allow = ("repro/experiments/exec/kinds.py",)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        from .helpers import collect_import_aliases, resolve_dotted
+
+        aliases = collect_import_aliases(tree)
+        findings: List[Finding] = []
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for item in node.names:
+                        if item.name in BANNED_TIME_MEMBERS:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    f"importing time.{item.name}: wall-clock reads are "
+                                    "banned in deterministic code (use ServiceClock or "
+                                    "exec.kinds.perf_timer)",
+                                )
+                            )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                dotted = resolve_dotted(node, aliases)
+                if dotted is None:
+                    continue
+                message = self._message_for(dotted)
+                if message is not None:
+                    findings.append(self.finding(ctx, node, message))
+
+        # De-duplicate chain sub-matches: an Attribute and its inner value
+        # can both resolve (e.g. ``datetime.datetime.now`` and
+        # ``datetime.datetime``); keep the most specific per location.
+        seen: Set[Tuple[int, int]] = set()
+        for finding in sorted(findings, key=Finding.sort_key):
+            loc = (finding.line, finding.col)
+            if loc in seen:
+                continue
+            seen.add(loc)
+            yield finding
+
+    @staticmethod
+    def _message_for(dotted: str) -> Optional[str]:
+        if dotted.startswith("time."):
+            member = dotted.split(".", 1)[1]
+            if member in BANNED_TIME_MEMBERS:
+                return (
+                    f"{dotted}() reads the host clock; deterministic code must use "
+                    "ServiceClock (service) or exec.kinds.perf_timer (tasks)"
+                )
+        if dotted in BANNED_DATETIME:
+            return (
+                f"{dotted}() reads the host clock; thread logical time through "
+                "explicitly instead"
+            )
+        # ``from datetime import datetime`` then ``datetime.now(...)``
+        # resolves to datetime.datetime.now via the alias map and is
+        # already covered by BANNED_DATETIME above.
+        return None

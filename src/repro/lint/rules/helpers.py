@@ -1,0 +1,73 @@
+"""Shared AST utilities for the rule implementations.
+
+The central tool is a tiny *import-alias resolver*: it maps every name an
+``import`` statement binds to the dotted path it refers to, so a rule can
+ask "what does ``np.random.seed`` actually name?" and get
+``numpy.random.seed`` regardless of aliasing (``import numpy as np``,
+``from numpy import random as npr``, ``from numpy.random import seed as
+s``).  This is deliberately flow-insensitive — rebinding an imported name
+mid-function can evade it — but import aliasing is the only indirection
+real code in this repo uses, and the rules err on the side of silence
+rather than false alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["collect_import_aliases", "resolve_dotted"]
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map of local name -> dotted target for every import in *tree*.
+
+    - ``import numpy`` → ``{"numpy": "numpy"}``
+    - ``import numpy as np`` → ``{"np": "numpy"}``
+    - ``import numpy.random`` → ``{"numpy": "numpy"}`` (attribute access
+      reaches the submodule through the top-level binding)
+    - ``import numpy.random as npr`` → ``{"npr": "numpy.random"}``
+    - ``from numpy import random as npr`` → ``{"npr": "numpy.random"}``
+    - ``from numpy.random import seed`` → ``{"seed": "numpy.random.seed"}``
+
+    Relative imports resolve with a leading dot so they can never collide
+    with absolute module names.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+                else:
+                    top = item.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            base = ("." * node.level) + (node.module or "")
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                bound = item.asname if item.asname is not None else item.name
+                aliases[bound] = f"{base}.{item.name}" if base else item.name
+    return aliases
+
+
+def resolve_dotted(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted path a Name/Attribute chain refers to, or ``None``.
+
+    ``np.random.seed`` with ``{"np": "numpy"}`` resolves to
+    ``numpy.random.seed``; anything that is not a pure attribute chain
+    rooted at an imported name resolves to ``None``.
+    """
+    parts = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))

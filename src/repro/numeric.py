@@ -1,0 +1,88 @@
+"""Centralized numeric sentinels, tolerances, and comparison idioms.
+
+Float comparisons in this repo come in exactly two flavors, and this
+module gives each one a name so intent is visible at the call site (and
+machine-checkable — ccs-lint rule CCS003 flags any bare float-literal
+``==``/``!=``):
+
+- **Exact sentinel guards** — a value that was *constructed* equal to a
+  sentinel, not accumulated toward it: the session price of an empty
+  member list, an offline cost of a trivially-empty trace, a noise sigma
+  the caller set to exactly zero.  Spell these ``is_exact_zero(x)`` or
+  ``x == EXACT_ZERO``.  IEEE-754 guarantees the comparison (including
+  ``-0.0 == 0.0``), and the named form tells reviewers no tolerance was
+  forgotten.
+
+- **Approximate comparisons** — anything downstream of floating-point
+  accumulation.  Use :func:`isclose` (``math.isclose`` with this repo's
+  default relative tolerance) or one of the named audit tolerances
+  below; never a scattered magic literal.
+
+The audit tolerances are the single source of truth for the coalition
+engine's cache-coherence checks (see
+:meth:`repro.game.coalition.CoalitionStructure.check_invariants`):
+cached per-coalition aggregates are refreshed with the same summation
+order as a from-scratch recomputation and so may drift only by rounding
+(``CACHE_REL_TOL``); the structure's running total cost is updated by
+±delta on every move and accumulates more generously
+(``TOTAL_COST_REL_TOL``).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "CACHE_REL_TOL",
+    "DEFAULT_REL_TOL",
+    "EXACT_ONE",
+    "EXACT_ZERO",
+    "TOTAL_COST_REL_TOL",
+    "is_exact",
+    "is_exact_zero",
+    "isclose",
+]
+
+#: Sentinel for "constructed exactly zero" guards (empty sums, unset rates).
+EXACT_ZERO: float = 0.0
+
+#: Sentinel for "constructed exactly one" guards (neutral multipliers).
+EXACT_ONE: float = 1.0
+
+#: Default relative tolerance for improvement/indifference tests
+#: (e.g. the switch rules' and the incremental planner's ``tol``).
+DEFAULT_REL_TOL: float = 1e-9
+
+#: Allowed relative drift of a cached per-coalition aggregate
+#: (total_demand / price / move_sum) from its from-scratch recomputation.
+CACHE_REL_TOL: float = 1e-9
+
+#: Allowed relative drift of the incrementally-maintained total
+#: comprehensive cost from a full recomputation (one ±delta pair per
+#: move accumulates rounding faster than a single cached sum).
+TOTAL_COST_REL_TOL: float = 1e-6
+
+
+def is_exact(value: float, sentinel: float) -> bool:
+    """Exact comparison against a *named* sentinel value.
+
+    The one approved spelling of float ``==`` in this repo: the call site
+    names the sentinel, making it explicit that *value* is expected to
+    have been constructed — not accumulated — equal to it.
+    """
+    return value == sentinel
+
+
+def is_exact_zero(value: float) -> bool:
+    """True when *value* was constructed exactly zero (``-0.0`` included)."""
+    return value == EXACT_ZERO
+
+
+def isclose(
+    a: float,
+    b: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = 0.0,
+) -> bool:
+    """:func:`math.isclose` with this repo's default relative tolerance."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence
 
 from ..core import CCSInstance, Schedule, ccsa, comprehensive_cost, validate_schedule
 from ..mobility import MobilityModel
+from ..numeric import is_exact_zero
 from ..wpt import Charger
 from .arrivals import Arrival
 
@@ -39,8 +40,8 @@ class OnlineOutcome:
         the policy matched the optimum (ratio 1.0); otherwise the ratio
         is unbounded and reported as ``float("inf")``.
         """
-        if self.offline_cost == 0.0:
-            return 1.0 if self.online_cost == 0.0 else float("inf")
+        if is_exact_zero(self.offline_cost):
+            return 1.0 if is_exact_zero(self.online_cost) else float("inf")
         return self.online_cost / self.offline_cost
 
 

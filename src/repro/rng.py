@@ -8,7 +8,7 @@ seed alone and independent components can be given independent streams.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import List, Union, cast
 
 import numpy as np
 
@@ -30,7 +30,7 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, n: int) -> list:
+def spawn(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
     """Split *rng* into *n* statistically independent child generators.
 
     Used when a simulation hands separate components (noise model, workload
@@ -39,7 +39,8 @@ def spawn(rng: np.random.Generator, n: int) -> list:
     """
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+    seed_seq = cast(np.random.SeedSequence, rng.bit_generator.seed_seq)
+    return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
 
 
 def derive_seed(root: int, *path: int) -> int:

@@ -20,7 +20,7 @@ __all__ = ["ServiceClock"]
 class ServiceClock:
     """A monotone logical clock, advanced explicitly by the event loop."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         if not (math.isfinite(start) and start >= 0.0):
             raise ConfigurationError(
                 f"clock must start at a finite nonnegative time, got {start}"

@@ -23,7 +23,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 
 from ..errors import JournalError
 from ..experiments.exec.task import canonical_json
@@ -49,11 +49,11 @@ def record_checksum(seq: int, t: float, event: str, data: Dict[str, Any]) -> str
 class Journal:
     """An append-only, checksummed JSONL log of kernel transitions."""
 
-    def __init__(self, path: Union[str, Path], truncate: bool = True):
+    def __init__(self, path: Union[str, Path], truncate: bool = True) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "w" if truncate else "a"
-        self._fh = open(self.path, mode, encoding="utf-8")
+        self._fh: Optional[TextIO] = open(self.path, mode, encoding="utf-8")
         self.seq = 0
 
     def append(self, event: str, t: float, data: Dict[str, Any]) -> int:

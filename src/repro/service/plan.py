@@ -42,6 +42,7 @@ from ..errors import ConfigurationError, ServiceError
 from ..game.coalition import CoalitionStructure, _device_token
 from ..game.switching import SelfishSwitch, SociallyAwareSwitch
 from ..mobility import LinearMobility, MobilityModel
+from ..numeric import DEFAULT_REL_TOL, is_exact_zero
 from ..wpt import Charger
 
 __all__ = ["PlanInstance", "GrowableCoalitionStructure", "IncrementalPlanner"]
@@ -178,7 +179,7 @@ class PlanInstance:
 
     def charging_price_for_demand(self, total_demand: float, charger: int) -> float:
         """Session price for an already-summed stored demand (O(1) fast path)."""
-        if total_demand == 0.0:
+        if is_exact_zero(total_demand):
             return 0.0
         return self.chargers[charger].price_for_stored(total_demand)
 
@@ -264,8 +265,10 @@ class GrowableCoalitionStructure(CoalitionStructure):
         token = self._dev_token[device]
         self._zhash ^= self._key(dest)
         self._total_cost -= dest.group_cost
+        # ccs-lint: ignore[CCS004] -- place() extends the refresh discipline:
+        # aggregates, total cost, and the Zobrist hash are re-established below.
         dest.members.add(device)
-        dest.fingerprint ^= token
+        dest.fingerprint ^= token  # ccs-lint: ignore[CCS004] -- see above
         self._refresh(dest)
         self._total_cost += dest.group_cost
         self._zhash ^= self._key(dest)
@@ -284,8 +287,10 @@ class GrowableCoalitionStructure(CoalitionStructure):
         token = self._dev_token[device]
         self._zhash ^= self._key(src)
         self._total_cost -= src.group_cost
+        # ccs-lint: ignore[CCS004] -- remove() extends the refresh discipline:
+        # aggregates, total cost, and the Zobrist hash are re-established below.
         src.members.discard(device)
-        src.fingerprint ^= token
+        src.fingerprint ^= token  # ccs-lint: ignore[CCS004] -- see above
         del self._of_device[device]
         if src.members:
             self._refresh(src)
@@ -304,7 +309,7 @@ class GrowableCoalitionStructure(CoalitionStructure):
         coalition = self._coalitions.pop(cid)
         self._zhash ^= self._key(coalition)
         self._total_cost -= coalition.group_cost
-        for i in coalition.members:
+        for i in sorted(coalition.members):
             del self._of_device[i]
         return coalition
 
@@ -327,7 +332,7 @@ class IncrementalPlanner:
         chargers: Sequence[Charger],
         mobility: Optional[MobilityModel] = None,
         scheme: Optional[CostSharingScheme] = None,
-        tol: float = 1e-9,
+        tol: float = DEFAULT_REL_TOL,
         improvement_sweeps: int = 2,
         repair_rounds: int = 3,
     ):

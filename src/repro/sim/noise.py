@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..numeric import is_exact_zero
 from ..rng import RandomState, ensure_rng
 
 __all__ = ["NoiseModel"]
@@ -82,7 +83,7 @@ class NoiseModel:
         )
 
     def _factor(self, sigma: float) -> float:
-        if sigma == 0.0:
+        if is_exact_zero(sigma):
             return 1.0
         return max(self._FLOOR, 1.0 + float(self._rng.normal(0.0, sigma)))
 
@@ -96,7 +97,7 @@ class NoiseModel:
 
     def realized_path(self, straight_line: float) -> float:
         """Path length actually walked for a straight-line *distance*."""
-        if self.travel_sigma == 0.0:
+        if is_exact_zero(self.travel_sigma):
             return straight_line
         stretch = abs(float(self._rng.normal(0.0, self.travel_sigma)))
         return straight_line * (1.0 + stretch)

@@ -34,6 +34,7 @@ from ..core import (
 )
 from ..energy import Battery, LocomotionModel
 from ..errors import SimulationError
+from ..numeric import is_exact_zero
 from ..rng import ensure_rng
 from ..workloads.fieldtrial import testbed_instance
 from .chargersim import ChargerStation
@@ -282,7 +283,7 @@ def _online_chargers(instance: CCSInstance, config: FieldTrialConfig, round_inde
     Outage draws are keyed per (seed, round, charger) so every scheduler
     compared under one config loses the same pads in the same rounds.
     """
-    if config.outage_prob == 0.0:
+    if is_exact_zero(config.outage_prob):
         return list(instance.chargers)
     survivors = []
     for charger in instance.chargers:

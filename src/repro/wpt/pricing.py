@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 from ..errors import ConfigurationError
+from ..numeric import is_exact_zero
 
 __all__ = [
     "Tariff",
@@ -67,7 +68,7 @@ class _TariffBase:
     def session_price(self, energy: float) -> float:
         if energy < 0:
             raise ValueError(f"energy must be nonnegative, got {energy}")
-        if energy == 0.0:
+        if is_exact_zero(energy):
             return 0.0
         return self.base + self.volume_charge(energy)
 

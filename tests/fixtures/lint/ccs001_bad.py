@@ -1,0 +1,15 @@
+"""CCS001 positives: process-global random state."""
+import random
+from random import choice
+
+import numpy as np
+from numpy import random as npr
+from numpy.random import seed
+
+
+def pick(xs):
+    np.random.seed(0)
+    a = np.random.rand(3)
+    b = npr.randint(10)
+    seed(1)
+    return random.random(), choice(xs), a, b

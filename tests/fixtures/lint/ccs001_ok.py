@@ -1,0 +1,9 @@
+"""CCS001 negatives: explicit Generator objects and SeedSequence spawning."""
+import numpy as np
+from numpy.random import Generator, SeedSequence, default_rng
+
+
+def pick(rng: Generator):
+    child = np.random.default_rng(SeedSequence(1))
+    sibling = default_rng(np.random.PCG64(7))
+    return rng.random(), child.integers(3), sibling.random()

@@ -1,0 +1,14 @@
+"""CCS002 positives: wall-clock reads inside deterministic code."""
+import datetime
+import time
+from datetime import datetime as dt
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    tick = perf_counter()
+    mono = time.monotonic()
+    day = datetime.datetime.now()
+    utc = dt.utcnow()
+    return started, tick, mono, day, utc

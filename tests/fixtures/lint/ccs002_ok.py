@@ -1,0 +1,11 @@
+"""CCS002 negatives: logical clocks and non-clock uses of the time module."""
+import datetime
+import time
+
+
+def measure(clock, events):
+    time.sleep(0.0)  # sleeping is not *reading* the clock
+    horizon = datetime.timedelta(seconds=5)
+    for event in events:
+        clock.advance(event.t)
+    return clock.now, horizon

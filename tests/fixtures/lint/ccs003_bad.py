@@ -1,0 +1,9 @@
+"""CCS003 positives: float-literal equality comparisons."""
+
+
+def check(x, share, factor):
+    if x == 0.0:
+        return True
+    if 1.0 != factor:
+        return False
+    return share == 0.5 or -1.5 == x

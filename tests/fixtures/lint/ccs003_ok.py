@@ -1,0 +1,10 @@
+"""CCS003 negatives: integer equality, ordering, and the numeric helpers."""
+from repro.numeric import EXACT_ONE, is_exact, is_exact_zero, isclose
+
+
+def check(x, n, factor):
+    if n == 0:  # integer sentinels compare exactly by design
+        return True
+    if x >= 0.5:  # ordering comparisons are fine
+        return False
+    return is_exact_zero(x) or is_exact(factor, EXACT_ONE) or isclose(x, 0.25)

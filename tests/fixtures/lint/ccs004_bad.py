@@ -1,0 +1,9 @@
+"""CCS004 positives: poking coalition cached aggregates from outside."""
+
+
+def tamper(coalition, token):
+    coalition.total_demand += 5.0
+    coalition.price = 1.25
+    coalition.fingerprint ^= token
+    coalition.members.add(7)
+    coalition.members.discard(3)

@@ -1,0 +1,9 @@
+"""CCS004 negatives: reading cached aggregates and using the real mutators."""
+
+
+def inspect(structure, device, target):
+    coalition = structure.coalition_of(device)
+    demand = coalition.total_demand
+    price = coalition.price
+    structure.apply_move(device, target)  # sanctioned mutation path
+    return demand, price, sorted(coalition.members)

@@ -1,0 +1,11 @@
+"""CCS005 positives: append-mode file handles outside the journal."""
+from pathlib import Path
+
+
+def log_line(path, text):
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(text)
+    with open(path, mode="ab") as fh:
+        fh.write(text.encode("utf-8"))
+    with Path(path).open("a+") as fh:
+        fh.write(text)

@@ -1,0 +1,9 @@
+"""CCS005 negatives: whole-file writes and reads."""
+from pathlib import Path
+
+
+def rewrite(path, text):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return fh.read()

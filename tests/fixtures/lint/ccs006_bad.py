@@ -1,0 +1,14 @@
+"""CCS006 positives: iteration order taken from sets in canonical code."""
+
+
+def canonical_members(members: set):
+    return ",".join(str(m) for m in members)
+
+
+def walk(ids):
+    pending = set(ids)
+    for item in pending:
+        yield item
+    for tag in {"a", "b", "c"}:
+        yield tag
+    return list(frozenset(ids))

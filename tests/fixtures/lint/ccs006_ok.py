@@ -1,0 +1,14 @@
+"""CCS006 negatives: sorted() before any order-sensitive consumption."""
+
+
+def canonical_members(members: set):
+    return ",".join(str(m) for m in sorted(members))
+
+
+def walk(ids):
+    pending = set(ids)
+    for item in sorted(pending):
+        yield item
+    for pair in [(1, "a"), (2, "b")]:  # lists keep their order
+        yield pair
+    return sorted(frozenset(ids))

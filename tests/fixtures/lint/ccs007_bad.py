@@ -1,0 +1,10 @@
+"""CCS007 positives: json serialization without sort_keys=True."""
+import json
+from json import dumps
+
+
+def snapshot(doc, fh):
+    body = json.dumps(doc)
+    explicit = json.dumps(doc, sort_keys=False)
+    json.dump(doc, fh)
+    return body, explicit, dumps(doc)

@@ -1,0 +1,9 @@
+"""CCS007 negatives: canonical (key-sorted) json serialization."""
+import json
+
+
+def snapshot(doc, fh, opts):
+    body = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    json.dump(doc, fh, sort_keys=True)
+    forwarded = json.dumps(doc, **opts)  # kwargs trusted to carry sort_keys
+    return body, forwarded

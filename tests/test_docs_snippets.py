@@ -162,6 +162,22 @@ class TestOnlineMarketPlanningSnippets:
         assert len(placed.chargers) == 2
 
 
+class TestNumericLintSnippet:
+    def test_numeric_api(self):
+        from repro.numeric import DEFAULT_REL_TOL, EXACT_ONE, is_exact, is_exact_zero, isclose
+
+        assert is_exact_zero(0.0) and not is_exact_zero(1e-300)
+        assert is_exact(1.0, EXACT_ONE)
+        assert isclose(1.0, 1.0 + DEFAULT_REL_TOL / 2)
+
+    def test_lint_api(self):
+        from repro.lint import analyze_source
+
+        report = analyze_source("import random\n", "snippet.py", module="repro/sim/noise.py")
+        rendered = [f.render() for f in report.findings]
+        assert rendered and rendered[0].startswith("snippet.py:1:1: CCS001")
+
+
 class TestExperimentsIoStatsSnippets:
     def test_experiments_api(self):
         from repro.experiments import ascii_plot, fig12_ablation_tariff, render_series

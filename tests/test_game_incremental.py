@@ -296,7 +296,7 @@ class TestSingletonMatrices:
         for i in range(random_instance.n_devices):
             best_j = min(
                 range(random_instance.n_chargers),
-                key=lambda j: (random_instance.group_cost([i], j), j),
+                key=lambda j, i=i: (random_instance.group_cost([i], j), j),
             )
             assert cs.coalition_of(i).charger == best_j
 

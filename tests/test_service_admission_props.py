@@ -107,7 +107,7 @@ def test_service_invariants(requests, epoch, window):
     # Rejected requests never appear in any departed session.
     assert not (rejected_devices & served)
 
-    for rid, rec in svc.requests.items():
+    for rec in svc.requests.values():
         if rec.realized_cost is not None:
             # Price safety: realized cost <= quote <= max_price cap.
             assert rec.realized_cost <= rec.quote + 1e-6
