@@ -10,7 +10,7 @@ JOBS ?= 1
 # Task-result cache directory used by run-all (re-runs resume from it).
 CACHE_DIR ?= .ccs-bench-cache
 
-.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-exec bench-service golden golden-experiments run-all serve-smoke
+.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-exec bench-service golden golden-experiments run-all serve-smoke chaos-smoke chaos
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
@@ -62,6 +62,20 @@ serve-smoke:
 		--journal .serve-smoke.jsonl --metrics-json .serve-smoke-metrics.json \
 		--check-recovery
 	rm -f .serve-smoke.jsonl .serve-smoke-metrics.json
+
+# Fault-injection smoke (<30 s): a seeded fault plan — charger outages,
+# cancellations, no-shows, and journal write failures that crash and
+# recover the daemon mid-run — then verify recovery converges on the
+# byte-identical journal (see docs/FAULTS.md).
+chaos-smoke:
+	$(PYTHON) -m repro.service --n 150 --rate 0.5 --seed 7 --chargers 4 \
+		--journal .chaos-smoke.jsonl --fault-plan seed:13 --check-recovery
+	rm -f .chaos-smoke.jsonl
+
+# The heavy randomized chaos suite (hundreds of hypothesis examples);
+# excluded from tier-1 by the `chaos` marker.
+chaos:
+	$(PYTHON) -m pytest -q -m chaos tests/test_faults_chaos.py
 
 # Regenerate the pinned CCSGA dynamics goldens (only after an intentional
 # behaviour change to the game dynamics).

@@ -228,6 +228,14 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "verify the schedule and metrics match byte-for-byte "
         "(requires --journal)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PATH|seed:N",
+        help="inject faults (charger outages, cancellations, no-shows, "
+        "journal write failures) from a JSON plan file, or generate one "
+        "deterministically from seed N (see docs/FAULTS.md); journal "
+        "faults crash and recover the daemon mid-run and require --journal",
+    )
     return parser
 
 
@@ -252,6 +260,19 @@ def _grid_chargers(k: int, side: float):
             )
         )
     return chargers
+
+
+def _load_fault_plan(spec: str, requests, chargers):
+    """Resolve ``--fault-plan``: a JSON file path or ``seed:N``."""
+    from .faults import FaultPlan
+
+    if spec.startswith("seed:"):
+        return FaultPlan.generate(
+            int(spec[len("seed:"):]),
+            charger_ids=[c.charger_id for c in chargers],
+            requests=requests,
+        )
+    return FaultPlan.load(spec)
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
@@ -288,12 +309,41 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         queue_limit=args.queue_limit,
         max_active=args.max_active,
     )
-    service = ChargingService(chargers, config=config, journal_path=args.journal)
-    for request in requests:
-        service.submit(request)
-    if args.duration is not None:
-        service.advance(args.duration)
-    service.drain()
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = _load_fault_plan(args.fault_plan, requests, chargers)
+        if fault_plan.journal_faults() and not args.journal:
+            print(
+                "--fault-plan with journal faults requires --journal",
+                file=sys.stderr,
+            )
+            return 2
+
+    if fault_plan is not None and fault_plan.journal_faults():
+        from .faults import drive_with_recovery
+
+        service, fault_stats = drive_with_recovery(
+            args.journal, chargers, requests, fault_plan,
+            config=config, advance_to=args.duration,
+        )
+        print(
+            f"faults: {len(fault_plan)} scheduled, "
+            f"{fault_stats['crashes']} crashes, "
+            f"{fault_stats['recoveries']} recoveries"
+        )
+    elif fault_plan is not None:
+        from .faults import drive
+
+        service = ChargingService(chargers, config=config, journal_path=args.journal)
+        drive(service, requests, fault_plan, advance_to=args.duration)
+        print(f"faults: {len(fault_plan)} scheduled")
+    else:
+        service = ChargingService(chargers, config=config, journal_path=args.journal)
+        for request in requests:
+            service.submit(request)
+        if args.duration is not None:
+            service.advance(args.duration)
+        service.drain()
 
     counts = service.counts()
     sessions = service.final_schedule()

@@ -8,7 +8,7 @@ call sites, ``KeyError`` from internal bugs) propagate unchanged.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Union
+from typing import Any, Iterable, List, Mapping, Sequence, Union
 
 __all__ = [
     "ReproError",
@@ -20,6 +20,10 @@ __all__ = [
     "UnknownExperimentError",
     "ServiceError",
     "JournalError",
+    "JournalWriteError",
+    "ClockError",
+    "TaskFailedError",
+    "InjectedFaultError",
 ]
 
 
@@ -84,6 +88,69 @@ class JournalError(ServiceError):
     Note that *reading* a damaged journal is not an error: recovery
     silently keeps the longest valid record prefix (see
     :meth:`repro.service.journal.Journal.read_records`).
+    """
+
+
+class JournalWriteError(JournalError):
+    """An append to the durable journal failed at the OS level.
+
+    Raised instead of letting a half-written record sit behind the
+    checksum: the append path captures the file offset before writing and
+    truncates back to it on ``OSError`` (ENOSPC, EIO, …), so the on-disk
+    journal stays a valid record prefix.  The daemon that catches this is
+    expected to stop and be recovered from the journal.
+    """
+
+
+class ClockError(ServiceError):
+    """The logical service clock was asked to move backwards.
+
+    Carries both timestamps so the offending call site is identifiable
+    from the error alone.
+    """
+
+    def __init__(self, target: float, current: float) -> None:
+        self.target = float(target)
+        self.current = float(current)
+        super().__init__(
+            f"cannot advance the logical clock backwards: target "
+            f"{self.target!r} < current {self.current!r}"
+        )
+
+
+class TaskFailedError(ReproError):
+    """One or more executor tasks failed terminally (after retries).
+
+    Raised by the executors *after* every other task has finished (and
+    been cached), so a partial run is never stranded.  ``failures`` maps
+    the task's index in the submitted sequence to the terminal exception;
+    ``results`` is the full result list with ``None`` at failed slots.
+    """
+
+    def __init__(
+        self,
+        failures: Mapping[int, BaseException],
+        results: Sequence[Any],
+    ) -> None:
+        self.failures = dict(failures)
+        self.results = list(results)
+        parts = [
+            f"task {k}: {type(exc).__name__}: {exc}"
+            for k, exc in sorted(self.failures.items())
+        ]
+        shown = "; ".join(parts[:5])
+        if len(parts) > 5:
+            shown += f"; … and {len(parts) - 5} more"
+        super().__init__(f"{len(parts)} task(s) failed terminally: {shown}")
+
+
+class InjectedFaultError(ReproError):
+    """A deliberately injected fault fired (see :mod:`repro.faults`).
+
+    Simulates a failure no ``except OSError`` cleanup would see — e.g. a
+    ``kill -9`` tearing a journal record mid-write.  Production code never
+    raises this; test harnesses catch it where they would observe a dead
+    process.
     """
 
 

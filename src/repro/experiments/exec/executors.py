@@ -10,6 +10,26 @@ results; ``tests/test_exec_equivalence.py`` pins that byte-for-byte.
 Counters ``computed`` / ``cache_hits`` accumulate per executor instance,
 so a resumed run can prove it did not redo finished work.
 
+Failure semantics (see docs/FAULTS.md):
+
+- A task raising inside a worker fails *that task only*.  Every other
+  task still runs to completion and is cached; the terminal failures are
+  collected and raised at the end as one typed
+  :class:`~repro.errors.TaskFailedError` carrying the partial results.
+- A worker *dying* mid-task (segfault, ``os._exit``, OOM-kill) breaks the
+  process pool; the pool is rebuilt and every task it took down is
+  re-enqueued, so a crash domain is one worker, never the run.
+- Each task has a retry budget (``retries``) and an optional per-task
+  deadline (``task_timeout``, seconds of no pool progress) after which
+  stuck workers are terminated and the in-flight attempts charged.
+  Waiting between retry waves uses bounded exponential backoff with
+  seed-derived jitter — deterministic, never wall-clock-dependent
+  (``backoff_base=0`` by default: no sleeping in tests or benchmarks).
+
+The serial executor is deliberately still fail-fast: in-process, the
+"worker" *is* the run, so the first exception is the crash — resumability
+comes from the cache, which already holds every earlier result.
+
 The *ambient* executor (:func:`get_executor` / :func:`use_executor`) is
 how the CLI threads ``--jobs``/``--cache-dir`` through the experiment
 registry without changing every figure function's signature; library code
@@ -18,10 +38,14 @@ that wants explicit control passes ``executor=`` instead.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ...errors import TaskFailedError
+from ...rng import derive_seed
 from .cache import ResultCache
 from .task import Task, execute_task
 
@@ -84,16 +108,78 @@ class ParallelExecutor(Executor):
 
     Results are cached (in the parent) as soon as each task finishes, so a
     run killed mid-way leaves every completed task behind and a restart
-    with the same cache directory resumes instead of recomputing.  A task
-    failure re-raises in the parent after letting already-running tasks
-    finish (and be cached).
+    with the same cache directory resumes instead of recomputing.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.
+    retries:
+        Re-attempts allowed per task after its first failure (exception,
+        worker crash, or timeout) before it is terminal.  ``retries=2``
+        means up to three attempts total.
+    task_timeout:
+        Optional deadline in seconds: if no task completes for this long,
+        the in-flight attempts are presumed stuck, their workers are
+        terminated, and each charged one attempt.  ``None`` (default)
+        waits forever — the historical behavior.
+    backoff_base:
+        Base delay for exponential backoff between retry waves; wave *a*
+        sleeps ``backoff_base · 2^(a-1) · (1 + jitter)`` seconds, capped
+        at ``backoff_cap``, with jitter in ``[0, 1)`` derived from
+        ``derive_seed(seed, wave)`` — fully deterministic.  The default
+        ``0.0`` disables sleeping entirely.
+    seed:
+        Root of the jitter derivation (unrelated to task seeds).
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
     """
 
-    def __init__(self, jobs: int, cache: Optional[ResultCache] = None):
+    def __init__(
+        self,
+        jobs: int,
+        cache: Optional[ResultCache] = None,
+        retries: int = 2,
+        task_timeout: Optional[float] = None,
+        backoff_base: float = 0.0,
+        backoff_cap: float = 30.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         super().__init__(cache)
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
         self.jobs = int(jobs)
+        self.retries = int(retries)
+        self.task_timeout = task_timeout
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.seed = int(seed)
+        self._sleep = sleep
+
+    # -- retry machinery ------------------------------------------------ #
+
+    def backoff_delay(self, wave: int) -> float:
+        """Deterministic backoff before retry wave *wave* (1-based)."""
+        if self.backoff_base <= 0.0 or wave < 1:
+            return 0.0
+        jitter = (derive_seed(self.seed, wave) % 1024) / 1024.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (wave - 1)) * (1.0 + jitter))
+
+    def _submit(self, pool: ProcessPoolExecutor, task: Task, index: int) -> Future:
+        """Submission hook; fault injectors override to wrap the call."""
+        return pool.submit(execute_task, task)
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Kill a pool's worker processes (stuck-task escalation)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
 
     def run(self, tasks: Sequence[Task]) -> List[Any]:
         results: List[Any] = [None] * len(tasks)
@@ -104,32 +190,84 @@ class ParallelExecutor(Executor):
                 results[k] = value
             else:
                 misses.append(k)
-        if not misses:
-            return results
-
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
-            futures = {pool.submit(execute_task, tasks[k]): k for k in misses}
-            pending = set(futures)
-            failure: Optional[BaseException] = None
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-                for fut in done:
-                    k = futures[fut]
-                    exc = fut.exception()
-                    if exc is not None:
-                        failure = failure or exc
-                        continue
-                    results[k] = self._record(tasks[k], fut.result())
-                if failure is not None:
-                    # ccs-lint: ignore[CCS006] -- cancellation order is
-                    # immaterial: no result is recorded here, and completed
-                    # results are keyed by task index, not arrival order.
-                    for fut in pending:
-                        fut.cancel()
-                    break
-            if failure is not None:
-                raise failure
+        if misses:
+            failures = self._run_misses(tasks, misses, results)
+            if failures:
+                raise TaskFailedError(failures, results)
         return results
+
+    def _run_misses(
+        self,
+        tasks: Sequence[Task],
+        misses: List[int],
+        results: List[Any],
+    ) -> Dict[int, BaseException]:
+        """Run the cache-missing task indices; returns terminal failures.
+
+        Wave loop: submit everything pending, harvest completions as they
+        arrive (each cached immediately), classify failures, and carry
+        retry-eligible tasks into the next wave.  A broken pool (dead
+        worker) or a stalled wave (``task_timeout``) rebuilds the pool;
+        ordinary task exceptions do not.
+        """
+        attempts: Dict[int, int] = {k: 0 for k in misses}
+        failures: Dict[int, BaseException] = {}
+        queue: List[int] = list(misses)
+        wave = 0
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
+        try:
+            while queue:
+                if wave > 0:
+                    delay = self.backoff_delay(wave)
+                    if delay > 0.0:
+                        self._sleep(delay)
+                wave += 1
+                batch, queue = queue, []
+                futures: Dict[Future, int] = {}
+                for k in batch:
+                    attempts[k] += 1
+                    futures[self._submit(pool, tasks[k], k)] = k
+                pending = set(futures)
+                rebuild = False
+                while pending:
+                    done, pending = wait(
+                        pending, timeout=self.task_timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # No progress for a whole deadline: the in-flight
+                        # attempts are stuck.  Kill the workers; the
+                        # resulting BrokenProcessPool futures are charged
+                        # below like any other crash.
+                        rebuild = True
+                        self._terminate_workers(pool)
+                        done, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                    for fut in sorted(done, key=lambda f: futures[f]):
+                        k = futures[fut]
+                        exc = fut.exception()
+                        if exc is None:
+                            results[k] = self._record(tasks[k], fut.result())
+                            continue
+                        if isinstance(exc, BrokenProcessPool):
+                            rebuild = True
+                        if attempts[k] <= self.retries:
+                            queue.append(k)
+                        else:
+                            failures[k] = exc
+                if rebuild:
+                    # A dead worker poisons the whole pool object (every
+                    # outstanding future breaks); isolate the crash domain
+                    # by starting a fresh pool for the retry wave.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self.jobs, max(1, len(queue)))
+                    )
+                queue.sort()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return failures
 
 
 #: Ambient executor stack; the base entry is a plain cache-less serial

@@ -122,10 +122,19 @@ def execute_task(task: Task) -> Any:
     """Run *task* and return its (JSON-serializable) result.
 
     Safe to call in a worker process: the built-in kinds are imported on
-    first use, so an unpickled task finds its implementation.
+    first use, so an unpickled task finds its implementation.  A kind
+    named ``"some.module:name"`` is *module-qualified*: the module part
+    is imported first, so kinds registered outside the built-in
+    :mod:`~repro.experiments.exec.kinds` (e.g. the chaos kinds in
+    :mod:`repro.faults.tasks`) resolve in spawned workers too.
     """
     if task.kind not in _KINDS:
-        from . import kinds  # noqa: F401 — registers the built-in task kinds
+        if ":" in task.kind:
+            import importlib
+
+            importlib.import_module(task.kind.split(":", 1)[0])
+        else:
+            from . import kinds  # noqa: F401 — registers the built-in task kinds
 
     try:
         fn = _KINDS[task.kind]

@@ -1,0 +1,306 @@
+"""The fault model: what breaks, and exactly when.
+
+A :class:`FaultPlan` is an immutable, sorted schedule of
+:class:`FaultEvent`\\ s.  Plans are either authored explicitly (tests
+pinning one scenario), loaded from JSON (``ccs-serve --fault-plan
+plan.json``), or *generated* from a seed
+(:meth:`FaultPlan.generate`, ``--fault-plan seed:N``) — generation draws
+every coin through :func:`repro.rng.derive_seed` spawn keys, so the same
+seed over the same request stream yields the same chaos on every machine,
+with no wall-clock or global-RNG dependence (CCS001/CCS002 stay clean).
+
+Event kinds:
+
+======================  ================================================
+``charger_down``        charger *target* fails at ``t`` (kernel input)
+``charger_up``          charger *target* recovers at ``t`` (kernel input)
+``cancel``              request *target* withdraws at ``t`` (kernel input)
+``no_show``             request *target* never arrives; cancelled at its
+                        own submission time (kernel input)
+``journal_write``       the journal append writing record seq *target*
+                        fails; ``mode`` picks a clean ``enospc`` error or
+                        a ``torn`` mid-record crash
+``worker_crash``        executor task index *target* dies (``os._exit``)
+                        on its first ``count`` attempts
+======================  ================================================
+
+Kernel events land at logical-clock times; journal faults key on the
+record sequence number (stable across recovery, because recovery is
+byte-identical); worker crashes key on the task index.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed, ensure_rng
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+FAULT_KINDS = (
+    "charger_down",
+    "charger_up",
+    "cancel",
+    "no_show",
+    "journal_write",
+    "worker_crash",
+)
+
+#: Kinds the service kernel consumes as input events.
+KERNEL_KINDS = frozenset({"charger_down", "charger_up", "cancel", "no_show"})
+
+#: Namespace constants for seed derivation (arbitrary, fixed forever).
+_NS_OUTAGE = 101
+_NS_CANCEL = 102
+_NS_JOURNAL = 103
+_NS_WORKER = 104
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault (see module docstring for the kinds).
+
+    ``target`` is a charger id, request id, journal record seq (as str),
+    or task index (as str) depending on ``kind``.  ``mode`` is only
+    meaningful for ``journal_write`` (``"enospc"`` / ``"torn"``);
+    ``count`` only for ``worker_crash`` (crashes before succeeding) and
+    ``cancel``/``no_show`` carry an optional human ``reason``.
+    """
+
+    t: float
+    kind: str
+    target: str
+    mode: Optional[str] = None
+    count: int = 1
+    reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if not (math.isfinite(self.t) and self.t >= 0.0):
+            raise ConfigurationError(
+                f"fault time must be finite and nonnegative, got {self.t}"
+            )
+        if self.kind == "journal_write" and self.mode not in ("enospc", "torn"):
+            raise ConfigurationError(
+                f"journal_write mode must be 'enospc' or 'torn', got {self.mode!r}"
+            )
+        if self.count < 1:
+            raise ConfigurationError(f"fault count must be >= 1, got {self.count}")
+
+    def sort_key(self) -> Tuple[float, str, str]:
+        return (self.t, self.kind, self.target)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "t": float(self.t),
+            "kind": self.kind,
+            "target": self.target,
+        }
+        if self.mode is not None:
+            doc["mode"] = self.mode
+        if self.count != 1:
+            doc["count"] = int(self.count)
+        if self.reason is not None:
+            doc["reason"] = self.reason
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            t=float(doc["t"]),
+            kind=doc["kind"],
+            target=str(doc["target"]),
+            mode=doc.get("mode"),
+            count=int(doc.get("count", 1)),
+            reason=doc.get("reason"),
+        )
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of faults."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=FaultEvent.sort_key)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds: Dict[str, int] = {}
+        for e in self.events:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        return f"FaultPlan({len(self.events)} events: {kinds})"
+
+    # ------------------------------------------------------------------ #
+    # views by consumer
+
+    def kernel_events(self) -> List[FaultEvent]:
+        """Events the service kernel consumes, in time order."""
+        return [e for e in self.events if e.kind in KERNEL_KINDS]
+
+    def journal_faults(self) -> Dict[int, str]:
+        """``{record seq: mode}`` for :class:`~repro.faults.journal.FaultyJournal`."""
+        return {
+            int(e.target): str(e.mode)
+            for e in self.events
+            if e.kind == "journal_write"
+        }
+
+    def worker_crashes(self) -> Dict[int, int]:
+        """``{task index: crash count}`` for :class:`~repro.faults.executor.FaultyExecutor`."""
+        return {
+            int(e.target): int(e.count)
+            for e in self.events
+            if e.kind == "worker_crash"
+        }
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        return cls([FaultEvent.from_dict(e) for e in doc.get("events", [])])
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    # ------------------------------------------------------------------ #
+    # seeded generation
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        charger_ids: Sequence[str] = (),
+        requests: Sequence[Any] = (),
+        horizon: Optional[float] = None,
+        outage_prob: float = 0.5,
+        mean_outage: float = 300.0,
+        cancel_prob: float = 0.1,
+        no_show_prob: float = 0.05,
+        cancel_window: float = 240.0,
+        journal_faults: int = 1,
+        journal_records: Optional[int] = None,
+        n_tasks: int = 0,
+        worker_crash_prob: float = 0.3,
+        max_worker_crashes: int = 2,
+    ) -> "FaultPlan":
+        """Draw a random plan, reproducibly, from *seed*.
+
+        *requests* are :class:`~repro.service.request.ChargingRequest`
+        objects (only ``request_id`` / ``submitted_at`` are read).  Each
+        charger suffers an outage with ``outage_prob``, lasting an
+        exponential ``mean_outage`` seconds; each request cancels with
+        ``cancel_prob`` (some time into its wait) or never shows with
+        ``no_show_prob``.  ``journal_faults`` append failures land on
+        record seqs in ``[1, journal_records)`` (estimated from the
+        stream when not given), alternating clean/torn modes.  With
+        ``n_tasks`` > 0, executor task indices crash with
+        ``worker_crash_prob``, up to ``max_worker_crashes`` times each.
+
+        At least one charger is always left standing: a plan that takes
+        the whole field down only tests the trivial all-rejected path.
+        """
+        events: List[FaultEvent] = []
+        if horizon is None:
+            last = max((float(r.submitted_at) for r in requests), default=0.0)
+            horizon = last + 600.0
+
+        rng = ensure_rng(derive_seed(int(seed), _NS_OUTAGE))
+        downed = 0
+        for cid in charger_ids:
+            if downed >= max(0, len(charger_ids) - 1):
+                break
+            if rng.random() < outage_prob:
+                t_down = float(rng.uniform(0.0, horizon))
+                duration = float(rng.exponential(mean_outage))
+                events.append(FaultEvent(t=t_down, kind="charger_down", target=cid))
+                events.append(
+                    FaultEvent(t=t_down + duration, kind="charger_up", target=cid)
+                )
+                downed += 1
+
+        rng = ensure_rng(derive_seed(int(seed), _NS_CANCEL))
+        for req in requests:
+            u = rng.random()
+            delay = float(rng.uniform(0.0, cancel_window))
+            if u < cancel_prob:
+                events.append(
+                    FaultEvent(
+                        t=float(req.submitted_at) + delay,
+                        kind="cancel",
+                        target=req.request_id,
+                        reason="cancelled",
+                    )
+                )
+            elif u < cancel_prob + no_show_prob:
+                events.append(
+                    FaultEvent(
+                        t=float(req.submitted_at),
+                        kind="no_show",
+                        target=req.request_id,
+                        reason="no-show",
+                    )
+                )
+
+        if journal_faults > 0:
+            if journal_records is None:
+                journal_records = 6 * max(1, len(requests)) + 2
+            rng = ensure_rng(derive_seed(int(seed), _NS_JOURNAL))
+            hi = max(2, int(journal_records))
+            seqs = sorted(
+                int(s) for s in rng.choice(
+                    range(1, hi), size=min(journal_faults, hi - 1), replace=False
+                )
+            )
+            for i, s in enumerate(seqs):
+                events.append(
+                    FaultEvent(
+                        t=0.0,
+                        kind="journal_write",
+                        target=str(s),
+                        mode="enospc" if i % 2 == 0 else "torn",
+                    )
+                )
+
+        if n_tasks > 0:
+            rng = ensure_rng(derive_seed(int(seed), _NS_WORKER))
+            for k in range(n_tasks):
+                if rng.random() < worker_crash_prob:
+                    events.append(
+                        FaultEvent(
+                            t=0.0,
+                            kind="worker_crash",
+                            target=str(k),
+                            count=int(rng.integers(1, max_worker_crashes + 1)),
+                        )
+                    )
+
+        return cls(events)

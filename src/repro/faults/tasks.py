@@ -1,0 +1,103 @@
+"""Chaos task kinds for exercising the executors.
+
+These kinds are *module-qualified* (``"repro.faults.tasks:<name>"``) so a
+worker started with the ``spawn`` method — which inherits no registry from
+the parent — can resolve them: :func:`~repro.experiments.exec.task.execute_task`
+imports the module part of a qualified kind on first miss.
+
+All three are deterministic functions of ``(params, seed, trial)`` except
+where a *marker directory* deliberately carries cross-attempt state: a
+crash-until-retried task must know how many times it already died, and the
+only channel that survives ``os._exit`` is the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Mapping
+
+from ..rng import derive_seed
+from ..experiments.exec.task import task_kind
+
+__all__ = ["crash_counter_path"]
+
+
+def crash_counter_path(marker_dir: str, key: str) -> str:
+    """Path of the attempt-counter file for one crashy task."""
+    return os.path.join(marker_dir, f"attempts-{key}")
+
+
+def _bump_attempts(marker_dir: str, key: str) -> int:
+    """Record one more attempt for *key*; returns the new attempt count.
+
+    A plain read-increment-write is enough: attempts of the *same* task
+    are serialized (a task is never in flight twice), so there is no
+    concurrent writer for a given key.
+    """
+    path = crash_counter_path(marker_dir, key)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            n = int(fh.read().strip() or 0)
+    except FileNotFoundError:
+        n = 0
+    n += 1
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(str(n))
+    return n
+
+
+@task_kind("repro.faults.tasks:echo")
+def _echo(params: Mapping[str, Any], seed: int, trial: int) -> Any:
+    """A trivially deterministic task: hash of the inputs."""
+    return {"value": derive_seed(seed, trial) % 100003, "trial": trial}
+
+
+@task_kind("repro.faults.tasks:raise")
+def _raise(params: Mapping[str, Any], seed: int, trial: int) -> Any:
+    """Fail with an ordinary exception on the first N attempts.
+
+    ``params["fail_attempts"]`` attempts raise ``ValueError``; attempt
+    N+1 succeeds.  With no ``marker_dir`` the task always raises.
+    """
+    marker_dir = params.get("marker_dir")
+    limit = int(params.get("fail_attempts", 1))
+    if marker_dir is not None:
+        n = _bump_attempts(marker_dir, f"raise-{seed}-{trial}")
+        if n > limit:
+            return {"value": trial, "attempts": n}
+    raise ValueError(f"injected task failure (trial={trial})")
+
+
+@task_kind("repro.faults.tasks:crash")
+def _crash(params: Mapping[str, Any], seed: int, trial: int) -> Any:
+    """Kill the worker process outright on the first N attempts.
+
+    ``os._exit`` skips every ``finally``/atexit — the parent sees a dead
+    worker and a :class:`BrokenProcessPool`, exactly like a segfault or
+    an OOM-kill.  Requires ``params["marker_dir"]`` so later attempts can
+    tell they already died.
+    """
+    marker_dir = params["marker_dir"]
+    limit = int(params.get("crash_attempts", 1))
+    n = _bump_attempts(marker_dir, f"crash-{seed}-{trial}")
+    if n <= limit:
+        os._exit(23)
+    return {"value": trial, "attempts": n}
+
+
+@task_kind("repro.faults.tasks:hang")
+def _hang(params: Mapping[str, Any], seed: int, trial: int) -> Any:
+    """Sleep far past any reasonable deadline on the first N attempts.
+
+    Used to exercise ``task_timeout``: the parent terminates the stuck
+    worker, and the retry (attempt N+1) returns promptly.
+    """
+    marker_dir = params.get("marker_dir")
+    limit = int(params.get("hang_attempts", 1))
+    if marker_dir is not None:
+        n = _bump_attempts(marker_dir, f"hang-{seed}-{trial}")
+        if n > limit:
+            return {"value": trial, "attempts": n}
+    time.sleep(float(params.get("hang_seconds", 3600.0)))
+    return {"value": trial, "attempts": 0}  # pragma: no cover - killed first

@@ -74,11 +74,18 @@ def _scan_deltas(
     demand = instance._demand_list[device]
     moving = instance._moving_cost
     chargers = instance.chargers
+    # Charger-availability hook (fault semantics): a live service plan
+    # (`repro.service.plan.PlanInstance`) exposes `charger_available` and
+    # down chargers must never receive moves; a frozen CCSInstance has no
+    # such notion, and the batch solvers keep the unguarded fast path.
+    available = getattr(instance, "charger_available", None)
 
     for coalition in list(structure.coalitions()):
         if coalition is src:
             continue
         j = coalition.charger
+        if available is not None and not available(j):
+            continue
         size = len(coalition.members)
         if not chargers[j].admits(size + 1):
             continue
@@ -104,6 +111,8 @@ def _scan_deltas(
     for j in range(instance.n_chargers):
         if singleton_already and j == src.charger:
             continue  # identical structure, not a move
+        if available is not None and not available(j):
+            continue
         if fast_share is not None:
             share = fast_share(instance, device, 1, demand, float(singleton_prices[j]))
         else:

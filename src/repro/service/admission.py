@@ -34,6 +34,10 @@ REASON_QUEUE_FULL = "queue-full"
 REASON_CAPACITY = "capacity"
 REASON_DEADLINE = "deadline"
 REASON_PRICE = "price"
+#: Not an admission check: stamped by the *kernel* when no available
+#: charger can quote (all down at submit time), or when a charger outage
+#: makes an admitted request's re-quote exceed its original ceiling.
+REASON_CHARGER_FAILED = "charger_failed"
 
 REASONS = (
     REASON_DUPLICATE,
@@ -41,6 +45,7 @@ REASONS = (
     REASON_CAPACITY,
     REASON_DEADLINE,
     REASON_PRICE,
+    REASON_CHARGER_FAILED,
 )
 
 

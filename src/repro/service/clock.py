@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import math
 
-from ..errors import ConfigurationError
+from ..errors import ClockError, ConfigurationError
 
 __all__ = ["ServiceClock"]
+
+#: Slack for "the same instant" comparisons — matches the kernel's
+#: ``_TIME_EPS`` so a re-advance to the current boundary is not an error.
+_BACKWARD_EPS = 1e-9
 
 
 class ServiceClock:
@@ -33,15 +37,23 @@ class ServiceClock:
         return self._now
 
     def advance(self, to: float) -> float:
-        """Move time forward to *to*; earlier targets are ignored.
+        """Move time forward to *to*; moving backwards is an error.
 
-        Lenience (rather than an error) on non-advancing targets is what
-        makes re-feeding an already-journaled event stream after crash
-        recovery a sequence of no-ops.
+        A target within ``1e-9`` of the current time is a no-op (replaying
+        the event that set "now" must stay idempotent), but an earlier
+        target raises :class:`~repro.errors.ClockError` carrying both
+        timestamps — silently ignoring it would mask an event-ordering bug
+        in the caller, and silently going backwards would corrupt every
+        downstream invariant.  The *kernel* stays lenient at its input
+        boundary (re-fed streams are no-ops by design); it clamps before
+        calling here, so any backward call that reaches the clock is a
+        genuine internal ordering violation.
         """
         t = float(to)
         if not math.isfinite(t):
             raise ConfigurationError(f"cannot advance the clock to {to}")
+        if t < self._now - _BACKWARD_EPS:
+            raise ClockError(t, self._now)
         if t > self._now:
             self._now = t
         return self._now

@@ -25,7 +25,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 
-from ..errors import JournalError
+from ..errors import JournalError, JournalWriteError
 from ..experiments.exec.task import canonical_json
 
 __all__ = ["Journal", "record_checksum"]
@@ -33,8 +33,13 @@ __all__ = ["Journal", "record_checksum"]
 #: Journal line-format version; bump on layout changes.
 JOURNAL_SCHEMA = 1
 
-#: Events that recovery replays; everything else is re-derived.
-INPUT_EVENTS = frozenset({"submit", "advance", "drain"})
+#: Events that recovery replays; everything else is re-derived.  Fault
+#: events (charger outage/recovery, cancellation) are *inputs* like
+#: submissions: they originate outside the kernel, so replay must re-feed
+#: them to re-derive the evacuations and re-folds they caused.
+INPUT_EVENTS = frozenset(
+    {"submit", "advance", "drain", "charger_down", "charger_up", "cancel"}
+)
 
 #: Hex digits of SHA-256 kept per record (collision-detection, not crypto).
 _SHA_LEN = 16
@@ -49,15 +54,32 @@ def record_checksum(seq: int, t: float, event: str, data: Dict[str, Any]) -> str
 class Journal:
     """An append-only, checksummed JSONL log of kernel transitions."""
 
-    def __init__(self, path: Union[str, Path], truncate: bool = True) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        truncate: bool = True,
+        sync: bool = True,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "w" if truncate else "a"
         self._fh: Optional[TextIO] = open(self.path, mode, encoding="utf-8")
+        #: ``fsync`` after every append.  On for the service daemon (a
+        #: journaled transition must survive a power cut), off for load
+        #: generators and benchmarks that only need process-crash safety.
+        self.sync = bool(sync)
         self.seq = 0
 
     def append(self, event: str, t: float, data: Dict[str, Any]) -> int:
-        """Write one record and flush it; returns the record's ``seq``."""
+        """Write one record and flush it; returns the record's ``seq``.
+
+        Durability discipline: the file offset is captured before the
+        write, and on ``OSError`` (ENOSPC, EIO, …) the file is truncated
+        back to it and a typed :class:`~repro.errors.JournalWriteError`
+        is raised — the journal on disk stays a valid record prefix, and
+        ``seq`` is not consumed, so a caller that frees space can retry
+        the same append.
+        """
         if self._fh is None:
             raise JournalError(f"journal {self.path} is closed")
         seq = self.seq
@@ -69,10 +91,43 @@ class Journal:
             "sha": record_checksum(seq, t, event, data),
             "t": t,
         }
-        self._fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+        offset = self._fh.tell()
+        try:
+            self._write(line)
+        except OSError as exc:
+            self._restore(offset)
+            raise JournalWriteError(
+                f"journal {self.path}: append of record seq={seq} "
+                f"event={event!r} failed: {exc}"
+            ) from exc
         self.seq += 1
         return seq
+
+    def _write(self, line: str) -> None:
+        """Push one record line to disk (overridden by fault injectors)."""
+        assert self._fh is not None
+        self._fh.write(line)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    def _restore(self, offset: int) -> None:
+        """Drop a partially written record so the file ends at *offset*."""
+        assert self._fh is not None
+        try:
+            self._fh.seek(offset)
+            self._fh.truncate()
+            self._fh.flush()
+        except OSError:
+            # The file handle itself is broken; close it so further
+            # appends fail loudly as "journal closed" rather than
+            # silently corrupting the tail.
+            fh, self._fh = self._fh, None
+            try:
+                fh.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""

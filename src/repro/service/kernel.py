@@ -20,12 +20,45 @@ Epoch timeline (``epoch`` = fold period, ``window`` = commitment window)::
        submit──┤ fold      │ depart (opened + window elapsed)
                └ admitted requests enter the live plan, improve, repair
 
+At each boundary the order is fixed (and pinned by tests): completions →
+departures → expirations → fold.  A deadline exactly on a boundary is
+therefore *met* if its session departs at that boundary.
+
+Failure semantics (see docs/FAULTS.md).  Three more input events join
+``submit``/``advance``/``drain``:
+
+- :meth:`fail_charger` — the charger goes dark: its coalitions are
+  *evacuated* (``EVACUATING``) and at the next boundary each displaced
+  request is re-quoted over the surviving chargers against its original
+  quote (the price ceiling).  Ceiling holds → re-folded; ceiling broken →
+  ``REJECTED`` with reason ``charger_failed``.  No full re-solve either
+  way.
+- :meth:`restore_charger` — the charger is quotable/placeable again.
+- :meth:`cancel` — a customer withdraws (or never shows up).  A queued
+  request just leaves; a planned one is removed through the blessed
+  coalition paths and its session cost re-shares among the survivors,
+  who are repaired back under their own ceilings (evicting them to
+  ``EVACUATING`` if a concurrent outage makes that impossible).
+
+Request lifecycle with the failure states::
+
+    SUBMITTED ─> ADMITTED ─> GROUPED ─> CHARGING ─> DONE
+        │            │          │  ^
+        │            │          │  └──────────────┐
+        └> REJECTED  ├> EXPIRED ├> EXPIRED        │ re-fold (ceiling holds)
+                     └> CANCELLED > CANCELLED     │
+                                 └> EVACUATING ───┤
+                                       │          └> (next epoch re-quote)
+                                       ├> REJECTED (charger_failed)
+                                       └> EXPIRED / CANCELLED
+
 Durability: every transition is appended to a checksummed JSONL journal.
-``submit``/``drain`` records are the *inputs*; :meth:`recover` replays
-them through a fresh kernel, re-deriving everything else, and atomically
-rewrites the journal to the canonical form — after which re-feeding the
-original stream (idempotent per request id) converges on the exact bytes
-an uninterrupted run would have produced.
+``submit``/``advance``/``drain``/``charger_down``/``charger_up``/``cancel``
+records are the *inputs*; :meth:`recover` replays them through a fresh
+kernel, re-deriving everything else, and atomically rewrites the journal
+to the canonical form — after which re-feeding the original stream
+(idempotent per request id, per fault-event key) converges on the exact
+bytes an uninterrupted run would have produced.
 """
 
 from __future__ import annotations
@@ -33,13 +66,13 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.costsharing import CostSharingScheme, EgalitarianSharing
 from ..errors import ConfigurationError, ServiceError
 from ..mobility import MobilityModel
 from ..wpt import Charger
-from .admission import AdmissionController
+from .admission import REASON_CHARGER_FAILED, AdmissionController
 from .clock import ServiceClock
 from .journal import JOURNAL_SCHEMA, Journal
 from .metrics import Metrics
@@ -127,7 +160,18 @@ class ChargingService:
         scheme: Optional[CostSharingScheme] = None,
         config: Optional[ServiceConfig] = None,
         journal_path: Optional[Union[str, Path]] = None,
+        journal: Optional[Journal] = None,
+        journal_sync: bool = True,
     ):
+        """``journal_path`` opens a fresh journal there; ``journal`` hands
+        in a pre-built one instead (fault injection / tests).
+        ``journal_sync`` controls fsync-per-append; it is an operational
+        knob, deliberately *not* part of :class:`ServiceConfig` (which is
+        pinned into the journal header), so a daemon and its recovery can
+        differ on it.
+        """
+        if journal is not None and journal_path is not None:
+            raise ConfigurationError("pass journal_path or journal, not both")
         self.config = config if config is not None else ServiceConfig()
         self.scheme: CostSharingScheme = (
             scheme if scheme is not None else EgalitarianSharing()
@@ -141,6 +185,9 @@ class ChargingService:
             repair_rounds=self.config.repair_rounds,
         )
         self.chargers = self.planner.instance.chargers
+        self._charger_index = {
+            c.charger_id: j for j, c in enumerate(self.chargers)
+        }
         self.admission = AdmissionController(
             epoch=self.config.epoch,
             window=self.config.window,
@@ -157,15 +204,31 @@ class ChargingService:
         self._sessions: List[Dict[str, Any]] = []
         self._session_seq = 0
         self._epoch_index = 0  # boundaries processed so far: epoch * index
-        self.journal: Optional[Journal] = (
-            Journal(journal_path) if journal_path is not None else None
-        )
+        #: Request ids displaced from the plan (charger outage / repair
+        #: eviction), awaiting re-quote at the next boundary.
+        self._evacuating: List[str] = []
+        #: ``(event, target, t)`` keys of fault inputs already applied —
+        #: replaying a journaled fault event is a no-op, exactly like
+        #: resubmitting a known request id.
+        self._fault_keys: Set[Tuple[str, str, float]] = set()
+        #: Set when availability shrank since the last fold; queued
+        #: requests then get re-validated against their ceilings too.
+        self._avail_dirty = False
+        if journal is not None:
+            self.journal: Optional[Journal] = journal
+        else:
+            self.journal = (
+                Journal(journal_path, sync=journal_sync)
+                if journal_path is not None
+                else None
+            )
         if self.journal is not None:
             self.journal.append("open", 0.0, self._open_payload())
         # Pre-register every metric so empty snapshots are fully shaped.
         for name in (
             "submitted", "admitted", "rejected", "grouped", "expired",
-            "completed", "sessions_departed",
+            "completed", "sessions_departed", "cancelled", "evacuated",
+            "refolded", "charger_failures", "charger_recoveries",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("admission_latency", _LATENCY_BUCKETS)
@@ -207,7 +270,21 @@ class ChargingService:
 
         record = RequestRecord(request)
         self.requests[request.request_id] = record
-        quote, quote_charger = self.planner.quote(request.device)
+        try:
+            quote, quote_charger = self.planner.quote(request.device)
+        except ServiceError:
+            # Every charger is down: nothing can even quote this device.
+            record.state = RequestState.REJECTED
+            record.reason = REASON_CHARGER_FAILED
+            self._journal(
+                "reject",
+                now,
+                {"id": request.request_id, "reason": REASON_CHARGER_FAILED},
+            )
+            self.metrics.counter("rejected").inc()
+            self.metrics.counter(f"rejected.{REASON_CHARGER_FAILED}").inc()
+            self._update_gauges()
+            return record.state
         record.quote, record.quote_charger = quote, quote_charger
         duplicate = self._device_in_service(request.device.device_id)
         decision = self.admission.decide(
@@ -257,15 +334,157 @@ class ChargingService:
         self._journal("advance", t, {})
         self._advance_to(t)
 
+    # ------------------------------------------------------------------ #
+    # fault inputs (see docs/FAULTS.md)
+
+    def fail_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
+        """Charger outage at logical time *at* (default: now); an input event.
+
+        The charger stops quoting and receiving placements, and every
+        coalition bound to it is *evacuated*: its members move to
+        ``EVACUATING`` and are re-quoted against their original ceilings
+        at the next epoch boundary.  Idempotent per ``(charger, at)`` key
+        on the *requested* time (the clamped time depends on how far the
+        clock has run, so only the raw time is stable across a recovery
+        re-feed); the raw time is journaled in ``data["at"]`` so replay
+        reconstructs the same key.  A no-op (not journaled) while the
+        charger is already down.  Returns whether the outage was applied.
+        """
+        j = self._charger_of(charger_id)
+        raw = self.clock.now if at is None else float(at)
+        t = max(raw, self.clock.now)
+        key = ("charger_down", charger_id, raw)
+        if key in self._fault_keys or not self.planner.is_available(j):
+            return False
+        self._advance_to(t)
+        self._fault_keys.add(key)
+        self._journal("charger_down", t, {"charger": charger_id, "at": raw})
+        self.metrics.counter("charger_failures").inc()
+        self.planner.fail_charger(j)
+        self._avail_dirty = True
+        for index in self.planner.evacuate_charger(j):
+            self._evacuate(index, t, cause=charger_id)
+        self._update_gauges()
+        return True
+
+    def restore_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
+        """Charger recovery at logical time *at*; an input event.
+
+        The charger quotes and receives placements again from the next
+        fold on.  Requests rejected during the outage stay rejected
+        (terminal states never un-happen).  Idempotent like
+        :meth:`fail_charger`; returns whether the recovery was applied.
+        """
+        j = self._charger_of(charger_id)
+        raw = self.clock.now if at is None else float(at)
+        t = max(raw, self.clock.now)
+        key = ("charger_up", charger_id, raw)
+        if key in self._fault_keys or self.planner.is_available(j):
+            return False
+        self._advance_to(t)
+        self._fault_keys.add(key)
+        self._journal("charger_up", t, {"charger": charger_id, "at": raw})
+        self.metrics.counter("charger_recoveries").inc()
+        self.planner.restore_charger(j)
+        self._update_gauges()
+        return True
+
+    def cancel(
+        self,
+        request_id: str,
+        at: Optional[float] = None,
+        reason: str = "cancelled",
+    ) -> Optional[str]:
+        """Customer withdrawal (or no-show) of *request_id*; an input event.
+
+        Queued and evacuating requests simply leave; a planned request is
+        removed from its coalition through the blessed incremental paths,
+        the session cost re-shares among the survivors, and they are
+        repaired back under their own ceilings.  A request that already
+        departed (``CHARGING``) or reached a terminal state is past the
+        point of no return — the cancel is ignored (and not journaled).
+        Idempotent per ``(request, at)`` key on the *requested* time
+        (journaled in ``data["at"]``, like :meth:`fail_charger`).
+        Returns the request's resulting state, or ``None`` for an
+        unknown id.
+        """
+        record = self.requests.get(request_id)
+        if record is None:
+            return None
+        raw = self.clock.now if at is None else float(at)
+        t = max(raw, self.clock.now)
+        key = ("cancel", request_id, raw)
+        if key in self._fault_keys:
+            return record.state
+        if record.state == RequestState.CHARGING or (
+            record.state in RequestState.TERMINAL
+        ):
+            return record.state
+        self._advance_to(t)
+        self._fault_keys.add(key)
+        # Journal the input *before* re-checking: the advance above already
+        # journaled the boundary events it derived, and replay must re-feed
+        # this cancel to re-derive that same advance.
+        self._journal("cancel", t, {"id": request_id, "reason": reason, "at": raw})
+        # Boundary processing during the advance may have resolved the
+        # request (expired, departed); then the cancel came too late and
+        # changes nothing.
+        if record.state == RequestState.CHARGING or (
+            record.state in RequestState.TERMINAL
+        ):
+            return record.state
+        if record.state == RequestState.ADMITTED:
+            self._queue.remove(request_id)
+        elif record.state == RequestState.EVACUATING:
+            self._evacuating.remove(request_id)
+            if record.device_index is not None:
+                self.planner.ceiling.pop(record.device_index, None)
+        elif record.state == RequestState.GROUPED:
+            index = record.device_index
+            assert index is not None
+            del self._rid_of_index[index]
+            evicted = self.planner.remove(index)
+            for other in evicted:
+                self._evacuate(other, t, cause="ceiling")
+        record.state = RequestState.CANCELLED
+        record.reason = reason
+        self.metrics.counter("cancelled").inc()
+        self.metrics.counter(f"cancelled.{reason}").inc()
+        self._update_gauges()
+        return record.state
+
+    def _charger_of(self, charger_id: str) -> int:
+        try:
+            return self._charger_index[charger_id]
+        except KeyError:
+            raise ServiceError(f"unknown charger {charger_id!r}") from None
+
+    def _evacuate(self, index: int, t: float, cause: str) -> None:
+        """Move the planned device at *index* to ``EVACUATING``.
+
+        *cause* is the failed charger id, or ``"ceiling"`` when repair
+        evicted the device because no available placement met its quote.
+        The ceiling is kept for the next boundary's re-quote.
+        """
+        rid = self._rid_of_index.pop(index)
+        record = self.requests[rid]
+        record.state = RequestState.EVACUATING
+        self._evacuating.append(rid)
+        self._journal("evacuate", t, {"id": rid, "cause": cause})
+        self.metrics.counter("evacuated").inc()
+
     def _advance_to(self, to: float) -> None:
         """Advance without journaling (``submit``/``drain`` carry their own
         time; replaying them re-derives the same boundary processing).
 
         Processes every epoch boundary up to *to* (completions →
         departures → expirations → fold, in that order at each boundary)
-        and any session completions due.  Earlier targets are no-ops.
+        and any session completions due.  Earlier targets are clamped to
+        "now" (a no-op): the kernel is lenient at its *input* boundary so
+        re-fed streams stay idempotent, while :class:`ServiceClock` itself
+        treats a backward move as a hard :class:`~repro.errors.ClockError`.
         """
-        t = float(to)
+        t = max(float(to), self.clock.now)
         while (self._epoch_index + 1) * self.config.epoch <= t + _TIME_EPS:
             boundary = (self._epoch_index + 1) * self.config.epoch
             self._run_epoch(boundary)
@@ -288,17 +507,35 @@ class ChargingService:
         re-feeding a recovered daemon its original input stream converges
         on the identical journal.
         """
-        if not (self._queue or self._rid_of_index or self._completions):
+        if not (
+            self._queue or self._rid_of_index or self._completions
+            or self._evacuating
+        ):
             return
         t0 = self.clock.now
         self._journal("drain", t0, {})
         boundary = (self._epoch_index + 1) * self.config.epoch
         self._advance_to(boundary)
+        # A fold can evict freshly displaced requests (charger outage);
+        # each needs one more boundary to resolve (re-fold or reject), and
+        # an eviction chain is at most two boundaries deep — bounded here
+        # only as a belt against a livelocking regression.
+        extra = 0
+        while self._evacuating or self._queue:
+            extra += 1
+            if extra > 1000:
+                raise ServiceError(
+                    f"drain did not converge: {len(self._evacuating)} "
+                    f"evacuating / {len(self._queue)} queued after {extra} "
+                    "extra epochs"
+                )
+            boundary = (self._epoch_index + 1) * self.config.epoch
+            self._advance_to(boundary)
         for cid in self.planner.live_cids():
             self._depart(cid, boundary)
         while self._completions:
             self._process_completions(self._completions[0][0])
-        self.clock.advance(max(t0, boundary))
+        self.clock.advance(max(self.clock.now, t0, boundary))
         self._update_gauges()
 
     # ------------------------------------------------------------------ #
@@ -309,9 +546,20 @@ class ChargingService:
         self._process_departures(boundary)
         self._process_expirations(boundary)
         self._fold(boundary)
-        self.clock.advance(boundary)
+        # Completions can outrun the epoch grid (a drain runs sessions far
+        # past the last boundary); catching the grid up must not move the
+        # strict clock backwards.
+        self.clock.advance(max(boundary, self.clock.now))
 
     def _process_departures(self, boundary: float) -> None:
+        # A coalition can die between boundaries — evacuated by a charger
+        # outage, or emptied by cancellations/expiries.  Its window
+        # commitment dies with it (cids are never reused, so a stale
+        # entry can only ever point at a tombstone).
+        live = set(self.planner.live_cids())
+        for cid in list(self._opened_at):
+            if cid not in live:
+                del self._opened_at[cid]
         due = sorted(
             cid
             for cid, opened in self._opened_at.items()
@@ -376,13 +624,31 @@ class ChargingService:
         # still be met by departing at that boundary, which happens first).
         horizon = boundary + self.config.epoch - _TIME_EPS
         for index in self.planner.active_indices():
+            if index not in self._rid_of_index:
+                # Evicted by a repair cascade earlier in this sweep.
+                continue
             rid = self._rid_of_index[index]
             record = self.requests[rid]
             deadline = record.request.deadline
             if deadline is not None and deadline < horizon:
-                self.planner.remove(index)
                 del self._rid_of_index[index]
+                evicted = self.planner.remove(index)
                 self._expire(record, boundary, where="plan")
+                for other in evicted:
+                    self._evacuate(other, boundary, cause="ceiling")
+        # Evacuated requests wait for the fold below; one that cannot make
+        # any future departure is doomed just like a planned one.
+        still_evacuating: List[str] = []
+        for rid in self._evacuating:
+            record = self.requests[rid]
+            deadline = record.request.deadline
+            if deadline is not None and deadline < horizon:
+                if record.device_index is not None:
+                    self.planner.ceiling.pop(record.device_index, None)
+                self._expire(record, boundary, where="evacuating")
+            else:
+                still_evacuating.append(rid)
+        self._evacuating = still_evacuating
 
     def _expire(self, record: RequestRecord, boundary: float, where: str) -> None:
         record.state = RequestState.EXPIRED
@@ -393,19 +659,77 @@ class ChargingService:
         self.metrics.counter("expired").inc()
         self.metrics.counter(f"expired.{where}").inc()
 
+    def _requote_holds(self, record: RequestRecord) -> bool:
+        """Does a fresh quote still fit under the request's original one?
+
+        The original quote is the binding price ceiling; a re-quote never
+        replaces it.  False when no available charger can quote at all.
+        """
+        if record.quote is None:
+            return False
+        try:
+            quote, _ = self.planner.quote(record.request.device)
+        except ServiceError:
+            return False
+        return quote <= record.quote + self.planner.tol
+
+    def _reject_charger_failed(self, record: RequestRecord, t: float) -> None:
+        """Terminal rejection of an admitted request after an outage."""
+        if record.device_index is not None:
+            self.planner.ceiling.pop(record.device_index, None)
+        record.state = RequestState.REJECTED
+        record.reason = REASON_CHARGER_FAILED
+        self._journal(
+            "reject", t,
+            {"id": record.request.request_id, "reason": REASON_CHARGER_FAILED},
+        )
+        self.metrics.counter("rejected").inc()
+        self.metrics.counter(f"rejected.{REASON_CHARGER_FAILED}").inc()
+
     def _fold(self, boundary: float) -> None:
-        if self._queue:
-            batch, self._queue = self._queue, []
+        evacuees, self._evacuating = self._evacuating, []
+        queued, self._queue = self._queue, []
+        #: ``(rid, refold)`` — evacuated requests keep their device index
+        #: and ceiling; fresh ones enter the plan instance here.
+        batch: List[Tuple[str, bool]] = []
+        for rid in evacuees:
+            record = self.requests[rid]
+            if self._requote_holds(record):
+                batch.append((rid, True))
+            else:
+                self._reject_charger_failed(record, boundary)
+        check_queue = self._avail_dirty
+        self._avail_dirty = False
+        for rid in queued:
+            record = self.requests[rid]
+            # Queued quotes only need re-validation when availability
+            # shrank since they were issued; recoveries can only make
+            # quotes cheaper.
+            if check_queue and not self._requote_holds(record):
+                self._reject_charger_failed(record, boundary)
+            else:
+                batch.append((rid, False))
+        if batch:
             indices: List[int] = []
-            for rid in batch:
+            for rid, refold in batch:
                 record = self.requests[rid]
-                index = self.planner.add(record.request.device, ceiling=record.quote)
-                record.device_index = index
+                if refold:
+                    index = record.device_index
+                    assert index is not None
+                else:
+                    index = self.planner.add(
+                        record.request.device, ceiling=record.quote
+                    )
+                    record.device_index = index
                 self._rid_of_index[index] = rid
                 indices.append(index)
-            self.planner.fold(indices)
-            for rid in batch:
+            _placements, evicted = self.planner.fold(indices)
+            for other in evicted:
+                self._evacuate(other, boundary, cause="ceiling")
+            for rid, refold in batch:
                 record = self.requests[rid]
+                if not self.planner.structure.is_placed(record.device_index):
+                    continue  # evicted again by this very fold's repair
                 coalition = self.planner.structure.coalition_of(record.device_index)
                 record.state = RequestState.GROUPED
                 record.grouped_at = boundary
@@ -417,10 +741,13 @@ class ChargingService:
                         "charger": self.chargers[coalition.charger].charger_id,
                     },
                 )
-                self.metrics.counter("grouped").inc()
-                self.metrics.histogram("admission_latency").observe(
-                    boundary - record.request.submitted_at
-                )
+                if refold:
+                    self.metrics.counter("refolded").inc()
+                else:
+                    self.metrics.counter("grouped").inc()
+                    self.metrics.histogram("admission_latency").observe(
+                        boundary - record.request.submitted_at
+                    )
         # Coalitions born this epoch (fresh folds, or singletons split off
         # by improvement/repair moves) start their commitment window now.
         live = set(self.planner.live_cids())
@@ -444,18 +771,18 @@ class ChargingService:
                 self.metrics.histogram("time_to_charge").observe(
                     completes - record.request.submitted_at
                 )
-            self.clock.advance(completes)
+            self.clock.advance(max(completes, self.clock.now))
 
     # ------------------------------------------------------------------ #
     # introspection
 
     def _device_in_service(self, device_id: str) -> bool:
-        queued = any(
-            self.requests[rid].request.device.device_id == device_id
-            for rid in self._queue
-        )
-        if queued:
-            return True
+        for rid in self._queue:
+            if self.requests[rid].request.device.device_id == device_id:
+                return True
+        for rid in self._evacuating:
+            if self.requests[rid].request.device.device_id == device_id:
+                return True
         return any(
             self.requests[rid].request.device.device_id == device_id
             for rid in self._rid_of_index.values()
@@ -466,6 +793,10 @@ class ChargingService:
         self.metrics.gauge("active_devices").set(len(self._rid_of_index))
         self.metrics.gauge("live_coalitions").set(self.planner.structure.n_coalitions)
         self.metrics.gauge("charging_sessions").set(len(self._completions))
+        self.metrics.gauge("evacuating").set(len(self._evacuating))
+        self.metrics.gauge("chargers_available").set(
+            len(self.planner.available_chargers())
+        )
         self.metrics.gauge("clock").set(self.clock.now)
 
     def request_state(self, request_id: str) -> str:
@@ -482,10 +813,12 @@ class ChargingService:
         buckets = {
             RequestState.ADMITTED: 0,
             RequestState.GROUPED: 0,
+            RequestState.EVACUATING: 0,
             RequestState.CHARGING: 0,
             RequestState.DONE: 0,
             RequestState.REJECTED: 0,
             RequestState.EXPIRED: 0,
+            RequestState.CANCELLED: 0,
         }
         for record in self.requests.values():
             buckets[record.state] += 1
@@ -514,6 +847,8 @@ class ChargingService:
         mobility: Optional[MobilityModel] = None,
         scheme: Optional[CostSharingScheme] = None,
         config: Optional[ServiceConfig] = None,
+        journal_sync: bool = True,
+        journal_factory: Optional[Any] = None,
     ) -> "ChargingService":
         """Rebuild a killed daemon from its journal, exactly.
 
@@ -530,16 +865,31 @@ class ChargingService:
         and configuration the dead daemon ran with.  The journal's ``open``
         header is checked against them and a
         :class:`~repro.errors.ServiceError` is raised on mismatch.
+
+        ``journal_factory`` (``path -> Journal``), when given, builds the
+        replay journal at the temp path — the hook the fault harness uses
+        to keep injected write failures armed across a recovery (record
+        numbering is stable because recovery converges byte-identical).
         """
         records, _torn = Journal.read_records(journal_path)
         tmp_path = str(journal_path) + ".recover"
-        service = cls(
-            chargers,
-            mobility=mobility,
-            scheme=scheme,
-            config=config,
-            journal_path=tmp_path,
-        )
+        if journal_factory is not None:
+            service = cls(
+                chargers,
+                mobility=mobility,
+                scheme=scheme,
+                config=config,
+                journal=journal_factory(tmp_path),
+            )
+        else:
+            service = cls(
+                chargers,
+                mobility=mobility,
+                scheme=scheme,
+                config=config,
+                journal_path=tmp_path,
+                journal_sync=journal_sync,
+            )
         if records and records[0]["event"] == "open":
             ours = service._open_payload()
             if records[0]["data"] != ours:
@@ -549,10 +899,24 @@ class ChargingService:
                     f"{records[0]['data']} != {ours}"
                 )
         for record in Journal.input_records(records):
-            if record["event"] == "submit":
+            event = record["event"]
+            if event == "submit":
                 service.submit(ChargingRequest.from_dict(record["data"]))
-            elif record["event"] == "advance":
+            elif event == "advance":
                 service.advance(record["t"])
+            elif event == "charger_down":
+                data = record["data"]
+                service.fail_charger(data["charger"], at=data.get("at", record["t"]))
+            elif event == "charger_up":
+                data = record["data"]
+                service.restore_charger(data["charger"], at=data.get("at", record["t"]))
+            elif event == "cancel":
+                data = record["data"]
+                service.cancel(
+                    data["id"],
+                    at=data.get("at", record["t"]),
+                    reason=data.get("reason", "cancelled"),
+                )
             else:
                 service.drain()
         service.journal.commit_to(journal_path)

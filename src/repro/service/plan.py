@@ -23,7 +23,11 @@ ever re-solving from scratch:
   member's comprehensive cost ever exceeds its admission quote.  The
   repair always terminates: a device's best singleton cost equals its
   quote and is independent of everyone else, so forcing a persistent
-  violator into a singleton pins it at the quote forever.
+  violator into a singleton pins it at the quote forever.  With charger
+  *outages* (see :mod:`repro.faults`) that singleton may be gone; repair
+  then **evicts** the unrepairable device instead of overcharging it,
+  and the kernel re-quotes it against its original ceiling at the next
+  epoch.
 
 Every candidate evaluation is tallied in :attr:`IncrementalPlanner.ops`;
 tests assert per-request work stays bounded by the *live* plan size, not
@@ -77,6 +81,10 @@ class PlanInstance:
         self._demand_list: List[float] = []
         self._device_ids: Dict[str, int] = {}
         m = len(self.chargers)
+        #: Per-charger availability (fault semantics): a down charger is
+        #: excluded from quoting, insertion, improvement, and repair, but
+        #: its matrix columns stay — recovery is a single flag flip.
+        self._up: List[bool] = [True] * m
         cap = 16
         self._mc_buf = np.empty((cap, m), dtype=float)
         self._sp_buf = np.empty((cap, m), dtype=float)
@@ -116,15 +124,41 @@ class PlanInstance:
         """Cheapest standalone option: ``(cost, charger index)``.
 
         The admission *quote*: what the device would pay charging alone at
-        its best charger.  Ties break toward the lower charger index.
+        its best *available* charger.  Ties break toward the lower charger
+        index.  Raises :class:`~repro.errors.ServiceError` when no
+        available charger admits a device (e.g. every charger is down).
         """
         move, price = self.quote_rows(device)
         costs = move + price
-        admitting = [j for j, c in enumerate(self.chargers) if c.admits(1)]
+        admitting = [
+            j
+            for j, c in enumerate(self.chargers)
+            if self._up[j] and c.admits(1)
+        ]
         if not admitting:
-            raise ServiceError("no charger admits even a single device")
+            raise ServiceError("no available charger admits even a single device")
         j = min(admitting, key=lambda j: (float(costs[j]), j))
         return float(costs[j]), j
+
+    # ------------------------------------------------------------------ #
+    # charger availability (fault semantics)
+
+    def charger_available(self, charger: int) -> bool:
+        """True while charger index *charger* is up.
+
+        Also the availability hook the switch-rule candidate scan probes
+        via ``getattr`` — a frozen ``CCSInstance`` has no such method, so
+        the batch solvers keep their all-chargers-up fast path.
+        """
+        return self._up[charger]
+
+    def set_available(self, charger: int, up: bool) -> None:
+        """Flip charger index *charger*'s availability flag."""
+        self._up[charger] = bool(up)
+
+    def available_chargers(self) -> List[int]:
+        """Sorted indices of the currently available chargers."""
+        return [j for j in range(len(self.chargers)) if self._up[j]]
 
     def add_device(self, device: Device) -> int:
         """Append *device*; returns its (permanent) index.  ``O(m)``.
@@ -370,8 +404,54 @@ class IncrementalPlanner:
     # quoting and membership
 
     def quote(self, device: Device) -> Tuple[float, int]:
-        """Standalone quote for a (not yet admitted) device: ``(cost, charger)``."""
+        """Standalone quote for a (not yet admitted) device: ``(cost, charger)``.
+
+        Only *available* chargers quote; raises
+        :class:`~repro.errors.ServiceError` when none can.
+        """
         return self.instance.best_singleton(device)
+
+    # ------------------------------------------------------------------ #
+    # charger availability (fault semantics)
+
+    def is_available(self, charger: int) -> bool:
+        """True while charger index *charger* is up."""
+        return self.instance.charger_available(charger)
+
+    def fail_charger(self, charger: int) -> None:
+        """Mark charger index *charger* down (idempotent).
+
+        Only flips the availability flag — evacuating the coalitions
+        bound to it is a separate, explicit step
+        (:meth:`evacuate_charger`) so the kernel can journal each
+        displaced request.
+        """
+        self.instance.set_available(charger, False)
+
+    def restore_charger(self, charger: int) -> None:
+        """Mark charger index *charger* up again (idempotent)."""
+        self.instance.set_available(charger, True)
+
+    def available_chargers(self) -> List[int]:
+        """Sorted indices of the currently available chargers."""
+        return self.instance.available_chargers()
+
+    def evacuate_charger(self, charger: int) -> List[int]:
+        """Retire every coalition bound to a (failed) charger.
+
+        Returns the displaced device indices in ascending order.  Their
+        ceilings are *kept*: the displaced devices are re-quoted against
+        them at the next epoch (re-fold if the original quote still
+        holds, reject with ``charger_failed`` otherwise).  No repair is
+        needed — other coalitions' bills are untouched by a retirement.
+        """
+        displaced: List[int] = []
+        for cid in self.live_cids():
+            coalition = self.structure._coalitions[cid]
+            if coalition.charger == charger:
+                displaced.extend(sorted(coalition.members))
+                self.structure.retire(cid)
+        return sorted(displaced)
 
     def add(self, device: Device, ceiling: float) -> int:
         """Register an admitted device (not yet placed); returns its index."""
@@ -404,8 +484,10 @@ class IncrementalPlanner:
         best_key: Optional[Tuple[float, int, int, int]] = None
         best: Optional[Tuple[Optional[int], int]] = None
         for coalition in st.coalitions():
-            cost = st.cost_if_joined(device, coalition.cid, coalition.charger)
             self.ops["insert_candidates"] += 1
+            if not inst.charger_available(coalition.charger):
+                continue
+            cost = st.cost_if_joined(device, coalition.cid, coalition.charger)
             if cost == float("inf"):
                 continue
             key = (cost, 0, coalition.charger, coalition.cid)
@@ -414,7 +496,7 @@ class IncrementalPlanner:
         row = inst.singleton_cost_matrix()[device]
         for j in range(inst.n_chargers):
             self.ops["insert_candidates"] += 1
-            if not inst.chargers[j].admits(1):
+            if not (inst.charger_available(j) and inst.chargers[j].admits(1)):
                 continue
             key = (float(row[j]), 1, j, -1)
             if best_key is None or key < best_key:
@@ -426,13 +508,16 @@ class IncrementalPlanner:
         self.ops["moves"] += 1
         return coalition.cid
 
-    def fold(self, indices: Sequence[int]) -> Dict[int, int]:
+    def fold(self, indices: Sequence[int]) -> Tuple[Dict[int, int], List[int]]:
         """Fold a batch of registered devices into the live structure.
 
-        Returns ``{device index: receiving cid}`` (the cid *at insertion
-        time*; improvement moves may relocate devices afterwards).  After
-        the fold the individual-rationality invariant holds for every
-        placed device.
+        Returns ``(placements, evicted)``: ``placements`` maps each batch
+        device to its receiving cid *at insertion time* (improvement moves
+        may relocate devices afterwards), and ``evicted`` lists devices
+        the repair pass had to remove because no available placement met
+        their ceiling (only possible after a charger outage; empty with
+        every charger up).  After the fold the individual-rationality
+        invariant holds for every device still placed.
         """
         placements: Dict[int, int] = {}
         touched: Set[int] = set()
@@ -441,8 +526,8 @@ class IncrementalPlanner:
             placements[device] = cid
             touched |= self.structure._coalitions[cid].members
         touched = self._improve(touched)
-        self._repair(touched)
-        return placements
+        evicted = self._repair(touched)
+        return placements, evicted
 
     def _improve(self, touched: Set[int]) -> Set[int]:
         """Bounded socially-aware best-response sweeps over *touched*.
@@ -470,26 +555,32 @@ class IncrementalPlanner:
                 break
         return touched
 
-    def _repair(self, touched: Set[int]) -> None:
+    def _repair(self, touched: Set[int]) -> List[int]:
         """Re-establish ``cost <= ceiling`` for every placed device.
 
         Membership churn can push a bystander above its quote (e.g. a
         base-fee-dominated session losing a member raises everyone's
-        per-head share).  Violators take their best selfish move — always
-        at most the standalone quote, because founding a singleton at the
-        quote's charger is available — and after
-        :attr:`repair_rounds` rounds any stragglers are *forced* into
-        their best singleton, whose cost equals the quote exactly and can
-        never be disturbed by other devices leaving.
+        per-head share).  Violators take their best selfish move, and
+        after :attr:`repair_rounds` rounds any stragglers are *forced*
+        into their best available singleton.  With every charger up that
+        singleton costs exactly the quote and can never be disturbed by
+        other devices leaving, so repair always converges to zero
+        violators.  After a charger outage the quote's charger may be
+        gone: a violator whose best *available* singleton exceeds its
+        ceiling is unrepairable and is **evicted** from the structure
+        (ceiling kept — the kernel re-quotes it at the next epoch and
+        rejects it with ``charger_failed`` if the ceiling cannot hold).
+        Returns the evicted device indices in eviction order.
         """
         st, inst = self.structure, self.instance
+        evicted: List[int] = []
         for _ in range(self.repair_rounds):
             violators = [
                 d for d in self.active_indices()
                 if st.individual_cost(d) > self.ceiling[d] + self.tol
             ]
             if not violators:
-                return
+                return evicted
             for device in violators:
                 self.ops["scan_candidates"] += st.n_coalitions + inst.n_chargers
                 move = self._selfish.best_move(st, device)
@@ -503,7 +594,7 @@ class IncrementalPlanner:
                 if st.individual_cost(d) > self.ceiling[d] + self.tol
             ]
             if not violators:
-                return
+                return evicted
             progressed = False
             for device in violators:
                 # A force earlier in this pass may have shifted this
@@ -511,26 +602,50 @@ class IncrementalPlanner:
                 if st.individual_cost(device) <= self.ceiling[device] + self.tol:
                     continue
                 row = inst.singleton_cost_matrix()[device]
-                j = min(
-                    (j for j in range(inst.n_chargers) if inst.chargers[j].admits(1)),
-                    key=lambda j: (float(row[j]), j),
+                candidates = [
+                    j
+                    for j in range(inst.n_chargers)
+                    if inst.charger_available(j) and inst.chargers[j].admits(1)
+                ]
+                j = (
+                    min(candidates, key=lambda j: (float(row[j]), j))
+                    if candidates
+                    else None
                 )
-                src = st.coalition_of(device)
-                if src.size == 1 and src.charger == j:
+                if j is not None and float(row[j]) <= self.ceiling[device] + self.tol:
+                    src = st.coalition_of(device)
+                    if src.size == 1 and src.charger == j:
+                        continue
+                    st.move(device, None, j)
+                    self.ops["repair_moves"] += 1
+                    progressed = True
                     continue
-                st.move(device, None, j)
+                # No available placement can meet this device's ceiling:
+                # evict rather than overcharge.  The ceiling survives for
+                # the kernel's re-quote.
+                st.remove(device)
+                evicted.append(device)
                 self.ops["repair_moves"] += 1
                 progressed = True
             if not progressed:
                 # Every remaining "violator" already sits at its best
-                # singleton (cost == quote); nothing more can help.
-                return
+                # available singleton within tolerance; nothing more can
+                # help (and nothing is actually above its ceiling).
+                return evicted
 
     # ------------------------------------------------------------------ #
     # departures and expiries
 
-    def remove(self, device: int) -> None:
-        """Expire a placed device out of the plan, then repair survivors."""
+    def remove(self, device: int) -> List[int]:
+        """Drop a placed device out of the plan, then repair survivors.
+
+        Used for expiries, cancellations, and no-shows: the ceiling is
+        deleted (the request is gone for good) and the survivors of its
+        coalition are repaired — losing a member re-shares the session
+        cost and can push a survivor over its own quote.  Returns any
+        devices the repair had to evict (see :meth:`_repair`; empty with
+        every charger up).
+        """
         cid = self.structure.remove(device)
         del self.ceiling[device]
         survivors = (
@@ -538,7 +653,7 @@ class IncrementalPlanner:
             if cid in self.structure._coalitions
             else set()
         )
-        self._repair(survivors)
+        return self._repair(survivors)
 
     def retire(self, cid: int) -> Dict[str, object]:
         """Depart coalition *cid*; returns the frozen session accounting.

@@ -7,8 +7,16 @@ acceptable price.  The kernel tracks each request through the lifecycle::
 
     SUBMITTED ── admission ──> ADMITTED ── epoch fold ──> GROUPED
         │                         │                          │
-        └──> REJECTED             └──> EXPIRED (queue)       ├──> CHARGING ──> DONE
-                                                             └──> EXPIRED (plan)
+        └──> REJECTED             ├──> EXPIRED (queue)       ├──> CHARGING ──> DONE
+                                  └──> CANCELLED             ├──> EXPIRED (plan)
+                                                             ├──> CANCELLED
+                                                             └──> EVACUATING
+                                                                    │ (charger failed /
+                                                                    │  evicted over quote)
+                    next epoch: re-quote vs. original ceiling ──────┤
+                      ├──> GROUPED (re-folded, ceiling holds)       │
+                      ├──> REJECTED (charger_failed)                │
+                      └──> EXPIRED / CANCELLED ─────────────────────┘
 
 Requests serialize to plain JSON (:meth:`ChargingRequest.to_dict` /
 :meth:`ChargingRequest.from_dict`) because submissions are exactly what
@@ -38,9 +46,14 @@ class RequestState:
     DONE = "done"
     REJECTED = "rejected"
     EXPIRED = "expired"
+    #: Displaced from the live plan (its charger failed, or an eviction
+    #: kept the price-ceiling invariant); re-quoted at the next epoch.
+    EVACUATING = "evacuating"
+    #: Withdrawn by the customer (or a no-show) before charging started.
+    CANCELLED = "cancelled"
 
     #: States a request can never leave.
-    TERMINAL = frozenset({DONE, REJECTED, EXPIRED})
+    TERMINAL = frozenset({DONE, REJECTED, EXPIRED, CANCELLED})
 
 
 @dataclass(frozen=True)

@@ -45,11 +45,29 @@ def request(rid, x=10.0, y=10.0, t=1.0, demand=20e3, deadline=None, max_price=No
 
 
 class TestClock:
-    def test_monotone_and_lenient(self):
+    def test_monotone(self):
         clock = ServiceClock()
         assert clock.now == 0.0
         clock.advance(10.0)
-        clock.advance(5.0)  # earlier target: no-op, not an error
+        clock.advance(10.0)  # same target: idempotent no-op
+        assert clock.now == 10.0
+
+    def test_backwards_raises_typed_error_with_both_timestamps(self):
+        from repro.errors import ClockError
+
+        clock = ServiceClock()
+        clock.advance(10.0)
+        with pytest.raises(ClockError) as exc_info:
+            clock.advance(5.0)
+        err = exc_info.value
+        assert (err.target, err.current) == (5.0, 10.0)
+        assert "5.0" in str(err) and "10.0" in str(err)
+        assert clock.now == 10.0  # the failed advance changed nothing
+
+    def test_within_epsilon_is_a_no_op(self):
+        clock = ServiceClock()
+        clock.advance(10.0)
+        clock.advance(10.0 - 1e-12)  # float-noise regression, not a bug
         assert clock.now == 10.0
 
     def test_rejects_nonfinite(self):
