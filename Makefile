@@ -10,7 +10,7 @@ JOBS ?= 1
 # Task-result cache directory used by run-all (re-runs resume from it).
 CACHE_DIR ?= .ccs-bench-cache
 
-.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-exec bench-service golden golden-experiments run-all serve-smoke chaos-smoke chaos
+.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-large bench-exec bench-service golden golden-experiments run-all serve-smoke chaos-smoke chaos
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
@@ -32,8 +32,14 @@ typecheck:
 bench-smoke:
 	$(PYTHON) -m pytest -q -m bench_smoke tests/test_bench_smoke.py
 
-# Re-measure the hot path and rewrite benchmarks/BENCH_ccsga.json.
+# Re-measure the hot path (both engines, n <= 800) and rewrite
+# benchmarks/BENCH_ccsga.json, keeping the checked-in large-case numbers.
 bench-hotpath:
+	$(PYTHON) benchmarks/bench_core_hotpath.py --skip-large
+
+# Full hot-path re-measurement including the array-engine large cases
+# (n = 5,000 / 20,000 / 50,000; the object engine is capped at n <= 800).
+bench-large:
 	$(PYTHON) benchmarks/bench_core_hotpath.py
 
 # The full experiment-reproduction benchmark suite (figures + tables).

@@ -90,6 +90,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the results to PATH as a Markdown report",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("object", "array", "auto"),
+        default=None,
+        help="CCSGA state engine for this run (exported as CCS_ENGINE so "
+        "worker processes inherit it; default: $CCS_ENGINE or 'auto'). "
+        "Both engines are bit-identical wherever both apply.",
+    )
     return parser
 
 
@@ -103,6 +111,8 @@ def _make_executor(args: argparse.Namespace):
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.engine is not None:
+        os.environ["CCS_ENGINE"] = args.engine
     if args.list:
         for eid in sorted(EXPERIMENTS):
             print(eid)

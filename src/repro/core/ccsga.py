@@ -26,27 +26,90 @@ instead of looping forever.
 Per-sweep work is ``O(n * (sessions + chargers))`` share evaluations —
 no submodular minimization — which is why CCSGA is the fast, large-scale
 algorithm in the paper's comparison (reproduced by the Fig 9 benchmark).
+
+**Engines.**  The dynamics above can run on two interchangeable state
+representations selected by the ``engine`` parameter (or the
+``CCS_ENGINE`` environment variable):
+
+- ``"object"`` — :class:`~repro.game.coalition.CoalitionStructure`, one
+  Python object per coalition; the reference implementation.
+- ``"array"`` — :class:`~repro.game.arraycore.ArrayState`, struct-of-
+  arrays state whose candidate scans are vectorized numpy ops; ~10-40x
+  more share evaluations per second at n >= 5,000.
+- ``"auto"`` (default) — array when the scheme/rule/instance support it
+  (the two paper schemes with the two built-in rules), object otherwise.
+
+The engines are **bit-identical**: same switch sequence, same trace, same
+schedule, same total cost to the last bit (``tests/test_game_array.py``
+enforces this on every golden fixture and under hypothesis fuzz).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
-from ..errors import ConvergenceError
+from ..errors import ConfigurationError, ConvergenceError
 from ..rng import RandomState, ensure_rng
 from ..game import (
+    ArrayState,
     CoalitionStructure,
     PotentialTrace,
     SociallyAwareSwitch,
     SwitchRule,
+    engine_supported,
     is_nash_equilibrium,
 )
 from .costsharing import CostSharingScheme, EgalitarianSharing
 from .instance import CCSInstance
 from .schedule import Schedule, validate_schedule
 
-__all__ = ["CCSGAResult", "ccsga"]
+__all__ = ["CCSGAResult", "ccsga", "resolve_engine"]
+
+_ENGINES = ("object", "array", "auto")
+
+
+def resolve_engine(
+    engine: Optional[str],
+    instance: object,
+    scheme: CostSharingScheme,
+    rule: SwitchRule,
+) -> str:
+    """Resolve an ``engine`` request to a concrete ``"object"``/``"array"``.
+
+    ``None`` defers to the ``CCS_ENGINE`` environment variable (default
+    ``"auto"``).  ``"auto"`` picks the array engine whenever
+    :func:`~repro.game.arraycore.engine_supported` holds and silently
+    falls back to the object engine otherwise.  Asking for ``"array"``
+    via the *argument* is strict — it raises
+    :class:`~repro.errors.ConfigurationError` when the combination
+    cannot be vectorized (e.g. Shapley sharing) — while via the
+    *environment* it is advisory and falls back like ``"auto"``, so
+    ``CCS_ENGINE=array`` can blanket a whole test run (the CI
+    engine-parity step) without breaking non-vectorizable cases.
+    """
+    strict = engine is not None
+    requested = engine if engine is not None else os.environ.get("CCS_ENGINE", "auto")
+    if requested not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {requested!r}; expected one of {_ENGINES}"
+        )
+    if requested == "object":
+        return "object"
+    supported = engine_supported(instance, scheme, rule)
+    if requested == "array":
+        if not supported:
+            if not strict:
+                return "object"
+            raise ConfigurationError(
+                "engine='array' requires a cost-sharing scheme with "
+                "share_of/share_of_vector fast paths (egalitarian or "
+                "proportional), a built-in switch rule, and an instance "
+                "with vectorized pricing; use engine='auto' to fall back"
+            )
+        return "array"
+    return "array" if supported else "object"
 
 
 @dataclass(frozen=True)
@@ -58,6 +121,7 @@ class CCSGAResult:
     sweeps: int
     trace: PotentialTrace
     nash_certified: bool
+    engine: str = "object"
 
 
 def ccsga(
@@ -68,6 +132,7 @@ def ccsga(
     max_sweeps: int = 10_000,
     certify: bool = True,
     rng: RandomState = None,
+    engine: Optional[str] = None,
 ) -> CCSGAResult:
     """Run CCSGA on *instance* and return the converged coalition structure.
 
@@ -94,11 +159,23 @@ def ccsga(
         fresh random order.  Different orders can land on different Nash
         equilibria, which the price-of-anarchy analysis exploits; the
         default (``None``) keeps the deterministic ``0..n-1`` order.
+    engine:
+        State-representation engine: ``"object"``, ``"array"``, or
+        ``"auto"`` (see module docs).  ``None`` reads ``CCS_ENGINE``
+        from the environment, defaulting to ``"auto"``.  Both engines
+        produce bit-identical results whenever both apply.
     """
     scheme = scheme if scheme is not None else EgalitarianSharing()
     rule = rule if rule is not None else SociallyAwareSwitch()
+    resolved = resolve_engine(engine, instance, scheme, rule)
 
-    if warm_start is not None:
+    structure: Union[CoalitionStructure, ArrayState]
+    if resolved == "array":
+        if warm_start is not None:
+            structure = ArrayState.from_schedule(instance, scheme, warm_start)
+        else:
+            structure = ArrayState.singletons(instance, scheme)
+    elif warm_start is not None:
         structure = CoalitionStructure.from_schedule(instance, scheme, warm_start)
     else:
         structure = CoalitionStructure.singletons(instance, scheme)
@@ -125,7 +202,10 @@ def ccsga(
         else:
             order = list(range(instance.n_devices))
         for device in order:
-            move = rule.best_move(structure, device)
+            if isinstance(structure, ArrayState):
+                move = structure.best_move(device, rule)
+            else:
+                move = rule.best_move(structure, device)
             if move is None:
                 continue
             structure.move(device, move.target, move.charger)
@@ -133,6 +213,7 @@ def ccsga(
             switched_this_sweep = True
             trace.record(structure.total_cost)
             if track_states:
+                assert seen_states is not None
                 key = structure.zobrist_hash()
                 if key in seen_states:
                     raise ConvergenceError(
@@ -150,7 +231,14 @@ def ccsga(
             iterations=switches,
         )
 
-    certified = is_nash_equilibrium(structure, rule) if certify else False
+    if not certify:
+        certified = False
+    elif isinstance(structure, ArrayState):
+        # Same predicate as is_nash_equilibrium: no device has a
+        # permitted deviation — evaluated with the vectorized scan.
+        certified = structure.is_nash(rule)
+    else:
+        certified = is_nash_equilibrium(structure, rule)
     schedule = structure.to_schedule(
         solver="ccsga",
         metadata={
@@ -166,4 +254,5 @@ def ccsga(
         sweeps=sweeps,
         trace=trace,
         nash_certified=certified,
+        engine=resolved,
     )

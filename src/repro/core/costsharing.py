@@ -95,6 +95,21 @@ class EgalitarianSharing:
         """O(1) share from cached session aggregates (see module docs)."""
         return price / size
 
+    def share_of_vector(
+        self,
+        instance: CCSInstance,
+        device: int,
+        sizes: "np.ndarray",
+        total_demands: "np.ndarray",
+        prices: "np.ndarray",
+    ) -> "np.ndarray":
+        """Vectorized :meth:`share_of` over candidate-session aggregates.
+
+        Elementwise bitwise-identical to the scalar fast path — the array
+        engine prices a whole candidate scan with one call.
+        """
+        return prices / sizes
+
 
 @dataclass(frozen=True)
 class ProportionalSharing:
@@ -125,6 +140,21 @@ class ProportionalSharing:
     ) -> float:
         """O(1) share from cached session aggregates (see module docs)."""
         return price * instance.devices[device].demand / total_demand
+
+    def share_of_vector(
+        self,
+        instance: CCSInstance,
+        device: int,
+        sizes: "np.ndarray",
+        total_demands: "np.ndarray",
+        prices: "np.ndarray",
+    ) -> "np.ndarray":
+        """Vectorized :meth:`share_of` over candidate-session aggregates.
+
+        Same multiply-then-divide order as the scalar fast path, so each
+        element is bitwise identical to it.
+        """
+        return prices * instance.devices[device].demand / total_demands
 
 
 @dataclass(frozen=True)

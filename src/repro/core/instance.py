@@ -10,16 +10,17 @@ touching workload code.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..geometry import Field, distance_matrix
+from ..geometry import Field
 from ..numeric import is_exact_zero
 from ..mobility import LinearMobility, MobilityModel
-from ..wpt import Charger, is_concave_nondecreasing
+from ..wpt import Charger, ChargerPriceTable, is_concave_nondecreasing
 from .device import Device
 
 __all__ = ["CCSInstance"]
@@ -75,21 +76,38 @@ class CCSInstance:
         self._device_index: Dict[str, int] = {d: k for k, d in enumerate(device_ids)}
         self._charger_index: Dict[str, int] = {c: k for k, c in enumerate(charger_ids)}
 
-        # Moving costs are evaluated O(n*m) times by every solver; cache the
-        # full matrix once.  Row = device, column = charger.
-        self._moving_cost = np.array(
+        # One geometric source of truth: the device x charger Euclidean
+        # distance matrix, built per-pair with math.hypot so each entry is
+        # bitwise equal to ``Point.distance_to`` (the vectorized sqrt-of-
+        # squares form rounds ~0.6% of entries differently).  Moving costs
+        # are derived from it wherever the mobility model can price a whole
+        # matrix (``moving_cost_matrix`` hook); models without the hook keep
+        # the per-pair fallback.  Row = device, column = charger.
+        charger_pos = [(c.position.x, c.position.y) for c in self.chargers]
+        self._distance = np.array(
             [
-                [
-                    self.mobility.moving_cost(d.position, c.position, d.moving_rate)
-                    for c in self.chargers
-                ]
+                [math.hypot(d.position.x - cx, d.position.y - cy) for cx, cy in charger_pos]
                 for d in self.devices
             ],
             dtype=float,
         )
-        self._distance = distance_matrix(
-            [d.position for d in self.devices], [c.position for c in self.chargers]
-        )
+        matrix_hook = getattr(self.mobility, "moving_cost_matrix", None)
+        if matrix_hook is not None:
+            rates = np.array([d.moving_rate for d in self.devices], dtype=float)
+            self._moving_cost = np.asarray(
+                matrix_hook(self._distance, rates), dtype=float
+            )
+        else:
+            self._moving_cost = np.array(
+                [
+                    [
+                        self.mobility.moving_cost(d.position, c.position, d.moving_rate)
+                        for c in self.chargers
+                    ]
+                    for d in self.devices
+                ],
+                dtype=float,
+            )
 
         # Per-device demand caches: the numpy vector feeds vectorized scans,
         # the plain list feeds Python-loop summation on the solver hot path
@@ -99,6 +117,7 @@ class CCSInstance:
         self._demands = np.array(self._demand_list, dtype=float)
         self._singleton_price: Optional[np.ndarray] = None
         self._singleton_cost: Optional[np.ndarray] = None
+        self._price_table: Optional[ChargerPriceTable] = None
 
         if self.strict:
             self._validate_strict()
@@ -178,20 +197,35 @@ class CCSInstance:
             return 0.0
         return self.chargers[charger].price_for_stored(total_demand)
 
+    def price_table(self) -> ChargerPriceTable:
+        """Lazily built vectorized tariff table over this instance's chargers."""
+        if self._price_table is None:
+            self._price_table = ChargerPriceTable(self.chargers)
+        return self._price_table
+
+    def price_for_demand_vector(
+        self, totals: np.ndarray, chargers_idx: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`charging_price_for_demand` (bitwise identical).
+
+        ``out[k]`` is the session price of summed demand ``totals[k]`` at
+        charger ``chargers_idx[k]`` — the array engine's one-call pricing
+        of a whole candidate scan.
+        """
+        return self.price_table().prices(totals, chargers_idx)
+
     def singleton_price_matrix(self) -> np.ndarray:
         """``(n_devices, n_chargers)`` matrix of singleton session prices.
 
         Entry ``[i, j]`` is the price device *i* pays charging alone at
-        charger *j*.  Built lazily on first use (one tariff evaluation per
-        cell) and cached — CCSGA's candidate scans read it every sweep.
+        charger *j*.  Built lazily on first use — one vectorized tariff
+        evaluation per charger (bitwise equal to the per-cell scalar
+        evaluation) — and cached; CCSGA's candidate scans read it every
+        sweep.
         """
         if self._singleton_price is None:
-            self._singleton_price = np.array(
-                [
-                    [ch.price_for_stored(d) for ch in self.chargers]
-                    for d in self._demand_list
-                ],
-                dtype=float,
+            self._singleton_price = self.price_table().singleton_price_matrix(
+                self._demands
             )
         return self._singleton_price
 

@@ -111,6 +111,10 @@ class CoalitionStructure:
         self._next_cid = 0
         self._total_cost = 0.0
         self._zhash = 0
+        # Mutation counter: bumped on every membership change.  Lets the
+        # array engine's ``StructureArrayView`` cache its packed candidate
+        # arrays and rebuild only when the structure actually moved.
+        self._version = 0
         self._dev_token: List[int] = [
             _device_token(i) for i in range(instance.n_devices)
         ]
@@ -186,6 +190,7 @@ class CoalitionStructure:
         self._refresh(coalition)
         self._total_cost += coalition.group_cost
         self._zhash ^= self._key(coalition)
+        self._version += 1
         return coalition
 
     # ------------------------------------------------------------------ #
@@ -367,6 +372,7 @@ class CoalitionStructure:
         self._total_cost += dest.group_cost
         self._zhash ^= self._key(dest)
         self._of_device[device] = dest.cid
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # export / verification

@@ -17,6 +17,7 @@ from . import (  # noqa: F401  (imports register the rules)
     ccs005_journal_append,
     ccs006_unordered_iteration,
     ccs007_canonical_json,
+    ccs008_array_numeric,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "ccs005_journal_append",
     "ccs006_unordered_iteration",
     "ccs007_canonical_json",
+    "ccs008_array_numeric",
 ]

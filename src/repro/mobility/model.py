@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..geometry import Point
 
@@ -52,6 +54,21 @@ class LinearMobility(_EuclideanTravelTime):
         if rate < 0:
             raise ConfigurationError(f"moving rate must be nonnegative, got {rate}")
         return rate * origin.distance_to(destination)
+
+    def moving_cost_matrix(self, distances, rates):
+        """Whole-matrix fast path: ``rates[:, None] * distances``.
+
+        *distances* is the device x charger Euclidean distance matrix and
+        *rates* the per-device rate vector; each entry is bitwise equal to
+        the scalar :meth:`moving_cost` on the same distance (one IEEE
+        multiply either way).  ``CCSInstance`` probes for this hook so the
+        cost matrix is derived from the shared distance matrix instead of
+        ``n * m`` per-pair model calls.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if np.any(rates < 0):
+            raise ConfigurationError("moving rates must be nonnegative")
+        return rates[:, None] * np.asarray(distances, dtype=float)
 
 
 @dataclass(frozen=True)

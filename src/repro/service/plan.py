@@ -41,13 +41,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..core import Device
+from ..core.ccsga import resolve_engine
 from ..core.costsharing import CostSharingScheme, EgalitarianSharing
 from ..errors import ConfigurationError, ServiceError
+from ..game.arraycore import StructureArrayView
 from ..game.coalition import CoalitionStructure, _device_token
-from ..game.switching import SelfishSwitch, SociallyAwareSwitch
+from ..game.switching import SelfishSwitch, SociallyAwareSwitch, SwitchMove, SwitchRule
 from ..mobility import LinearMobility, MobilityModel
 from ..numeric import DEFAULT_REL_TOL, is_exact_zero
-from ..wpt import Charger
+from ..wpt import Charger, ChargerPriceTable
 
 __all__ = ["PlanInstance", "GrowableCoalitionStructure", "IncrementalPlanner"]
 
@@ -90,6 +92,7 @@ class PlanInstance:
         self._sp_buf = np.empty((cap, m), dtype=float)
         self._sc_buf = np.empty((cap, m), dtype=float)
         self._n = 0
+        self._price_table: Optional[ChargerPriceTable] = None
         self._sync_views()
 
     def _sync_views(self) -> None:
@@ -217,6 +220,18 @@ class PlanInstance:
             return 0.0
         return self.chargers[charger].price_for_stored(total_demand)
 
+    def price_table(self) -> ChargerPriceTable:
+        """Lazily built vectorized tariff table (chargers are fixed)."""
+        if self._price_table is None:
+            self._price_table = ChargerPriceTable(self.chargers)
+        return self._price_table
+
+    def price_for_demand_vector(
+        self, totals: np.ndarray, chargers_idx: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`charging_price_for_demand` (bitwise identical)."""
+        return self.price_table().prices(totals, chargers_idx)
+
     def singleton_price_matrix(self) -> np.ndarray:
         """``(n, m)`` singleton session prices (maintained incrementally)."""
         return self._singleton_price
@@ -307,6 +322,7 @@ class GrowableCoalitionStructure(CoalitionStructure):
         self._total_cost += dest.group_cost
         self._zhash ^= self._key(dest)
         self._of_device[device] = dest.cid
+        self._version += 1
         return dest
 
     def remove(self, device: int) -> int:
@@ -332,6 +348,7 @@ class GrowableCoalitionStructure(CoalitionStructure):
             self._zhash ^= self._key(src)
         else:
             del self._coalitions[src.cid]
+        self._version += 1
         return src.cid
 
     def retire(self, cid: int):
@@ -345,6 +362,7 @@ class GrowableCoalitionStructure(CoalitionStructure):
         self._total_cost -= coalition.group_cost
         for i in sorted(coalition.members):
             del self._of_device[i]
+        self._version += 1
         return coalition
 
 
@@ -369,6 +387,7 @@ class IncrementalPlanner:
         tol: float = DEFAULT_REL_TOL,
         improvement_sweeps: int = 2,
         repair_rounds: int = 3,
+        engine: Optional[str] = None,
     ):
         if improvement_sweeps < 0:
             raise ConfigurationError(
@@ -388,6 +407,17 @@ class IncrementalPlanner:
         self.repair_rounds = repair_rounds
         self._social = SociallyAwareSwitch(tol=self.tol)
         self._selfish = SelfishSwitch(tol=self.tol)
+        #: Scan engine (see :func:`repro.core.ccsga.resolve_engine`): the
+        #: array engine runs the improvement/repair/insert candidate scans
+        #: through a :class:`~repro.game.arraycore.StructureArrayView` —
+        #: bit-identical moves, vectorized evaluation.  Structure mutation
+        #: and journaling always stay on the object representation.
+        self.engine: str = resolve_engine(
+            engine, self.instance, self.scheme, self._social
+        )
+        self._view: Optional[StructureArrayView] = (
+            StructureArrayView(self.structure) if self.engine == "array" else None
+        )
         self.ceiling: Dict[int, float] = {}
         #: Operation tally for the incremental-work regression tests.
         #: ``full_solves`` stays 0 by construction — there is no code path
@@ -481,6 +511,16 @@ class IncrementalPlanner:
         charger, then lower cid.
         """
         st, inst = self.structure, self.instance
+        if self._view is not None:
+            # Same tally as the object scan below: one candidate per live
+            # coalition (available or not) plus one per charger.
+            self.ops["insert_candidates"] += st.n_coalitions + inst.n_chargers
+            choice = self._view.best_insert(device)
+            if choice is None:
+                raise ServiceError("no feasible placement for admitted device")
+            coalition = st.place(device, choice[0], choice[1])
+            self.ops["moves"] += 1
+            return coalition.cid
         best_key: Optional[Tuple[float, int, int, int]] = None
         best: Optional[Tuple[Optional[int], int]] = None
         for coalition in st.coalitions():
@@ -507,6 +547,12 @@ class IncrementalPlanner:
         coalition = st.place(device, target, charger)
         self.ops["moves"] += 1
         return coalition.cid
+
+    def _best_move(self, rule: SwitchRule, device: int) -> Optional[SwitchMove]:
+        """Best permitted move via the active engine (bit-identical either way)."""
+        if self._view is not None:
+            return self._view.best_move(device, rule)
+        return rule.best_move(self.structure, device)
 
     def fold(self, indices: Sequence[int]) -> Tuple[Dict[int, int], List[int]]:
         """Fold a batch of registered devices into the live structure.
@@ -544,7 +590,7 @@ class IncrementalPlanner:
                 if not st.is_placed(device):
                     continue
                 self.ops["scan_candidates"] += st.n_coalitions + self.instance.n_chargers
-                move = self._social.best_move(st, device)
+                move = self._best_move(self._social, device)
                 if move is None:
                     continue
                 st.move(device, move.target, move.charger)
@@ -583,7 +629,7 @@ class IncrementalPlanner:
                 return evicted
             for device in violators:
                 self.ops["scan_candidates"] += st.n_coalitions + inst.n_chargers
-                move = self._selfish.best_move(st, device)
+                move = self._best_move(self._selfish, device)
                 if move is None:
                     continue
                 st.move(device, move.target, move.charger)

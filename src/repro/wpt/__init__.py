@@ -9,9 +9,11 @@ from .pricing import (
     is_concave_nondecreasing,
 )
 from .propagation import WptLink, contact_efficiency
+from .vector import ChargerPriceTable
 
 __all__ = [
     "Charger",
+    "ChargerPriceTable",
     "Tariff",
     "LinearTariff",
     "PowerLawTariff",

@@ -25,8 +25,10 @@ import math
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from ..errors import ConfigurationError
-from ..numeric import is_exact_zero
+from ..numeric import EXACT_ZERO, is_exact_zero
 
 __all__ = [
     "Tariff",
@@ -72,6 +74,30 @@ class _TariffBase:
             return 0.0
         return self.base + self.volume_charge(energy)
 
+    def volume_charge_vector(self, energy: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`volume_charge` over an energy vector.
+
+        The fallback evaluates the scalar method per element, so any
+        subclass override must stay bitwise equal to that — the array
+        engine's equivalence with the object engine depends on it.
+        """
+        return np.array([self.volume_charge(float(e)) for e in energy], dtype=float)
+
+    def session_price_vector(self, energy: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`session_price` over an energy vector.
+
+        Same base-plus-volume arithmetic (and the same exact-zero guard)
+        applied per element; bitwise equal to the scalar path.
+        """
+        e = np.asarray(energy, dtype=float)
+        if np.any(e < 0):
+            raise ValueError("energy must be nonnegative")
+        out = self.base + self.volume_charge_vector(e)
+        zero = e == EXACT_ZERO
+        if zero.any():
+            out = np.where(zero, 0.0, out)
+        return out
+
 
 @dataclass(frozen=True)
 class LinearTariff(_TariffBase):
@@ -91,6 +117,11 @@ class LinearTariff(_TariffBase):
     def volume_charge(self, energy: float) -> float:
         if energy < 0:
             raise ValueError(f"energy must be nonnegative, got {energy}")
+        return self.unit * energy
+
+    def volume_charge_vector(self, energy: np.ndarray) -> np.ndarray:
+        if np.any(energy < 0):
+            raise ValueError("energy must be nonnegative")
         return self.unit * energy
 
 
@@ -117,7 +148,18 @@ class PowerLawTariff(_TariffBase):
     def volume_charge(self, energy: float) -> float:
         if energy < 0:
             raise ValueError(f"energy must be nonnegative, got {energy}")
-        return self.unit * energy**self.exponent
+        # Routed through numpy's pow (not the ``**`` libm pow) so the scalar
+        # and vectorized tariff paths share one implementation: numpy's pow
+        # is bitwise self-consistent between its scalar, strided, and SIMD
+        # code paths, whereas libm pow and numpy pow differ by 1 ulp on a
+        # small fraction of inputs — which would break the array engine's
+        # bit-identity contract.
+        return self.unit * float(np.power(energy, self.exponent))
+
+    def volume_charge_vector(self, energy: np.ndarray) -> np.ndarray:
+        if np.any(energy < 0):
+            raise ValueError("energy must be nonnegative")
+        return self.unit * np.power(energy, self.exponent)
 
 
 @dataclass(frozen=True)
@@ -167,6 +209,27 @@ class PiecewiseConcaveTariff(_TariffBase):
             lower = upper
         if energy > lower:
             total += self.marginal_prices[-1] * (energy - lower)
+        return total
+
+    def volume_charge_vector(self, energy: np.ndarray) -> np.ndarray:
+        if np.any(energy < 0):
+            raise ValueError("energy must be nonnegative")
+        # Per-element accumulation in exactly the scalar method's bracket
+        # order: each element receives the same sequence of
+        # ``price * (min(E, upper) - lower)`` additions it would get from
+        # the scalar loop (elements past their last bracket simply stop
+        # accumulating, which is what the scalar ``break`` does).
+        total = np.zeros_like(energy, dtype=float)
+        lower = 0.0
+        for upper, price in zip(self.breakpoints, self.marginal_prices):
+            active = energy > lower
+            if active.any():
+                e = energy[active]
+                total[active] += price * (np.minimum(e, upper) - lower)
+            lower = upper
+        active = energy > lower
+        if active.any():
+            total[active] += self.marginal_prices[-1] * (energy[active] - lower)
         return total
 
 

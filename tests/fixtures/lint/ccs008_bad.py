@@ -1,0 +1,11 @@
+"""CCS008 positives: dtype narrowing and unordered float reductions."""
+import numpy as np
+
+
+def pack(values, move, idx):
+    arr = np.array(values, dtype=np.float32)
+    cols = np.zeros(4, dtype="int32")
+    total = np.sum(arr)
+    folded = np.add.reduce(arr)
+    row = move[idx].sum()
+    return arr, cols, total, folded, row

@@ -1,0 +1,13 @@
+"""CCS008 negatives: float64/int64 arrays, explicitly-ordered accumulation."""
+import numpy as np
+
+
+def pack(values, sizes):
+    arr = np.asarray(values, dtype=float)
+    wide = np.zeros(4, dtype=np.float64)
+    cols = np.zeros(4, dtype=np.int64)
+    named = np.array(sizes, dtype="int64")
+    total = 0.0
+    for v in values:
+        total += v
+    return arr, wide, cols, named, total

@@ -1,0 +1,391 @@
+"""Object-vs-array engine equivalence: the bit-identity contract.
+
+The array engine (:mod:`repro.game.arraycore`) promises to be
+*observationally indistinguishable* from the object engine — not "close",
+identical: the same switch sequence, the same schedule, the same total
+cost to the last bit, the same Zobrist hash.  Four layers enforce it:
+
+1. **Golden bit-identity**: on every ``ccsga_golden.json`` case x both
+   schemes, the two engines produce exactly equal schedules, switch and
+   sweep counts, Nash certificates, and *exactly* equal traces (no
+   tolerance — ``==`` on floats).
+2. **Hypothesis end-to-end fuzz**: random workloads, schemes, and rules;
+   both engines run CCSGA to convergence and must agree exactly.
+3. **Lockstep state fuzz**: an :class:`~repro.game.arraycore.ArrayState`
+   and a :class:`~repro.game.coalition.CoalitionStructure` are driven
+   through the same random legal move sequence; after every move the
+   cached totals, Zobrist hashes, canonical partitions, and each
+   device's ``best_move`` must match bitwise, and both pass their own
+   invariant audits.
+4. **Engine-knob semantics**: resolution rules, the environment
+   variable, unsupported-combination errors, and planner parity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Device, EgalitarianSharing, ProportionalSharing, ShapleySharing, ccsga
+from repro.core.ccsga import resolve_engine
+from repro.errors import ConfigurationError
+from repro.game import (
+    ArrayState,
+    CoalitionStructure,
+    SelfishSwitch,
+    SociallyAwareSwitch,
+    StructureArrayView,
+    engine_supported,
+)
+from repro.geometry import Point
+from repro.io import instance_from_dict
+from repro.service import IncrementalPlanner
+from repro.workloads import quick_instance
+from repro.wpt import Charger
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SCHEMES = {
+    "egalitarian": EgalitarianSharing(),
+    "proportional": ProportionalSharing(),
+}
+
+RULES = [SociallyAwareSwitch(), SelfishSwitch()]
+
+
+def load_fixture(name):
+    with open(FIXTURES / f"{name}.json") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def _golden():
+    with open(FIXTURES / "ccsga_golden.json") as fh:
+        return json.load(fh)
+
+
+GOLDEN = _golden()
+
+
+def _instance_for(case_name):
+    if case_name.startswith("quick_"):
+        spec, _ = case_name.split("/")
+        parts = dict((kv[0], int(kv[1:])) for kv in spec.split("_")[1:])
+        return quick_instance(
+            n_devices=parts["n"], n_chargers=parts["m"], seed=parts["s"], capacity=6
+        )
+    return load_fixture(case_name.split("/")[0])
+
+
+def assert_results_bit_identical(obj, arr):
+    """Exact (no-tolerance) equality of two CCSGA results."""
+    assert obj.schedule.sessions == arr.schedule.sessions
+    assert obj.switches == arr.switches
+    assert obj.sweeps == arr.sweeps
+    assert obj.nash_certified == arr.nash_certified
+    # Bit-identity: == on floats, deliberately not pytest.approx.
+    assert list(obj.trace.values) == list(arr.trace.values)
+
+
+# --------------------------------------------------------------------- #
+# 1. golden bit-identity
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+class TestGoldenBitIdentity:
+    def test_engines_bit_identical_on_golden_case(self, case):
+        instance = _instance_for(case)
+        scheme = SCHEMES[case.rsplit("/", 1)[1]]
+        obj = ccsga(instance, scheme=scheme, certify=True, engine="object")
+        arr = ccsga(instance, scheme=scheme, certify=True, engine="array")
+        assert obj.engine == "object" and arr.engine == "array"
+        assert_results_bit_identical(obj, arr)
+        # And the array engine still matches the recorded golden outputs.
+        expected = GOLDEN[case]
+        got_schedule = sorted(
+            [s.charger, sorted(s.members)] for s in arr.schedule.sessions
+        )
+        assert got_schedule == expected["schedule"]
+        assert arr.switches == expected["switches"]
+
+
+# --------------------------------------------------------------------- #
+# 2. end-to-end hypothesis fuzz
+
+
+class TestEndToEndEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=28),
+        m=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+        capacity=st.sampled_from([None, 2, 4, 8]),
+        scheme_name=st.sampled_from(sorted(SCHEMES)),
+        rule_idx=st.integers(min_value=0, max_value=1),
+    )
+    def test_engines_agree_exactly_on_random_workloads(
+        self, n, m, seed, capacity, scheme_name, rule_idx
+    ):
+        instance = quick_instance(
+            n_devices=n, n_chargers=m, seed=seed, capacity=capacity
+        )
+        scheme = SCHEMES[scheme_name]
+        rule = RULES[rule_idx]
+        try:
+            obj = ccsga(instance, scheme=scheme, rule=rule, engine="object")
+        except Exception as exc:  # selfish dynamics may legitimately cycle
+            with pytest.raises(type(exc)):
+                ccsga(instance, scheme=scheme, rule=rule, engine="array")
+            return
+        arr = ccsga(instance, scheme=scheme, rule=rule, engine="array")
+        assert_results_bit_identical(obj, arr)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_warm_start_equivalence(self, n, seed):
+        instance = quick_instance(n_devices=n, n_chargers=3, seed=seed, capacity=6)
+        warm = ccsga(instance, certify=False, engine="object").schedule
+        obj = ccsga(instance, warm_start=warm, engine="object")
+        arr = ccsga(instance, warm_start=warm, engine="array")
+        assert_results_bit_identical(obj, arr)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=1_000),
+        order_seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_random_visit_order_equivalence(self, n, seed, order_seed):
+        instance = quick_instance(n_devices=n, n_chargers=3, seed=seed)
+        obj = ccsga(instance, rng=order_seed, engine="object")
+        arr = ccsga(instance, rng=order_seed, engine="array")
+        assert_results_bit_identical(obj, arr)
+
+
+# --------------------------------------------------------------------- #
+# 3. lockstep state fuzz
+
+
+class TestLockstepState:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_states_match_bitwise_under_random_moves(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=16), label="n")
+        m = data.draw(st.integers(min_value=1, max_value=4), label="m")
+        seed = data.draw(st.integers(min_value=0, max_value=5_000), label="seed")
+        capacity = data.draw(st.sampled_from([None, 3, 6]), label="capacity")
+        scheme = SCHEMES[
+            data.draw(st.sampled_from(sorted(SCHEMES)), label="scheme")
+        ]
+        instance = quick_instance(
+            n_devices=n, n_chargers=m, seed=seed, capacity=capacity
+        )
+        obj = CoalitionStructure.singletons(instance, scheme)
+        arr = ArrayState.singletons(instance, scheme)
+        rule = data.draw(st.sampled_from(RULES), label="rule")
+        for _ in range(data.draw(st.integers(min_value=1, max_value=25), label="moves")):
+            device = data.draw(
+                st.integers(min_value=0, max_value=n - 1), label="device"
+            )
+            # Both engines must propose the identical best move...
+            obj_move = rule.best_move(obj, device)
+            arr_move = arr.best_move(device, rule)
+            assert obj_move == arr_move
+            src = obj.coalition_of(device)
+            options = [
+                c.cid
+                for c in obj.coalitions()
+                if c is not src and instance.chargers[c.charger].admits(c.size + 1)
+            ]
+            targets = [(cid, None) for cid in options] + [
+                (None, j)
+                for j in range(m)
+                if not (src.size == 1 and j == src.charger)
+            ]
+            if not targets:
+                continue
+            idx = data.draw(
+                st.integers(min_value=0, max_value=len(targets) - 1), label="target"
+            )
+            target, charger = targets[idx]
+            if charger is None:
+                charger = obj._coalitions[target].charger
+            obj.move(device, target, charger)
+            arr.move(device, target, charger)
+            # ...and land in bitwise-identical states after any legal move.
+            assert arr.total_cost == obj.total_cost
+            assert arr.zobrist_hash() == obj.zobrist_hash()
+            assert arr.state_key() == obj.state_key()
+            assert arr.n_coalitions == obj.n_coalitions
+        obj.check_invariants()
+        arr.check_invariants()
+        assert arr.to_schedule("x").sessions == obj.to_schedule("x").sessions
+
+    def test_array_state_rejects_illegal_moves_like_object(self):
+        instance = quick_instance(n_devices=4, n_chargers=2, seed=3, capacity=1)
+        scheme = EgalitarianSharing()
+        obj = CoalitionStructure.singletons(instance, scheme)
+        arr = ArrayState.singletons(instance, scheme)
+        cid = next(iter(obj.coalitions())).cid
+        member = next(iter(obj.coalition_of(0).members))
+        with pytest.raises(ValueError):
+            obj.move(member, obj.coalition_of(member).cid, 0)
+        with pytest.raises(ValueError):
+            arr.move(member, obj.coalition_of(member).cid, 0)
+        # capacity=1: every join is inadmissible.
+        other = next(i for i in range(4) if obj.coalition_of(i).cid != cid)
+        with pytest.raises(ValueError):
+            obj.move(other, cid, obj._coalitions[cid].charger)
+        with pytest.raises(ValueError):
+            arr.move(other, cid, obj._coalitions[cid].charger)
+        with pytest.raises(KeyError):
+            arr.move(0, 999_999, 0)
+
+    def test_structure_view_matches_rule_best_move(self):
+        instance = quick_instance(n_devices=18, n_chargers=4, seed=11, capacity=6)
+        for scheme in SCHEMES.values():
+            structure = CoalitionStructure.singletons(instance, scheme)
+            view = StructureArrayView(structure)
+            for rule in RULES:
+                # Interleave scans and moves so the view's version-keyed
+                # rebuild is exercised, not just the first build.
+                for device in range(instance.n_devices):
+                    expected = rule.best_move(structure, device)
+                    assert view.best_move(device, rule) == expected
+                    if expected is not None:
+                        structure.move(device, expected.target, expected.charger)
+
+
+# --------------------------------------------------------------------- #
+# 4. engine knob semantics
+
+
+class TestEngineKnob:
+    def test_auto_picks_array_for_supported_combination(self):
+        instance = quick_instance(n_devices=6, n_chargers=2, seed=0)
+        assert engine_supported(instance, EgalitarianSharing(), SociallyAwareSwitch())
+        result = ccsga(instance, engine="auto")
+        assert result.engine == "array"
+
+    def test_auto_falls_back_for_shapley(self):
+        instance = quick_instance(n_devices=5, n_chargers=2, seed=1)
+        scheme = ShapleySharing()
+        assert not engine_supported(instance, scheme, SociallyAwareSwitch())
+        result = ccsga(instance, scheme=scheme, engine="auto")
+        assert result.engine == "object"
+
+    def test_array_with_shapley_raises(self):
+        instance = quick_instance(n_devices=5, n_chargers=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            ccsga(instance, scheme=ShapleySharing(), engine="array")
+
+    def test_unknown_engine_rejected(self):
+        instance = quick_instance(n_devices=4, n_chargers=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            ccsga(instance, engine="vectorized")
+
+    def test_subclassed_rule_is_not_vectorized(self):
+        class TweakedSwitch(SociallyAwareSwitch):
+            pass
+
+        instance = quick_instance(n_devices=4, n_chargers=2, seed=0)
+        rule = TweakedSwitch()
+        assert not engine_supported(instance, EgalitarianSharing(), rule)
+        assert (
+            resolve_engine("auto", instance, EgalitarianSharing(), rule) == "object"
+        )
+
+    def test_env_variable_selects_engine(self, monkeypatch):
+        instance = quick_instance(n_devices=6, n_chargers=2, seed=0)
+        monkeypatch.setenv("CCS_ENGINE", "object")
+        assert ccsga(instance).engine == "object"
+        monkeypatch.setenv("CCS_ENGINE", "array")
+        assert ccsga(instance).engine == "array"
+        monkeypatch.delenv("CCS_ENGINE")
+        assert ccsga(instance).engine == "array"  # auto, supported
+
+    def test_explicit_argument_beats_environment(self, monkeypatch):
+        instance = quick_instance(n_devices=6, n_chargers=2, seed=0)
+        monkeypatch.setenv("CCS_ENGINE", "array")
+        assert ccsga(instance, engine="object").engine == "object"
+
+    def test_env_array_is_advisory_not_strict(self, monkeypatch):
+        """CCS_ENGINE=array falls back where unsupported; the argument raises."""
+        instance = quick_instance(n_devices=5, n_chargers=2, seed=1)
+        monkeypatch.setenv("CCS_ENGINE", "array")
+        result = ccsga(instance, scheme=ShapleySharing())
+        assert result.engine == "object"
+        with pytest.raises(ConfigurationError):
+            ccsga(instance, scheme=ShapleySharing(), engine="array")
+
+
+# --------------------------------------------------------------------- #
+# planner parity
+
+
+def _drive_planner(engine):
+    chargers = [
+        Charger(charger_id="c0", position=Point(10.0, 10.0), capacity=6),
+        Charger(charger_id="c1", position=Point(90.0, 90.0), capacity=6),
+        Charger(charger_id="c2", position=Point(50.0, 50.0), capacity=6),
+    ]
+    planner = IncrementalPlanner(chargers, engine=engine)
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    indices = []
+    for k in range(18):
+        dev = Device(
+            device_id=f"d{k}",
+            position=Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            demand=float(rng.uniform(10e3, 40e3)),
+        )
+        cost, _ = planner.quote(dev)
+        indices.append(planner.add(dev, cost))
+    # Fold in three epochs, with removals and a retirement between them.
+    planner.fold(indices[:8])
+    planner.remove(indices[2])
+    planner.fold(indices[8:14])
+    planner.retire(planner.live_cids()[0])
+    planner.fold(indices[14:])
+    planner.structure.check_invariants()
+    snapshot = sorted(
+        (c.charger, tuple(sorted(c.members)))
+        for c in planner.structure.coalitions()
+    )
+    return planner, snapshot
+
+
+class TestPlannerParity:
+    def test_planner_engines_bit_identical(self):
+        obj_planner, obj_snapshot = _drive_planner("object")
+        arr_planner, arr_snapshot = _drive_planner("array")
+        assert obj_planner.engine == "object" and arr_planner.engine == "array"
+        assert arr_snapshot == obj_snapshot
+        assert arr_planner.structure.total_cost == obj_planner.structure.total_cost
+        assert (
+            arr_planner.structure.zobrist_hash()
+            == obj_planner.structure.zobrist_hash()
+        )
+        # Identical decisions imply identical work tallies.
+        assert arr_planner.ops == obj_planner.ops
+
+
+# --------------------------------------------------------------------- #
+# tier-1 smoke: the array path stays exercised and fast
+
+
+@pytest.mark.bench_smoke
+def test_bench_smoke_engine_parity():
+    """Both engines on one mid-size workload: exact agreement, every sweep."""
+    instance = quick_instance(n_devices=120, n_chargers=8, seed=2026, capacity=6)
+    for scheme in SCHEMES.values():
+        obj = ccsga(instance, scheme=scheme, engine="object")
+        arr = ccsga(instance, scheme=scheme, engine="array")
+        assert_results_bit_identical(obj, arr)
+        assert arr.engine == "array"

@@ -40,6 +40,7 @@ MODULE_LABELS = {
     "CCS005": "repro/service/metrics.py",
     "CCS006": "repro/experiments/exec/task.py",
     "CCS007": "repro/service/snapshot.py",
+    "CCS008": "repro/game/arraycore.py",
 }
 RULE_CODES = sorted(MODULE_LABELS)
 
