@@ -10,7 +10,7 @@ JOBS ?= 1
 # Task-result cache directory used by run-all (re-runs resume from it).
 CACHE_DIR ?= .ccs-bench-cache
 
-.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-large bench-exec bench-service golden golden-experiments run-all serve-smoke chaos-smoke chaos
+.PHONY: test lint typecheck bench bench-smoke bench-hotpath bench-large bench-exec bench-service bench-shard golden golden-experiments run-all serve-smoke chaos-smoke chaos shard-smoke
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
@@ -61,6 +61,11 @@ bench-exec:
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
 
+# Measure sharded-service scaling (shards in {1,2,4,8}) and rewrite
+# benchmarks/BENCH_shard.json.
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py
+
 # End-to-end daemon smoke: generated stream -> journal -> metrics, then
 # crash-recover from the journal and verify byte-identical state.
 serve-smoke:
@@ -77,6 +82,19 @@ chaos-smoke:
 	$(PYTHON) -m repro.service --n 150 --rate 0.5 --seed 7 --chargers 4 \
 		--journal .chaos-smoke.jsonl --fault-plan seed:13 --check-recovery
 	rm -f .chaos-smoke.jsonl
+	$(PYTHON) -m repro.service --n 150 --rate 0.5 --seed 7 --chargers 8 \
+		--shards 4 --halo 12 --journal .chaos-smoke-shards \
+		--fault-plan seed:13 --check-recovery
+	rm -rf .chaos-smoke-shards
+
+# Sharded-service smoke (tier-1 marker): a 4-shard replay checked against
+# the live facade plus the 1-shard byte-identity spot check, then an
+# end-to-end sharded daemon run recovered from its journal directory.
+shard-smoke:
+	$(PYTHON) -m pytest -q -m shard_smoke tests/test_shard_smoke.py
+	$(PYTHON) -m repro.service --n 150 --rate 0.5 --seed 7 --chargers 8 \
+		--shards 4 --halo 12 --journal .shard-smoke --check-recovery
+	rm -rf .shard-smoke
 
 # The heavy randomized chaos suite (hundreds of hypothesis examples);
 # excluded from tier-1 by the `chaos` marker.

@@ -1,0 +1,194 @@
+"""Benchmark the sharded charging service: throughput vs shard count.
+
+Drives one seeded Poisson stream (uniform over a 400 m field, 16
+chargers on a 4x4 grid) through :class:`~repro.shard.ShardedService` at
+shards ∈ {1, 2, 4, 8} — no journals, measuring the kernels — and
+reports sustained submission throughput (requests / CPU time spent in
+``submit``, end-of-run drain reported separately) and p50/p99
+single-``submit`` wall-clock latency per shard count, plus an unsharded
+``ChargingService`` reference row under the identical configuration.
+Each row is the best of 3 fresh runs — scheduler noise on a shared host
+only ever *slows* a run, so the max is the cleanest estimate; outcome
+columns are asserted identical across repeats.
+
+Sharding wins here *algorithmically*, not by parallelism (the live
+facade is single-threaded; ``cpu_count`` is recorded for context): each
+kernel plans over ``m/N`` chargers and its own requests only, so the
+per-submission candidate scans shrink with the shard count.  The
+numbers should therefore increase monotonically with shards even on a
+one-core host; ``make bench-shard`` rewrites
+``benchmarks/BENCH_shard.json`` (checked in, host-dependent context —
+not CI-enforced thresholds).
+
+The 1-shard row doubles as a facade-overhead check against the
+unsharded reference: identical session/done counts (the byte-identity
+contract) and throughput within routing-overhead noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.geometry import Field, Point
+from repro.service import ChargingService, ServiceConfig, generate_keyed_requests
+from repro.shard import ShardedService
+from repro.wpt import Charger
+
+HERE = Path(__file__).parent
+RESULT_FILE = HERE / "BENCH_shard.json"
+
+N_REQUESTS = 4000
+SHARD_COUNTS = (1, 2, 4, 8)
+SEED = 42
+RATE = 2.0  # requests/s of logical time
+FIELD = 400.0
+N_CHARGERS = 16
+HALO = 0.0
+
+
+def make_chargers():
+    side = 4
+    chargers = []
+    for i in range(N_CHARGERS):
+        r, c = divmod(i, side)
+        chargers.append(
+            Charger(
+                charger_id=f"c{i:02d}",
+                position=Point(
+                    FIELD * (2 * c + 1) / (2 * side),
+                    FIELD * (2 * r + 1) / (2 * side),
+                ),
+                capacity=10,
+            )
+        )
+    return chargers
+
+
+def make_stream():
+    return generate_keyed_requests(
+        N_REQUESTS, rate=RATE, seed=SEED, field=Field(FIELD, FIELD)
+    )
+
+
+def measure(service, requests) -> dict:
+    # Throughput from CPU time (immune to scheduler preemption on a
+    # shared host — it is the algorithmic cost that sharding shrinks);
+    # latency percentiles from wall-clock, as a caller would feel them.
+    latencies = []
+    cpu0 = time.process_time()
+    for request in requests:
+        t0 = time.perf_counter()
+        service.submit(request)
+        latencies.append(time.perf_counter() - t0)
+    submit_cpu_s = time.process_time() - cpu0
+    cpu0 = time.process_time()
+    service.drain()
+    drain_cpu_s = time.process_time() - cpu0
+    latencies.sort()
+    n = len(requests)
+    counts = service.counts()
+    return {
+        "submit_cpu_s": round(submit_cpu_s, 4),
+        "drain_cpu_s": round(drain_cpu_s, 4),
+        "sustained_req_per_s": round(n / submit_cpu_s, 1),
+        "submit_p50_us": round(1e6 * latencies[n // 2], 1),
+        "submit_p99_us": round(1e6 * latencies[min(n - 1, (99 * n) // 100)], 1),
+        "sessions": len(service.final_schedule()),
+        "done": counts.get("done", 0),
+    }
+
+
+def build_service(n_shards: int):
+    """``n_shards=0`` is the unsharded reference kernel."""
+    if n_shards == 0:
+        return ChargingService(make_chargers(), config=ServiceConfig())
+    return ShardedService(
+        make_chargers(),
+        n_shards=n_shards,
+        field=Field(FIELD, FIELD),
+        halo=HALO,
+        config=ServiceConfig(),
+    )
+
+
+def run_all(repeats: int = 3) -> dict:
+    """Best (highest-throughput) of *repeats* fresh runs per shard count.
+
+    Repeats are interleaved round-robin — (1, 2, 4, 8), three sweeps —
+    so a slow phase of a shared host penalizes every shard count alike
+    instead of whichever happened to be measured then; taking the best
+    then discards the noise, which only ever slows a run.  Outcome
+    columns are deterministic and asserted identical across repeats.
+    """
+    best: dict = {}
+    for _ in range(repeats):
+        for n_shards in (0, *SHARD_COUNTS):
+            result = measure(build_service(n_shards), make_stream())
+            prev = best.get(n_shards)
+            if prev is not None:
+                assert (result["sessions"], result["done"]) == (
+                    prev["sessions"], prev["done"]
+                ), "repeat run diverged — service is not deterministic"
+            if prev is None or (
+                result["sustained_req_per_s"] > prev["sustained_req_per_s"]
+            ):
+                best[n_shards] = result
+    return {n: {"shards": n, **r} for n, r in best.items()}
+
+
+def main() -> int:
+    by_shards = run_all()
+    reference = by_shards[0]
+    print(
+        f"unsharded: {reference['sustained_req_per_s']:9.1f} req/s  "
+        f"p50={reference['submit_p50_us']:7.1f}us  "
+        f"p99={reference['submit_p99_us']:8.1f}us"
+    )
+    results = []
+    for n_shards in SHARD_COUNTS:
+        result = by_shards[n_shards]
+        results.append(result)
+        print(
+            f"shards={n_shards}: {result['sustained_req_per_s']:9.1f} req/s  "
+            f"p50={result['submit_p50_us']:7.1f}us  "
+            f"p99={result['submit_p99_us']:8.1f}us  "
+            f"sessions={result['sessions']}"
+        )
+    # The 1-shard facade is the unsharded service (byte-identity): the
+    # outcome columns must agree exactly, whatever the clock noise says.
+    one = results[0]
+    assert (one["sessions"], one["done"]) == (
+        reference["sessions"],
+        reference["done"],
+    ), "1-shard facade diverged from the unsharded service"
+    throughputs = [r["sustained_req_per_s"] for r in results]
+    if throughputs != sorted(throughputs):
+        print("WARNING: throughput not monotone in shard count", file=sys.stderr)
+    doc = {
+        "benchmark": "sharded charging service submit throughput/latency",
+        "config": {
+            "n_requests": N_REQUESTS,
+            "rate_req_per_s": RATE,
+            "field_m": FIELD,
+            "chargers": N_CHARGERS,
+            "halo_m": HALO,
+            "epoch_s": ServiceConfig().epoch,
+            "window_s": ServiceConfig().window,
+            "seed": SEED,
+        },
+        "unsharded_reference": reference,
+        "results": results,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    RESULT_FILE.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

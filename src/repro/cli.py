@@ -232,6 +232,25 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="give generated requests price caps of factor * demand^0.8",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N independent service kernels behind a spatial router "
+        "(see docs/SHARDING.md); 1 = the single unsharded daemon "
+        "(default).  With N > 1, --journal names a directory holding one "
+        "journal per shard plus a partition manifest",
+    )
+    parser.add_argument(
+        "--halo",
+        type=float,
+        default=0.0,
+        metavar="METERS",
+        help="overlap halo of the shard grid: border devices within this "
+        "distance of a neighboring cell are quoted against it too "
+        "(default 0)",
+    )
+    parser.add_argument(
         "--check-recovery",
         action="store_true",
         help="after the run, recover a fresh daemon from the journal and "
@@ -244,7 +263,9 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="inject faults (charger outages, cancellations, no-shows, "
         "journal write failures) from a JSON plan file, or generate one "
         "deterministically from seed N (see docs/FAULTS.md); journal "
-        "faults crash and recover the daemon mid-run and require --journal",
+        "faults crash and recover the daemon mid-run and require --journal. "
+        "With --shards > 1, seed:N generates shard kill/recover events "
+        "instead of journal faults",
     )
     return parser
 
@@ -272,17 +293,111 @@ def _grid_chargers(k: int, side: float):
     return chargers
 
 
-def _load_fault_plan(spec: str, requests, chargers):
-    """Resolve ``--fault-plan``: a JSON file path or ``seed:N``."""
+def _load_fault_plan(spec: str, requests, chargers, n_shards: int = 1):
+    """Resolve ``--fault-plan``: a JSON file path or ``seed:N``.
+
+    With ``n_shards > 1`` a generated plan swaps journal faults (which
+    assume a single kernel) for ``shard_kill`` events drawn per shard via
+    ``derive_seed(seed, "shard", sid)``.
+    """
     from .faults import FaultPlan
 
     if spec.startswith("seed:"):
+        seed = int(spec[len("seed:"):])
+        if n_shards > 1:
+            horizon = max(
+                (float(r.submitted_at) for r in requests), default=0.0
+            ) + 600.0
+            plan = FaultPlan.generate(
+                seed,
+                charger_ids=[c.charger_id for c in chargers],
+                requests=requests,
+                journal_faults=0,
+            )
+            kills = FaultPlan.generate_shard_kills(seed, n_shards, horizon)
+            return FaultPlan(list(plan.events) + list(kills.events))
         return FaultPlan.generate(
-            int(spec[len("seed:"):]),
+            seed,
             charger_ids=[c.charger_id for c in chargers],
             requests=requests,
         )
     return FaultPlan.load(spec)
+
+
+def _serve_sharded(args, requests, chargers, config) -> int:
+    """The ``--shards N > 1`` path: a sharded service, one journal per shard."""
+    from .geometry import Field
+    from .shard import ShardedService, drive_sharded
+
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = _load_fault_plan(
+            args.fault_plan, requests, chargers, n_shards=args.shards
+        )
+        if fault_plan.journal_faults():
+            print(
+                "journal faults are per-kernel; with --shards > 1 use "
+                "shard_kill events instead (seed:N generates them)",
+                file=sys.stderr,
+            )
+            return 2
+        if fault_plan.shard_kills() and not args.journal:
+            print("shard_kill faults require --journal", file=sys.stderr)
+            return 2
+
+    field = Field(args.field, args.field)
+    service = ShardedService(
+        chargers,
+        n_shards=args.shards,
+        field=field,
+        halo=args.halo,
+        config=config,
+        journal_dir=args.journal,
+    )
+    service, stats = drive_sharded(
+        service, requests, fault_plan, advance_to=args.duration
+    )
+    if fault_plan is not None:
+        print(
+            f"faults: {len(fault_plan)} scheduled, {stats['kills']} shard "
+            f"kills ({stats['torn_kills']} torn), "
+            f"{stats['skipped_kills']} skipped"
+        )
+
+    counts = service.counts()
+    sessions = service.final_schedule()
+    grid = service.partition
+    print(
+        f"shards: {len(service.kernels)} kernels over a "
+        f"{grid.rows}x{grid.cols} grid (halo {grid.halo:g} m)"
+    )
+    print(f"requests: {len(requests)}  sessions: {len(sessions)}")
+    print("  " + "  ".join(f"{state}={n}" for state, n in sorted(counts.items())))
+    moves = sum(k.planner.ops["moves"] for k in service.kernels.values())
+    repairs = sum(k.planner.ops["repair_moves"] for k in service.kernels.values())
+    solves = sum(k.planner.ops["full_solves"] for k in service.kernels.values())
+    print(f"replanner: {moves} moves, {repairs} repairs, {solves} full solves")
+
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(service.metrics_snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_json}", file=sys.stderr)
+
+    if args.check_recovery:
+        service.close()
+        recovered = ShardedService.recover(args.journal, chargers, config=config)
+        ok = (
+            recovered.final_schedule() == sessions
+            and recovered.metrics_snapshot() == service.metrics_snapshot()
+        )
+        recovered.close()
+        if not ok:
+            print("recovery check FAILED: recovered state diverged", file=sys.stderr)
+            return 1
+        print("recovery check OK", file=sys.stderr)
+    service.close()
+    return 0
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
@@ -297,6 +412,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.chargers < 1:
         print(f"--chargers must be >= 1, got {args.chargers}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
 
     if args.trace:
@@ -319,9 +437,16 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         queue_limit=args.queue_limit,
         max_active=args.max_active,
     )
+    if args.shards > 1:
+        return _serve_sharded(args, requests, chargers, config)
     fault_plan = None
     if args.fault_plan:
         fault_plan = _load_fault_plan(args.fault_plan, requests, chargers)
+        if fault_plan.shard_kills():
+            print(
+                "shard_kill events require --shards > 1", file=sys.stderr
+            )
+            return 2
         if fault_plan.journal_faults() and not args.journal:
             print(
                 "--fault-plan with journal faults requires --journal",

@@ -22,11 +22,25 @@ Event kinds:
                         a ``torn`` mid-record crash
 ``worker_crash``        executor task index *target* dies (``os._exit``)
                         on its first ``count`` attempts
+``shard_kill``          shard *target* (id as str) is killed at ``t`` and
+                        immediately recovered from its journal; ``mode``
+                        ``"torn"`` first damages the journal tail
 ======================  ================================================
 
 Kernel events land at logical-clock times; journal faults key on the
 record sequence number (stable across recovery, because recovery is
-byte-identical); worker crashes key on the task index.
+byte-identical); worker crashes key on the task index; shard kills key
+on the shard id and are consumed by
+:func:`repro.shard.driver.drive_sharded`.
+
+:meth:`FaultPlan.generate` draws from *shared* per-kind streams, so the
+set of entities present changes every draw — fine for single-kernel
+chaos, wrong for shard-stability tests.  :meth:`FaultPlan.generate_keyed`
+instead keys each draw by entity id (``derive_seed(seed, "outage", cid)``,
+``derive_seed(seed, "cancel", rid)``), making each entity's fate a pure
+function of ``(seed, entity)`` — stable under any subsetting, including
+spatial sharding.  :meth:`FaultPlan.generate_shard_kills` does the same
+per shard via ``derive_seed(seed, "shard", shard_id)``.
 """
 
 from __future__ import annotations
@@ -49,6 +63,7 @@ FAULT_KINDS = (
     "no_show",
     "journal_write",
     "worker_crash",
+    "shard_kill",
 )
 
 #: Kinds the service kernel consumes as input events.
@@ -91,6 +106,10 @@ class FaultEvent:
         if self.kind == "journal_write" and self.mode not in ("enospc", "torn"):
             raise ConfigurationError(
                 f"journal_write mode must be 'enospc' or 'torn', got {self.mode!r}"
+            )
+        if self.kind == "shard_kill" and self.mode not in (None, "torn"):
+            raise ConfigurationError(
+                f"shard_kill mode must be None (clean) or 'torn', got {self.mode!r}"
             )
         if self.count < 1:
             raise ConfigurationError(f"fault count must be >= 1, got {self.count}")
@@ -169,6 +188,10 @@ class FaultPlan:
             for e in self.events
             if e.kind == "worker_crash"
         }
+
+    def shard_kills(self) -> List[FaultEvent]:
+        """``shard_kill`` events in time order, for the sharded chaos driver."""
+        return [e for e in self.events if e.kind == "shard_kill"]
 
     # ------------------------------------------------------------------ #
     # (de)serialization
@@ -303,4 +326,116 @@ class FaultPlan:
                         )
                     )
 
+        return cls(events)
+
+    @classmethod
+    def generate_keyed(
+        cls,
+        seed: int,
+        *,
+        charger_ids: Sequence[str] = (),
+        requests: Sequence[Any] = (),
+        horizon: Optional[float] = None,
+        outage_prob: float = 0.5,
+        mean_outage: float = 300.0,
+        cancel_prob: float = 0.1,
+        no_show_prob: float = 0.05,
+        cancel_window: float = 240.0,
+    ) -> "FaultPlan":
+        """Draw a plan whose every coin is keyed by the entity it affects.
+
+        Charger *cid*'s outage comes from ``derive_seed(seed, "outage",
+        cid)`` and request *rid*'s cancel/no-show from ``derive_seed(seed,
+        "cancel", rid)``, so each entity's fate is a pure function of
+        ``(seed, entity id)`` — independent of which *other* entities are
+        in the lists or in what order.  Restricting the plan to any subset
+        of chargers/requests (e.g. those a spatial shard owns) therefore
+        yields exactly the faults :meth:`generate_keyed` would have drawn
+        for that subset alone; the 2→4 shard-stability regression test is
+        built on this.
+
+        The price of per-entity independence is that no cross-entity
+        guarantee is possible: unlike :meth:`generate`, nothing stops
+        every charger from drawing an outage, so callers pick
+        ``outage_prob`` (or the charger layout) to keep the field alive.
+        Journal and worker faults are positional, not entity-keyed, and
+        deliberately absent here.
+        """
+        events: List[FaultEvent] = []
+        if horizon is None:
+            last = max((float(r.submitted_at) for r in requests), default=0.0)
+            horizon = last + 600.0
+
+        for cid in charger_ids:
+            rng = ensure_rng(derive_seed(int(seed), "outage", cid))
+            if rng.random() < outage_prob:
+                t_down = float(rng.uniform(0.0, horizon))
+                duration = float(rng.exponential(mean_outage))
+                events.append(FaultEvent(t=t_down, kind="charger_down", target=cid))
+                events.append(
+                    FaultEvent(t=t_down + duration, kind="charger_up", target=cid)
+                )
+
+        for req in requests:
+            rng = ensure_rng(derive_seed(int(seed), "cancel", req.request_id))
+            u = rng.random()
+            delay = float(rng.uniform(0.0, cancel_window))
+            if u < cancel_prob:
+                events.append(
+                    FaultEvent(
+                        t=float(req.submitted_at) + delay,
+                        kind="cancel",
+                        target=req.request_id,
+                        reason="cancelled",
+                    )
+                )
+            elif u < cancel_prob + no_show_prob:
+                events.append(
+                    FaultEvent(
+                        t=float(req.submitted_at),
+                        kind="no_show",
+                        target=req.request_id,
+                        reason="no-show",
+                    )
+                )
+
+        return cls(events)
+
+    @classmethod
+    def generate_shard_kills(
+        cls,
+        seed: int,
+        n_shards: int,
+        horizon: float,
+        *,
+        kill_prob: float = 0.5,
+        torn_prob: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw ``shard_kill`` events, one coin per shard.
+
+        Shard *s* draws from ``derive_seed(seed, "shard", s)``: with
+        ``kill_prob`` it is killed once at a uniform time in ``[0,
+        horizon)``, torn (journal tail damaged) with ``torn_prob``,
+        cleanly otherwise.  Because each shard's draw is keyed by its id,
+        changing ``n_shards`` never reshuffles the fate of the shards
+        that exist under both counts.
+        """
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if not (math.isfinite(horizon) and horizon > 0.0):
+            raise ConfigurationError(
+                f"horizon must be finite and positive, got {horizon}"
+            )
+        events: List[FaultEvent] = []
+        for sid in range(n_shards):
+            rng = ensure_rng(derive_seed(int(seed), "shard", sid))
+            if rng.random() < kill_prob:
+                events.append(
+                    FaultEvent(
+                        t=float(rng.uniform(0.0, horizon)),
+                        kind="shard_kill",
+                        target=str(sid),
+                        mode="torn" if rng.random() < torn_prob else None,
+                    )
+                )
         return cls(events)

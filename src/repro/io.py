@@ -19,6 +19,8 @@ from .mobility import LinearMobility, ManhattanMobility, QuadraticMobility
 from .wpt import Charger, LinearTariff, PiecewiseConcaveTariff, PowerLawTariff
 
 __all__ = [
+    "charger_to_dict",
+    "charger_from_dict",
     "instance_to_dict",
     "instance_from_dict",
     "schedule_to_dict",
@@ -95,6 +97,39 @@ def _mobility_from_dict(data: Dict[str, Any]):
         )
     kwargs = {k: v for k, v in data.items() if k != "type"}
     return _MOBILITY_TYPES[kind](**kwargs)
+
+
+def charger_to_dict(charger: Charger) -> Dict[str, Any]:
+    """Serialize one charger to a plain-JSON dict.
+
+    Unlike the instance envelope (which predates it and omits the field
+    for compatibility), this round-trips ``service_discipline`` too — the
+    sharded replay tasks ship chargers to worker processes through it and
+    must reconstruct them exactly.
+    """
+    return {
+        "id": charger.charger_id,
+        "x": charger.position.x,
+        "y": charger.position.y,
+        "tariff": _tariff_to_dict(charger.tariff),
+        "efficiency": charger.efficiency,
+        "transmit_power": charger.transmit_power,
+        "capacity": charger.capacity,
+        "service_discipline": charger.service_discipline,
+    }
+
+
+def charger_from_dict(data: Dict[str, Any]) -> Charger:
+    """Reconstruct a charger serialized by :func:`charger_to_dict`."""
+    return Charger(
+        charger_id=data["id"],
+        position=Point(data["x"], data["y"]),
+        tariff=_tariff_from_dict(data["tariff"]),
+        efficiency=data["efficiency"],
+        transmit_power=data["transmit_power"],
+        capacity=data["capacity"],
+        service_discipline=data.get("service_discipline", "sequential"),
+    )
 
 
 def instance_to_dict(instance: CCSInstance) -> Dict[str, Any]:

@@ -32,8 +32,9 @@ SET_ANNOTATIONS = frozenset({"set", "Set", "frozenset", "FrozenSet", "MutableSet
 class UnorderedIterationRule(Rule):
     """No iteration over sets in code that feeds fingerprints or goldens.
 
-    **Invariant.** Code under ``repro/experiments/exec/`` and
-    ``repro/service/`` (the two places whose outputs are canonical-JSON
+    **Invariant.** Code under ``repro/experiments/exec/``,
+    ``repro/service/``, and ``repro/shard/`` (the places whose outputs
+    are canonical-JSON
     fingerprinted, journaled, or pinned as goldens) never iterates a
     ``set`` / ``frozenset`` directly — every set is passed through
     ``sorted(...)`` (or an order-insensitive reducer such as ``sum`` /
@@ -62,7 +63,7 @@ class UnorderedIterationRule(Rule):
 
     code = "CCS006"
     title = "iteration over a set in canonical-fingerprint/golden-feeding code"
-    scope = ("repro/experiments/exec/", "repro/service/")
+    scope = ("repro/experiments/exec/", "repro/service/", "repro/shard/")
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         findings: List[Finding] = []

@@ -8,6 +8,7 @@ seed alone and independent components can be given independent streams.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Union, cast
 
 import numpy as np
@@ -43,7 +44,21 @@ def spawn(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
     return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
 
 
-def derive_seed(root: int, *path: int) -> int:
+def _path_part(part: Union[int, str]) -> int:
+    """Map one *path* component to a spawn-key integer.
+
+    Integers pass through unchanged (so every historical ``derive_seed``
+    call keeps its exact value); strings hash through SHA-256 to a stable
+    32-bit key, letting call sites name streams by entity — a charger id,
+    a request id, ``"shard"`` — instead of inventing integer namespaces.
+    """
+    if isinstance(part, str):
+        digest = hashlib.sha256(part.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big")
+    return int(part)
+
+
+def derive_seed(root: int, *path: Union[int, str]) -> int:
     """Derive a child seed from *root* along a spawn-key *path*.
 
     Uses :class:`numpy.random.SeedSequence` spawn keys, the same mechanism
@@ -53,6 +68,13 @@ def derive_seed(root: int, *path: int) -> int:
     on how many seeds were derived before — which is what lets experiment
     tasks run in any order (or in parallel) and still see identical
     randomness.
+
+    Path components may be integers (the historical form, unchanged) or
+    strings, which are hashed to stable 32-bit keys — the basis of the
+    *keyed* fault/workload streams (see docs/SHARDING.md): deriving per
+    entity (``derive_seed(root, "cancel", request_id)``) instead of from
+    shared-stream order makes any *subset* of the drawn events independent
+    of which other entities exist.
     """
-    ss = np.random.SeedSequence(int(root), spawn_key=tuple(int(p) for p in path))
+    ss = np.random.SeedSequence(int(root), spawn_key=tuple(_path_part(p) for p in path))
     return int(ss.generate_state(1, dtype=np.uint32)[0])

@@ -28,8 +28,15 @@ from .admission import AdmissionController, AdmissionDecision, earliest_departur
 from .clock import ServiceClock
 from .journal import Journal, record_checksum
 from .kernel import ChargingService, ServiceConfig
-from .loadgen import PROFILES, generate_requests, read_trace, write_trace
-from .metrics import Counter, Gauge, Histogram, Metrics
+from .loadgen import (
+    PROFILES,
+    generate_clustered_requests,
+    generate_keyed_requests,
+    generate_requests,
+    read_trace,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, Metrics, merge_snapshots
 from .plan import GrowableCoalitionStructure, IncrementalPlanner, PlanInstance
 from .policy import ServicePolicy
 from .request import ChargingRequest, RequestRecord, RequestState
@@ -45,12 +52,15 @@ __all__ = [
     "ServiceConfig",
     "PROFILES",
     "generate_requests",
+    "generate_keyed_requests",
+    "generate_clustered_requests",
     "read_trace",
     "write_trace",
     "Counter",
     "Gauge",
     "Histogram",
     "Metrics",
+    "merge_snapshots",
     "GrowableCoalitionStructure",
     "IncrementalPlanner",
     "PlanInstance",

@@ -14,6 +14,17 @@ A generated stream is a list of :class:`~repro.service.request.ChargingRequest`
 with strictly ordered ids; :func:`write_trace` / :func:`read_trace`
 round-trip streams through JSONL files (one ``ChargingRequest.to_dict``
 per line) so the CLI can replay a recorded trace instead of generating.
+
+Two further generators exist for the sharded service (docs/SHARDING.md):
+
+- :func:`generate_keyed_requests` draws every attribute of request *k*
+  from its own :func:`~repro.rng.derive_seed`-keyed stream, so the
+  request is a pure function of ``(seed, k)`` — any subset of the stream
+  (e.g. the requests a spatial shard sees) is independent of how the rest
+  of the stream is consumed;
+- :func:`generate_clustered_requests` places keyed requests in tight
+  clusters around given centers — the spatially partitionable workload
+  the shard-stability regression tests drive.
 """
 
 from __future__ import annotations
@@ -21,16 +32,23 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core import Device
 from ..energy import uniform_demands
 from ..errors import ConfigurationError
-from ..geometry import Field, uniform_deployment
-from ..rng import RandomState, ensure_rng
+from ..geometry import Field, Point, uniform_deployment
+from ..rng import RandomState, derive_seed, ensure_rng
 from .request import ChargingRequest
 
-__all__ = ["PROFILES", "generate_requests", "write_trace", "read_trace"]
+__all__ = [
+    "PROFILES",
+    "generate_requests",
+    "generate_keyed_requests",
+    "generate_clustered_requests",
+    "write_trace",
+    "read_trace",
+]
 
 #: Supported arrival profiles, in CLI/help order.
 PROFILES = ("poisson", "burst", "diurnal")
@@ -127,6 +145,153 @@ def generate_requests(
                 submitted_at=float(t),
                 deadline=deadline,
                 max_price=max_price,
+            )
+        )
+    return requests
+
+
+def _keyed_request(
+    k: int,
+    seed: int,
+    t: float,
+    position: Point,
+    demand_low: float,
+    demand_high: float,
+    moving_rate: float,
+    deadline_slack: Optional[float],
+    max_price_factor: Optional[float],
+) -> ChargingRequest:
+    """Build request *k* from its own ``derive_seed(seed, "request", k)`` stream."""
+    gen = ensure_rng(derive_seed(seed, "request", k))
+    demand = float(gen.uniform(demand_low, demand_high))
+    deadline = None
+    if deadline_slack is not None:
+        deadline = float(t) + deadline_slack * float(gen.uniform(0.75, 1.25))
+    max_price = None
+    if max_price_factor is not None:
+        max_price = max_price_factor * demand ** 0.8
+    return ChargingRequest(
+        request_id=f"r{k:06d}",
+        device=Device(
+            device_id=f"d{k:06d}",
+            position=position,
+            demand=demand,
+            moving_rate=moving_rate,
+        ),
+        submitted_at=float(t),
+        deadline=deadline,
+        max_price=max_price,
+    )
+
+
+def _keyed_arrival_times(n: int, rate: float, seed: int) -> List[float]:
+    """Poisson arrivals whose *k*-th gap comes from its own keyed stream.
+
+    ``t_k`` is a pure function of ``(seed, k)`` — a deterministic sum of
+    per-index gaps — so extending the stream never moves earlier arrivals.
+    """
+    times: List[float] = []
+    t = 0.0
+    for k in range(n):
+        gap_rng = ensure_rng(derive_seed(seed, "arrival", k))
+        t += float(gap_rng.exponential(1.0 / rate))
+        times.append(t)
+    return times
+
+
+def generate_keyed_requests(
+    n: int,
+    rate: float,
+    seed: int,
+    field: Optional[Field] = None,
+    demand_low: float = 10e3,
+    demand_high: float = 40e3,
+    moving_rate: float = 0.05,
+    deadline_slack: Optional[float] = None,
+    max_price_factor: Optional[float] = None,
+) -> List[ChargingRequest]:
+    """Generate *n* Poisson requests with per-request keyed randomness.
+
+    Unlike :func:`generate_requests`, which draws every attribute from one
+    shared stream (so consuming the stream differently changes everything
+    downstream), request *k* here is a pure function of ``(seed, k)``:
+    its gap comes from ``derive_seed(seed, "arrival", k)`` and its
+    position/demand/deadline from ``derive_seed(seed, "request", k)``.
+    Any subset of the stream — e.g. the requests one spatial shard sees —
+    is therefore independent of how the rest is generated or consumed,
+    which is what the shard-count stability tests rely on.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be nonnegative, got {n}")
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+    field = field if field is not None else Field(100.0, 100.0)
+    times = _keyed_arrival_times(n, rate, seed)
+    requests: List[ChargingRequest] = []
+    for k, t in enumerate(times):
+        pos_rng = ensure_rng(derive_seed(seed, "position", k))
+        position = Point(
+            float(pos_rng.uniform(0.0, field.width)),
+            float(pos_rng.uniform(0.0, field.height)),
+        )
+        requests.append(
+            _keyed_request(
+                k, seed, t, position, demand_low, demand_high,
+                moving_rate, deadline_slack, max_price_factor,
+            )
+        )
+    return requests
+
+
+def generate_clustered_requests(
+    n: int,
+    rate: float,
+    seed: int,
+    centers: Sequence[Union[Point, Tuple[float, float]]],
+    radius: float = 10.0,
+    field: Optional[Field] = None,
+    demand_low: float = 10e3,
+    demand_high: float = 40e3,
+    moving_rate: float = 0.05,
+    deadline_slack: Optional[float] = None,
+    max_price_factor: Optional[float] = None,
+) -> List[ChargingRequest]:
+    """Keyed requests clustered tightly around *centers*.
+
+    Request *k* belongs to cluster ``k % len(centers)`` and lands uniformly
+    in the disc of *radius* around that center (clamped to *field*), with
+    all other attributes drawn exactly as :func:`generate_keyed_requests`
+    does.  Because both the cluster assignment and the in-disc jitter are
+    pure functions of ``(seed, k, centers)``, the workload decomposes
+    cleanly under any spatial partition whose cells contain whole clusters
+    — the shape the 2→4 shard-stability regression test needs.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be nonnegative, got {n}")
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+    if not centers:
+        raise ConfigurationError("clustered workload needs at least one center")
+    if radius <= 0:
+        raise ConfigurationError(f"cluster radius must be positive, got {radius}")
+    field = field if field is not None else Field(100.0, 100.0)
+    points = [c if isinstance(c, Point) else Point(float(c[0]), float(c[1])) for c in centers]
+    times = _keyed_arrival_times(n, rate, seed)
+    requests: List[ChargingRequest] = []
+    for k, t in enumerate(times):
+        center = points[k % len(points)]
+        pos_rng = ensure_rng(derive_seed(seed, "position", k))
+        # Uniform over the disc: radius ~ sqrt(u), angle ~ uniform.
+        r = radius * math.sqrt(float(pos_rng.uniform()))
+        theta = float(pos_rng.uniform(0.0, 2.0 * math.pi))
+        position = Point(
+            min(max(center.x + r * math.cos(theta), 0.0), field.width),
+            min(max(center.y + r * math.sin(theta), 0.0), field.height),
+        )
+        requests.append(
+            _keyed_request(
+                k, seed, t, position, demand_low, demand_high,
+                moving_rate, deadline_slack, max_price_factor,
             )
         )
     return requests

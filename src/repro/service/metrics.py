@@ -13,9 +13,9 @@ JSON-dumped) — the one format shared by tests, the CLI report, and the
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "merge_snapshots"]
 
 
 class Counter:
@@ -139,3 +139,64 @@ class Metrics:
             "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
             "histograms": {k: h.snapshot() for k, h in sorted(self._histograms.items())},
         }
+
+    @staticmethod
+    def merge(labeled: Mapping[str, "Metrics"]) -> Dict[str, Any]:
+        """Merge several registries into one aggregate snapshot.
+
+        ``labeled`` maps a source label (e.g. ``"shard-0000"``) to its
+        registry; see :func:`merge_snapshots` for the merge rules.
+        """
+        return merge_snapshots({label: m.snapshot() for label, m in labeled.items()})
+
+
+def merge_snapshots(labeled: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-source :meth:`Metrics.snapshot` dicts into one aggregate.
+
+    The merge rules (the sharded-service aggregation contract):
+
+    - **counters** sum across sources — event totals add;
+    - **gauges** stay per-source, re-keyed as ``{name: {label: value}}`` —
+      a point-in-time level (queue depth, logical clock) has no meaningful
+      sum across independent kernels;
+    - **histograms** add bucket-wise — sources must bin identically, so
+      mismatched bucket bounds raise :class:`ValueError` instead of
+      silently mis-merging.
+
+    Sources are combined in ``labeled``'s iteration order (pass shard
+    order), so float accumulation (histogram ``sum``) is deterministic.
+    Merging a single source returns its counters and histograms unchanged,
+    with only the gauges re-keyed by label.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for label, snap in labeled.items():
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges.setdefault(name, {})[label] = value
+        for name, hist in snap.get("histograms", {}).items():
+            if name not in histograms:
+                histograms[name] = {
+                    "buckets": dict(hist["buckets"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                }
+                continue
+            merged = histograms[name]
+            if list(merged["buckets"]) != list(hist["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r}: source {label!r} bins "
+                    f"{list(hist['buckets'])} != {list(merged['buckets'])}; "
+                    "fixed-bucket histograms only merge bucket-wise"
+                )
+            for bucket, count in hist["buckets"].items():
+                merged["buckets"][bucket] += count
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: dict(gauges[k]) for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }

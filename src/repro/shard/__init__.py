@@ -1,0 +1,50 @@
+"""repro.shard — the sharded multi-kernel charging service.
+
+A single :class:`~repro.service.kernel.ChargingService` kernel is a
+single-process ceiling (``BENCH_service.json``); this package scales the
+service *out* by spatial decomposition, the same structure the
+multi-charger literature gives the field: N fully independent kernels —
+each with its own journal, logical clock, incremental planner, and
+metrics — behind a deterministic spatial router.
+
+Layout:
+
+- :mod:`.partition` — :class:`GridPartition`: the field cut into one
+  cell per shard (row-major, with a configurable overlap *halo*);
+- :mod:`.router` — :class:`SpatialRouter`: interior devices go to their
+  owner cell untouched, border devices are quoted against each candidate
+  shard and admitted to the cheapest (ties → lower shard id); routing is
+  a pure function of the inputs, so replay is byte-identical;
+- :mod:`.service` — :class:`ShardedService`: the kernel-compatible
+  facade (submit/advance/drain/faults), per-shard journals + manifest,
+  merged metrics and schedules, whole-service and per-shard recovery;
+- :mod:`.tasks` — timeline partitioning and per-shard replay tasks over
+  the PR 2 executor (serial == parallel, byte-identical);
+- :mod:`.driver` — :func:`drive_sharded`: chaos driving with
+  ``shard_kill`` fault events (kill + recover one shard, others keep
+  serving).
+
+Degenerate-case guarantee: ``n_shards=1`` is byte-identical — journal,
+metrics snapshot, final schedule — to the unsharded service on every
+input stream.  See ``docs/SHARDING.md``.
+"""
+
+from .driver import drive_sharded, sharded_timeline
+from .partition import GridPartition, grid_shape
+from .router import SpatialRouter
+from .service import ShardedService, merge_final_schedules, shard_journal_name
+from .tasks import SHARD_REPLAY_KIND, partition_timeline, replay_sharded
+
+__all__ = [
+    "GridPartition",
+    "grid_shape",
+    "SpatialRouter",
+    "ShardedService",
+    "merge_final_schedules",
+    "shard_journal_name",
+    "SHARD_REPLAY_KIND",
+    "partition_timeline",
+    "replay_sharded",
+    "drive_sharded",
+    "sharded_timeline",
+]

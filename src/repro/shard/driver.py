@@ -1,0 +1,106 @@
+"""Chaos driving for the sharded service: shard kills as fault events.
+
+:func:`drive_sharded` generalizes :func:`repro.faults.driver.drive` to a
+:class:`~repro.shard.service.ShardedService`, consuming the plan's
+``shard_kill`` events alongside the kernel faults.  A shard kill is
+*not* a kernel input — it never touches any journal — so its only effect
+is positional: the killed shard had processed exactly the timeline
+prefix before the kill, is recovered from its journal on the spot
+(:meth:`~repro.shard.service.ShardedService.kill_and_recover_shard`),
+and the rest of the timeline continues.  The other shards never notice.
+
+A **clean** kill needs nothing more: recovery replays the full journal,
+so the kernel resumes in exactly its pre-kill state.  A **torn** kill
+(``mode="torn"``) first rips bytes off the journal tail — the recovered
+kernel restarts from the longest valid prefix, and the driver re-feeds
+the already-processed timeline through the facade: every kernel input is
+idempotent, so the re-feed no-ops through all surviving state (on every
+shard) and regenerates exactly the lost records.  Either way the run
+converges byte-identical to a fault-free run of the same timeline — the
+acceptance property the chaos tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..faults.driver import apply_event, merge_timeline
+from ..faults.plan import FaultPlan
+from ..service.request import ChargingRequest
+from .service import ShardedService
+
+__all__ = ["drive_sharded", "sharded_timeline"]
+
+#: ``("submit"|"fault"|"shard_kill", t, payload)``.
+ShardTimelineItem = Tuple[str, float, Any]
+
+
+def sharded_timeline(
+    requests: Sequence[ChargingRequest], plan: FaultPlan
+) -> List[ShardTimelineItem]:
+    """The kernel timeline with ``shard_kill`` events woven in.
+
+    Kills sort by time with priority 2 — at equal times submissions come
+    first, then kernel faults, then kills — so the killed shard has
+    processed every same-instant input before dying.  Total and
+    deterministic, like :func:`~repro.faults.driver.merge_timeline`.
+    """
+    keyed: List[Tuple[Tuple[float, int, str, str], ShardTimelineItem]] = []
+    for item in merge_timeline(requests, plan):
+        tag, t, payload = item
+        if tag == "submit":
+            key = (t, 0, "submit", payload.request_id)
+        else:
+            key = (t, 1, payload.kind, payload.target)
+        keyed.append((key, item))
+    for event in plan.shard_kills():
+        key = (float(event.t), 2, event.kind, event.target)
+        keyed.append((key, ("shard_kill", float(event.t), event)))
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for _key, item in keyed]
+
+
+def drive_sharded(
+    service: ShardedService,
+    requests: Sequence[ChargingRequest],
+    plan: Optional[FaultPlan] = None,
+    drain: bool = True,
+    advance_to: Optional[float] = None,
+) -> Tuple[ShardedService, Dict[str, Any]]:
+    """Feed requests + faults + shard kills through the facade.
+
+    Returns ``(service, stats)`` with the kill/recovery tally.  Kills
+    targeting shards that own no chargers (no kernel to kill) are
+    counted as skipped — the partition decides which shards exist, not
+    the plan.
+    """
+    timeline = sharded_timeline(
+        requests, plan if plan is not None else FaultPlan()
+    )
+    stats: Dict[str, Any] = {"kills": 0, "torn_kills": 0, "skipped_kills": 0}
+    processed: List[ShardTimelineItem] = []
+    for item in timeline:
+        tag, _t, payload = item
+        if tag == "shard_kill":
+            sid = int(payload.target)
+            if sid not in service.kernels:
+                stats["skipped_kills"] += 1
+                continue
+            torn = payload.mode == "torn"
+            service.kill_and_recover_shard(sid, torn=torn)
+            stats["kills"] += 1
+            if torn:
+                stats["torn_kills"] += 1
+                # The tail loss may have eaten journaled inputs; re-feed
+                # the whole processed prefix — idempotent everywhere, it
+                # regenerates exactly the lost records on the torn shard.
+                for prev in processed:
+                    apply_event(service, prev)  # type: ignore[arg-type]
+            continue
+        apply_event(service, item)  # type: ignore[arg-type]
+        processed.append(item)
+    if advance_to is not None:
+        service.advance(advance_to)
+    if drain:
+        service.drain()
+    return service, stats

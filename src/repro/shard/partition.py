@@ -1,0 +1,134 @@
+"""Spatial grid partitioning of the field into shard cells.
+
+A :class:`GridPartition` cuts the rectangular field into ``rows x cols``
+cells, one per shard, with ``rows`` the largest divisor of ``n_shards``
+not exceeding ``floor(sqrt(n_shards))`` — so the cell count equals the
+shard count exactly, and doubling a square count *refines* the previous
+grid (2 shards → 1x2, 4 shards → 2x2: every 4-grid cell nests inside a
+2-grid cell).  Shard ids are row-major, so they are a pure function of
+``(field, n_shards)``.
+
+Each cell can be expanded by a configurable **halo**: a device within
+*halo* meters of a neighboring cell is a *border* device and lists that
+neighbor among its candidate shards.  :meth:`GridPartition.candidate_shards`
+returns the (sorted) shards whose halo-expanded cell contains a point —
+exactly one for an interior device, 2–4 for a border/corner one — which
+is the router's admission domain (see :mod:`repro.shard.router`).
+
+Chargers are *owned*, never shared: :meth:`assign_chargers` places each
+charger in the single cell containing it (no halo), because a charger's
+live coalition state must have exactly one authoritative kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..geometry import Field, Point
+from ..wpt import Charger
+
+__all__ = ["GridPartition", "grid_shape"]
+
+
+def grid_shape(n_shards: int) -> Tuple[int, int]:
+    """``(rows, cols)`` for *n_shards* cells: rows is the largest divisor
+    of ``n_shards`` at most ``floor(sqrt(n_shards))``.
+
+    Guarantees ``rows * cols == n_shards`` (every shard owns exactly one
+    cell) and, for square counts, that each power-of-four step refines
+    the previous grid.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    rows = 1
+    for d in range(1, int(math.isqrt(n_shards)) + 1):
+        if n_shards % d == 0:
+            rows = d
+    return rows, n_shards // rows
+
+
+class GridPartition:
+    """A row-major grid of ``n_shards`` cells over *field*, with a halo."""
+
+    def __init__(self, field: Field, n_shards: int, halo: float = 0.0):
+        if not (math.isfinite(halo) and halo >= 0.0):
+            raise ConfigurationError(
+                f"halo must be finite and nonnegative, got {halo}"
+            )
+        self.field = field
+        self.n_shards = int(n_shards)
+        self.halo = float(halo)
+        self.rows, self.cols = grid_shape(self.n_shards)
+        self._cell_w = field.width / self.cols
+        self._cell_h = field.height / self.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridPartition({self.rows}x{self.cols} over "
+            f"{self.field.width:g}x{self.field.height:g}, halo={self.halo:g})"
+        )
+
+    def bounds(self, shard: int) -> Tuple[float, float, float, float]:
+        """``(x0, y0, x1, y1)`` of shard *shard*'s cell (halo excluded)."""
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard id must be in [0, {self.n_shards}), got {shard}"
+            )
+        r, c = divmod(shard, self.cols)
+        return (
+            c * self._cell_w,
+            r * self._cell_h,
+            (c + 1) * self._cell_w,
+            (r + 1) * self._cell_h,
+        )
+
+    def cell_of(self, point: Point) -> int:
+        """The shard *owning* a point (its cell, no halo).
+
+        Points on a shared edge belong to the higher cell (``x / w``
+        floors into it), and points outside the field clamp to the
+        nearest cell — the partition must place everything somewhere.
+        """
+        c = min(max(int(point.x / self._cell_w), 0), self.cols - 1)
+        r = min(max(int(point.y / self._cell_h), 0), self.rows - 1)
+        return r * self.cols + c
+
+    def candidate_shards(self, point: Point) -> List[int]:
+        """Sorted shards whose halo-expanded cell contains *point*.
+
+        Always includes :meth:`cell_of`; a device farther than *halo*
+        from every cell edge gets exactly one candidate (interior), one
+        near an edge gets 2, near a corner up to 4.
+        """
+        out: List[int] = []
+        for shard in range(self.n_shards):
+            x0, y0, x1, y1 = self.bounds(shard)
+            if (
+                x0 - self.halo <= point.x <= x1 + self.halo
+                and y0 - self.halo <= point.y <= y1 + self.halo
+            ):
+                out.append(shard)
+        if not out:  # point outside the field, beyond every halo
+            out.append(self.cell_of(point))
+        return out
+
+    def is_interior(self, point: Point) -> bool:
+        """True when *point* has a single candidate shard."""
+        return len(self.candidate_shards(point)) == 1
+
+    def assign_chargers(
+        self, chargers: Sequence[Charger]
+    ) -> Dict[int, List[Charger]]:
+        """``{shard id: chargers owned}`` — by owner cell, halo ignored.
+
+        Input order is preserved within each shard, so a shard's kernel
+        sees its chargers in the same relative order the unsharded
+        service would — charger-index tie-breaks inside a shard stay
+        consistent.  Every shard id appears, possibly with an empty list.
+        """
+        owned: Dict[int, List[Charger]] = {s: [] for s in range(self.n_shards)}
+        for charger in chargers:
+            owned[self.cell_of(charger.position)].append(charger)
+        return owned

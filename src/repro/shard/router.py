@@ -1,0 +1,113 @@
+"""Deterministic spatial routing of requests to shard kernels.
+
+The router decides, for each submission, which shard's
+:class:`~repro.service.kernel.ChargingService` kernel serves it:
+
+- an **interior** device (one candidate shard, see
+  :meth:`~repro.shard.partition.GridPartition.candidate_shards`) goes to
+  its owner shard with *no quoting at all* — its route depends only on
+  the partition, never on charger availability or what other requests
+  exist, which is what keeps interior outcomes stable when the shard
+  count changes (the 2→4 regression test);
+- a **border** device is quoted against each candidate shard's planner
+  (:meth:`~repro.service.plan.IncrementalPlanner.quote` — the best
+  *available* singleton, a pure function of the device and the shard's
+  charger availability) and admitted to the cheapest, ties broken toward
+  the lower shard id.
+
+Routing is therefore a pure function of ``(request, partition, per-shard
+charger availability)`` plus the *sticky assignment*: once a request id
+is routed, every later event for it (cancel, idempotent re-submit after
+a recovery re-feed) goes to the same shard, recorded in
+:attr:`SpatialRouter.assignment` and rebuilt from the shard journals on
+recovery.  Byte-identical replay follows: feed the same inputs in the
+same order and every route decision recurs exactly.
+
+The router quotes through each shard's ``planner`` — any object with
+``quote(device) -> (cost, charger_index)`` raising
+:class:`~repro.errors.ServiceError` when no charger is available.  The
+live facade passes its kernels' planners (so availability stays in one
+place); the offline timeline partitioner passes standalone
+:class:`~repro.service.plan.IncrementalPlanner` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import ServiceError
+from ..service.request import ChargingRequest
+from .partition import GridPartition
+
+__all__ = ["SpatialRouter"]
+
+
+class SpatialRouter:
+    """Route requests over a :class:`GridPartition` (module docstring)."""
+
+    def __init__(
+        self,
+        partition: GridPartition,
+        planners: Mapping[int, object],
+    ):
+        """*planners* maps shard id → quoting planner; only shards that
+        own at least one charger appear (an empty shard cannot serve)."""
+        if not planners:
+            raise ServiceError("a router needs at least one non-empty shard")
+        self.partition = partition
+        self.planners: Dict[int, object] = dict(planners)
+        #: Sticky request → shard map (the routing history).
+        self.assignment: Dict[str, int] = {}
+
+    def shards(self) -> List[int]:
+        """Sorted ids of the routable (charger-owning) shards."""
+        return sorted(self.planners)
+
+    def candidates(self, request: ChargingRequest) -> List[int]:
+        """Routable candidate shards for *request*, sorted.
+
+        The partition's candidates filtered to shards that own chargers;
+        when none of them do (the device's whole neighborhood is empty
+        cells), every routable shard is a candidate — the unsharded
+        service would consider the whole field too.
+        """
+        cands = [
+            s
+            for s in self.partition.candidate_shards(request.device.position)
+            if s in self.planners
+        ]
+        return cands if cands else self.shards()
+
+    def route(self, request: ChargingRequest) -> int:
+        """The shard serving *request*; records the sticky assignment.
+
+        A border device is admitted to the candidate with the cheapest
+        quote (ties → lower shard id).  Candidates whose every charger is
+        down cannot quote and are skipped; if *no* candidate can quote,
+        the request routes to the lowest candidate so that kernel rejects
+        it with ``charger_failed`` — the same terminal answer the
+        unsharded service gives when nothing can quote.
+        """
+        known = self.assignment.get(request.request_id)
+        if known is not None:
+            return known
+        cands = self.candidates(request)
+        if len(cands) == 1:
+            sid = cands[0]
+        else:
+            best: Optional[tuple] = None
+            for s in cands:
+                try:
+                    quote, _ = self.planners[s].quote(request.device)  # type: ignore[attr-defined]
+                except ServiceError:
+                    continue
+                key = (float(quote), s)
+                if best is None or key < best:
+                    best = key
+            sid = best[1] if best is not None else cands[0]
+        self.assignment[request.request_id] = sid
+        return sid
+
+    def shard_of(self, request_id: str) -> Optional[int]:
+        """Where *request_id* was routed, or ``None`` if never seen."""
+        return self.assignment.get(request_id)

@@ -1,0 +1,429 @@
+"""The sharded charging service: N independent kernels, one facade.
+
+:class:`ShardedService` runs one full
+:class:`~repro.service.kernel.ChargingService` kernel — its own journal,
+logical clock, incremental planner, and metrics registry — per
+charger-owning cell of a :class:`~repro.shard.partition.GridPartition`,
+behind a :class:`~repro.shard.router.SpatialRouter`.  The facade exposes
+the same ``submit`` / ``advance`` / ``drain`` / fault-input API as the
+single kernel, so drivers, load generators, and the chaos harness run
+unchanged against it.
+
+Degenerate-case guarantee (asserted byte-for-byte by the test suite):
+with ``n_shards=1`` the lone kernel receives the same chargers in the
+same order and the same input stream as an unsharded ``ChargingService``
+would, so its journal bytes, metrics snapshot, and final schedule are
+*identical* — sharding at 1 is the unsharded service.
+
+Durability: each shard journals independently under ``journal_dir``
+(``shard-0000.jsonl``, …) next to a ``manifest.json`` recording the
+partition, and :meth:`ShardedService.recover` rebuilds every kernel from
+its own journal — including the router's sticky request→shard assignment,
+recovered from the ``submit`` records each journal holds.  Killing and
+recovering a *single* shard (:meth:`kill_and_recover_shard`) leaves the
+other kernels untouched; see :mod:`repro.shard.driver` for the chaos loop
+that exercises it.
+
+Semantics that genuinely relax under ``n_shards > 1`` (documented in
+docs/SHARDING.md): border devices are only quoted against their candidate
+shards' chargers rather than the whole field, and the duplicate-device
+admission check applies per shard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.costsharing import CostSharingScheme
+from ..errors import ConfigurationError, ServiceError
+from ..geometry import Field
+from ..mobility import MobilityModel
+from ..service.kernel import ChargingService, ServiceConfig
+from ..service.metrics import merge_snapshots
+from ..service.request import ChargingRequest
+from ..wpt import Charger
+from .partition import GridPartition
+from .router import SpatialRouter
+
+__all__ = ["ShardedService", "merge_final_schedules", "shard_journal_name"]
+
+#: Manifest format version; bump on layout changes.
+MANIFEST_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_journal_name(shard: int) -> str:
+    """Journal file name of shard *shard* inside the journal directory."""
+    return f"shard-{shard:04d}.jsonl"
+
+
+def merge_final_schedules(
+    per_shard: Mapping[int, List[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Merge per-shard session logs into one deterministic schedule.
+
+    Each session gains a ``"shard"`` key (per-shard ``seq`` values
+    collide across shards) and the merge sorts by ``(departed, shard,
+    seq)`` — a total order, so the result is byte-stable however the
+    shards were driven.
+    """
+    merged: List[Dict[str, Any]] = []
+    for sid in sorted(per_shard):
+        for session in per_shard[sid]:
+            doc = dict(session)
+            doc["shard"] = sid
+            merged.append(doc)
+    merged.sort(key=lambda s: (s["departed"], s["shard"], s["seq"]))
+    return merged
+
+
+def _field_for(chargers: Sequence[Charger], field: Optional[Field]) -> Field:
+    """Default the partition field to a square covering every charger."""
+    if field is not None:
+        return field
+    side = max(
+        [1.0]
+        + [max(c.position.x, c.position.y) for c in chargers]
+    )
+    return Field.square(side)
+
+
+class ShardedService:
+    """N charging-service kernels behind a deterministic spatial router."""
+
+    def __init__(
+        self,
+        chargers: Sequence[Charger],
+        n_shards: int,
+        field: Optional[Field] = None,
+        halo: float = 0.0,
+        mobility: Optional[MobilityModel] = None,
+        scheme: Optional[CostSharingScheme] = None,
+        config: Optional[ServiceConfig] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        journal_sync: bool = True,
+        _recovered: Optional[Dict[int, ChargingService]] = None,
+    ):
+        """Partition *field* (default: a square covering the chargers)
+        into *n_shards* cells and start one kernel per charger-owning
+        cell.  ``journal_dir``, when given, holds one journal per shard
+        plus a partition manifest; ``None`` runs journal-less (benchmarks).
+        """
+        if not chargers:
+            raise ConfigurationError("a sharded service needs at least one charger")
+        self.n_shards = int(n_shards)
+        self.field = _field_for(chargers, field)
+        self.partition = GridPartition(self.field, self.n_shards, halo=halo)
+        self.mobility = mobility
+        self.scheme = scheme
+        self.config = config
+        self.journal_sync = bool(journal_sync)
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.shard_chargers: Dict[int, List[Charger]] = (
+            self.partition.assign_chargers(chargers)
+        )
+        self._owner: Dict[str, int] = {}
+        for sid, owned in self.shard_chargers.items():
+            for c in owned:
+                self._owner[c.charger_id] = sid
+        if _recovered is not None:
+            self.kernels: Dict[int, ChargingService] = dict(_recovered)
+        else:
+            if self.journal_dir is not None:
+                self.journal_dir.mkdir(parents=True, exist_ok=True)
+                self._write_manifest()
+            self.kernels = {}
+            for sid in sorted(self.shard_chargers):
+                owned = self.shard_chargers[sid]
+                if not owned:
+                    continue
+                path = (
+                    self.journal_dir / shard_journal_name(sid)
+                    if self.journal_dir is not None
+                    else None
+                )
+                self.kernels[sid] = ChargingService(
+                    owned,
+                    mobility=mobility,
+                    scheme=scheme,
+                    config=config,
+                    journal_path=path,
+                    journal_sync=journal_sync,
+                )
+        if not self.kernels:
+            raise ConfigurationError(
+                "no shard owns a charger — empty partition cannot serve"
+            )
+        self.router = SpatialRouter(
+            self.partition,
+            {sid: kernel.planner for sid, kernel in self.kernels.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # manifest
+
+    def _manifest_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "n_shards": self.n_shards,
+            "halo": float(self.partition.halo),
+            "field": {
+                "width": float(self.field.width),
+                "height": float(self.field.height),
+            },
+            "shards": {
+                str(sid): [c.charger_id for c in owned]
+                for sid, owned in self.shard_chargers.items()
+            },
+        }
+
+    def _write_manifest(self) -> None:
+        assert self.journal_dir is not None
+        path = self.journal_dir / MANIFEST_NAME
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self._manifest_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # ------------------------------------------------------------------ #
+    # the kernel-compatible input API
+
+    def submit(self, request: ChargingRequest) -> str:
+        """Route and submit one request; returns its resulting state.
+
+        Idempotent like the kernel's ``submit``: a known request id
+        re-routes to its sticky shard, whose kernel no-ops.
+        """
+        sid = self.router.route(request)
+        return self.kernels[sid].submit(request)
+
+    def advance(self, to: float) -> None:
+        """Advance every shard's logical clock to *to*, in shard order."""
+        for sid in sorted(self.kernels):
+            self.kernels[sid].advance(to)
+
+    def drain(self) -> None:
+        """Drain every shard (fold, depart, complete), in shard order."""
+        for sid in sorted(self.kernels):
+            self.kernels[sid].drain()
+
+    def fail_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
+        """Charger outage, delivered to the owning shard's kernel."""
+        return self.kernels[self._owner_of(charger_id)].fail_charger(
+            charger_id, at=at
+        )
+
+    def restore_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
+        """Charger recovery, delivered to the owning shard's kernel."""
+        return self.kernels[self._owner_of(charger_id)].restore_charger(
+            charger_id, at=at
+        )
+
+    def cancel(
+        self,
+        request_id: str,
+        at: Optional[float] = None,
+        reason: str = "cancelled",
+    ) -> Optional[str]:
+        """Cancel *request_id* wherever it was routed (``None`` if unknown)."""
+        sid = self.router.shard_of(request_id)
+        if sid is None:
+            return None
+        return self.kernels[sid].cancel(request_id, at=at, reason=reason)
+
+    def _owner_of(self, charger_id: str) -> int:
+        try:
+            return self._owner[charger_id]
+        except KeyError:
+            raise ServiceError(f"unknown charger {charger_id!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # introspection (kernel-compatible)
+
+    def request_state(self, request_id: str) -> str:
+        """Lifecycle state of *request_id* (KeyError when never routed)."""
+        sid = self.router.shard_of(request_id)
+        if sid is None:
+            raise KeyError(request_id)
+        return self.kernels[sid].request_state(request_id)
+
+    def counts(self) -> Dict[str, int]:
+        """Requests per lifecycle state, summed across shards."""
+        total: Dict[str, int] = {}
+        for sid in sorted(self.kernels):
+            for state, n in self.kernels[sid].counts().items():
+                total[state] = total.get(state, 0) + n
+        return total
+
+    def final_schedule(self) -> List[Dict[str, Any]]:
+        """Departed sessions across all shards, in departure order.
+
+        With one shard this is exactly the kernel's schedule (the
+        byte-identity contract).  With several, sessions carry an extra
+        ``"shard"`` key (per-shard ``seq`` values collide) and merge
+        sorted by ``(departed, shard, seq)`` — a total, deterministic
+        order.
+        """
+        if self.n_shards == 1:
+            (kernel,) = self.kernels.values()
+            return kernel.final_schedule()
+        return merge_final_schedules(
+            {sid: kernel.final_schedule() for sid, kernel in self.kernels.items()}
+        )
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Aggregated metrics: the lone kernel's snapshot at one shard
+        (byte-identity), the :func:`~repro.service.metrics.merge_snapshots`
+        merge — counters summed, gauges keyed ``shard-NNNN``, histograms
+        added bucket-wise — otherwise.
+        """
+        if self.n_shards == 1:
+            (kernel,) = self.kernels.values()
+            return kernel.metrics_snapshot()
+        return merge_snapshots(
+            {
+                f"shard-{sid:04d}": self.kernels[sid].metrics_snapshot()
+                for sid in sorted(self.kernels)
+            }
+        )
+
+    def close(self) -> None:
+        """Close every shard journal (idempotent)."""
+        for kernel in self.kernels.values():
+            if kernel.journal is not None:
+                kernel.journal.close()
+
+    # ------------------------------------------------------------------ #
+    # durability
+
+    def kill_and_recover_shard(self, shard: int, torn: bool = False) -> ChargingService:
+        """Kill shard *shard*'s kernel and rebuild it from its journal.
+
+        The in-memory kernel is abandoned (its journal closed) and
+        :meth:`ChargingService.recover` replays the journal into a fresh
+        kernel — the other shards are never touched.  ``torn=True`` first
+        damages the journal's tail (the last bytes of the final record),
+        simulating a mid-append ``kill -9``: recovery then restarts from
+        the longest valid prefix, and the caller must re-feed the input
+        stream (idempotent) to converge — exactly the
+        :func:`repro.faults.driver.drive_with_recovery` discipline, per
+        shard.  Returns the recovered kernel.
+        """
+        if self.journal_dir is None:
+            raise ServiceError("cannot recover a journal-less shard")
+        try:
+            kernel = self.kernels[shard]
+        except KeyError:
+            raise ServiceError(f"no kernel for shard {shard}") from None
+        assert kernel.journal is not None
+        path = Path(kernel.journal.path)
+        kernel.journal.close()
+        del self.kernels[shard]
+        if torn:
+            _tear_tail(path)
+        recovered = ChargingService.recover(
+            path,
+            self.shard_chargers[shard],
+            mobility=self.mobility,
+            scheme=self.scheme,
+            config=self.config,
+            journal_sync=self.journal_sync,
+        )
+        self.kernels[shard] = recovered
+        self.router.planners[shard] = recovered.planner
+        return recovered
+
+    @classmethod
+    def recover(
+        cls,
+        journal_dir: Union[str, Path],
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel] = None,
+        scheme: Optional[CostSharingScheme] = None,
+        config: Optional[ServiceConfig] = None,
+        journal_sync: bool = True,
+    ) -> "ShardedService":
+        """Rebuild a killed sharded service from its journal directory.
+
+        Reads the manifest for the partition shape, recovers every shard
+        kernel from its own journal (each replay is the single-kernel
+        :meth:`ChargingService.recover`), and rebuilds the router's
+        sticky assignment from the ``submit`` records in each journal.
+        Construction arguments are code, not data — pass the same
+        chargers/config the dead service ran with; the manifest and each
+        journal's ``open`` header are checked against them.
+        """
+        journal_dir = Path(journal_dir)
+        with open(journal_dir / MANIFEST_NAME, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise ServiceError(
+                f"unsupported shard manifest schema {manifest.get('schema')!r}"
+            )
+        field = Field(manifest["field"]["width"], manifest["field"]["height"])
+        service = cls(
+            chargers,
+            n_shards=int(manifest["n_shards"]),
+            field=field,
+            halo=float(manifest["halo"]),
+            mobility=mobility,
+            scheme=scheme,
+            config=config,
+            journal_sync=journal_sync,
+            journal_dir=journal_dir,
+            _recovered=cls._recover_kernels(
+                journal_dir, manifest, chargers, mobility, scheme, config,
+                journal_sync,
+            ),
+        )
+        for sid in sorted(service.kernels):
+            for rid in service.kernels[sid].requests:
+                service.router.assignment[rid] = sid
+        return service
+
+    @staticmethod
+    def _recover_kernels(
+        journal_dir: Path,
+        manifest: Dict[str, Any],
+        chargers: Sequence[Charger],
+        mobility: Optional[MobilityModel],
+        scheme: Optional[CostSharingScheme],
+        config: Optional[ServiceConfig],
+        journal_sync: bool,
+    ) -> Dict[int, ChargingService]:
+        by_id = {c.charger_id: c for c in chargers}
+        kernels: Dict[int, ChargingService] = {}
+        for sid_str in sorted(manifest["shards"], key=int):
+            ids = manifest["shards"][sid_str]
+            if not ids:
+                continue
+            missing = [cid for cid in ids if cid not in by_id]
+            if missing:
+                raise ServiceError(
+                    f"manifest shard {sid_str} names unknown chargers {missing}"
+                )
+            sid = int(sid_str)
+            kernels[sid] = ChargingService.recover(
+                journal_dir / shard_journal_name(sid),
+                [by_id[cid] for cid in ids],
+                mobility=mobility,
+                scheme=scheme,
+                config=config,
+                journal_sync=journal_sync,
+            )
+        return kernels
+
+
+def _tear_tail(path: Path, nbytes: int = 10) -> None:
+    """Chop *nbytes* off the journal file, tearing its final record.
+
+    Never removes the whole file: at least one byte survives, and a file
+    shorter than *nbytes* loses all but its first byte — the torn-tail
+    shape :meth:`Journal.read_records` is built to survive.
+    """
+    size = path.stat().st_size
+    keep = max(1, size - int(nbytes))
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)

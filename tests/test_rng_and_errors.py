@@ -13,7 +13,7 @@ from repro.errors import (
     ScheduleValidationError,
     SimulationError,
 )
-from repro.rng import ensure_rng, spawn
+from repro.rng import derive_seed, ensure_rng, spawn
 
 
 class TestEnsureRng:
@@ -49,6 +49,38 @@ class TestSpawn:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             spawn(ensure_rng(0), -1)
+
+
+class TestDeriveSeed:
+    def test_integer_paths_unchanged(self):
+        # The historical integer form must keep its exact values — every
+        # recorded experiment seed depends on it.
+        ss = np.random.SeedSequence(42, spawn_key=(3, 7))
+        assert derive_seed(42, 3, 7) == int(ss.generate_state(1, dtype=np.uint32)[0])
+
+    def test_string_components_are_deterministic(self):
+        assert derive_seed(1, "shard", 0) == derive_seed(1, "shard", 0)
+        assert derive_seed(1, "cancel", "r000001") == derive_seed(1, "cancel", "r000001")
+
+    def test_string_components_separate_namespaces(self):
+        seeds = {
+            derive_seed(5, "outage", "c0"),
+            derive_seed(5, "cancel", "c0"),
+            derive_seed(5, "shard", 0),
+            derive_seed(5, "outage", "c1"),
+        }
+        assert len(seeds) == 4
+
+    def test_path_order_matters(self):
+        assert derive_seed(9, "a", "b") != derive_seed(9, "b", "a")
+
+    def test_value_independent_of_sibling_derivations(self):
+        # Pure function of (root, path): deriving other children first
+        # never shifts a seed — the property keyed fault streams rest on.
+        before = derive_seed(11, "request", 4)
+        for k in range(20):
+            derive_seed(11, "request", k)
+        assert derive_seed(11, "request", 4) == before
 
 
 class TestErrorHierarchy:

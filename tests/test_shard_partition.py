@@ -1,0 +1,133 @@
+"""Tests for the spatial grid partition behind the sharded service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Field, Point
+from repro.shard import GridPartition, grid_shape
+from repro.wpt import Charger
+
+FIELD = Field(100.0, 100.0)
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "n,shape",
+        [(1, (1, 1)), (2, (1, 2)), (3, (1, 3)), (4, (2, 2)),
+         (6, (2, 3)), (8, (2, 4)), (9, (3, 3)), (12, (3, 4)), (16, (4, 4))],
+    )
+    def test_known_shapes(self, n, shape):
+        assert grid_shape(n) == shape
+
+    @pytest.mark.parametrize("n", range(1, 33))
+    def test_cells_equal_shards(self, n):
+        rows, cols = grid_shape(n)
+        assert rows * cols == n
+        assert rows <= cols
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            grid_shape(0)
+
+
+class TestCellOf:
+    def test_interior_points_land_in_their_cell(self):
+        part = GridPartition(FIELD, 4)  # 2x2, row-major
+        assert part.cell_of(Point(10.0, 10.0)) == 0
+        assert part.cell_of(Point(90.0, 10.0)) == 1
+        assert part.cell_of(Point(10.0, 90.0)) == 2
+        assert part.cell_of(Point(90.0, 90.0)) == 3
+
+    def test_shared_edge_goes_to_higher_cell(self):
+        part = GridPartition(FIELD, 4)
+        assert part.cell_of(Point(50.0, 10.0)) == 1
+        assert part.cell_of(Point(10.0, 50.0)) == 2
+
+    def test_out_of_field_points_clamp(self):
+        part = GridPartition(FIELD, 4)
+        assert part.cell_of(Point(-5.0, -5.0)) == 0
+        assert part.cell_of(Point(1000.0, 1000.0)) == 3
+
+    def test_bounds_tile_the_field(self):
+        part = GridPartition(FIELD, 6)  # 2x3
+        assert part.bounds(0) == (0.0, 0.0, 100.0 / 3, 50.0)
+        assert part.bounds(5) == (200.0 / 3, 50.0, 100.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            part.bounds(6)
+
+
+class TestCandidates:
+    def test_zero_halo_gives_singleton_candidates(self):
+        part = GridPartition(FIELD, 4, halo=0.0)
+        assert part.candidate_shards(Point(10.0, 10.0)) == [0]
+        assert part.is_interior(Point(10.0, 10.0))
+
+    def test_halo_makes_border_devices_multihomed(self):
+        part = GridPartition(FIELD, 4, halo=5.0)
+        # 4 m from the vertical midline: cells 0 and 1 both claim it.
+        assert part.candidate_shards(Point(46.0, 10.0)) == [0, 1]
+        assert not part.is_interior(Point(46.0, 10.0))
+        # Deep inside cell 0: still exactly one candidate.
+        assert part.candidate_shards(Point(20.0, 20.0)) == [0]
+
+    def test_corner_device_sees_four_candidates(self):
+        part = GridPartition(FIELD, 4, halo=5.0)
+        assert part.candidate_shards(Point(50.0, 50.0)) == [0, 1, 2, 3]
+
+    def test_candidates_always_include_owner(self):
+        part = GridPartition(FIELD, 8, halo=7.5)
+        for p in (Point(3.0, 3.0), Point(50.0, 50.0), Point(97.0, 48.0)):
+            assert part.cell_of(p) in part.candidate_shards(p)
+
+    def test_point_beyond_every_halo_falls_back_to_owner(self):
+        part = GridPartition(FIELD, 4, halo=0.0)
+        assert part.candidate_shards(Point(-50.0, -50.0)) == [0]
+
+    def test_negative_halo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridPartition(FIELD, 4, halo=-1.0)
+
+
+class TestRefinement:
+    def test_four_grid_refines_two_grid(self):
+        # Every 4-grid cell nests inside exactly one 2-grid cell, so a
+        # device interior to both partitions keeps a consistent spatial
+        # neighborhood when the shard count doubles.
+        two = GridPartition(FIELD, 2)
+        four = GridPartition(FIELD, 4)
+        for shard4 in range(4):
+            x0, y0, x1, y1 = four.bounds(shard4)
+            owners = {
+                two.cell_of(Point(x, y))
+                for x, y in [
+                    (x0 + 1e-6, y0 + 1e-6),
+                    ((x0 + x1) / 2, (y0 + y1) / 2),
+                    (x1 - 1e-6, y1 - 1e-6),
+                ]
+            }
+            assert len(owners) == 1
+
+
+class TestAssignChargers:
+    def test_every_shard_listed_and_order_preserved(self):
+        part = GridPartition(FIELD, 4)
+        chargers = [
+            Charger(charger_id="c0", position=Point(10.0, 10.0)),
+            Charger(charger_id="c1", position=Point(20.0, 20.0)),
+            Charger(charger_id="c2", position=Point(90.0, 90.0)),
+        ]
+        owned = part.assign_chargers(chargers)
+        assert sorted(owned) == [0, 1, 2, 3]
+        assert [c.charger_id for c in owned[0]] == ["c0", "c1"]
+        assert owned[1] == [] and owned[2] == []
+        assert [c.charger_id for c in owned[3]] == ["c2"]
+
+    def test_halo_never_shares_chargers(self):
+        # A charger sitting in another cell's halo still has exactly one
+        # owner — coalition state must live in one kernel.
+        part = GridPartition(FIELD, 2, halo=20.0)
+        charger = Charger(charger_id="edge", position=Point(49.0, 50.0))
+        owned = part.assign_chargers([charger])
+        assert [len(v) for _, v in sorted(owned.items())] == [1, 0]
