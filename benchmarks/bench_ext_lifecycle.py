@@ -7,6 +7,7 @@ state too, with full survival for both schedulers at the default drain.
 """
 
 from repro.core import ccsa, noncooperation
+from repro.numeric import EXACT_ONE, is_exact
 from repro.sim import LifecycleConfig, run_lifecycle
 
 
@@ -29,5 +30,5 @@ def test_lifecycle_steady_state(benchmark, once):
     ccsa_res, nca_res = results["CCSA"], results["NCA"]
     assert ccsa_res.charging_rounds == nca_res.charging_rounds
     assert ccsa_res.total_cost < nca_res.total_cost
-    assert ccsa_res.survival_rate == 1.0
-    assert nca_res.survival_rate == 1.0
+    assert is_exact(ccsa_res.survival_rate, EXACT_ONE)
+    assert is_exact(nca_res.survival_rate, EXACT_ONE)

@@ -2,9 +2,13 @@
 
 The analyzer is pure stdlib and side-effect free: it reads sources,
 parses them with :mod:`ast`, asks each registered rule for findings, and
-applies inline suppressions.  Baselines are the CLI's concern
-(:mod:`repro.lint.cli`), so library callers — the test suite, a future
-pre-commit hook — always see the full picture.
+applies inline suppressions.  Per-file rules run on each file's AST;
+whole-program :class:`~repro.lint.registry.FlowRule`\\ s run once over
+the full :class:`~repro.lint.flow.program.Program` (built from the same
+single parse set) and their findings are routed back into the per-file
+reports through the same suppression machinery.  Baselines are the CLI's
+concern (:mod:`repro.lint.cli`), so library callers — the test suite, a
+future pre-commit hook — always see the full picture.
 """
 
 from __future__ import annotations
@@ -12,13 +16,21 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .finding import Finding
-from .registry import Rule, all_rules
+from .registry import FlowRule, Rule, all_rules
 from .suppress import parse_suppressions
 
-__all__ = ["FileContext", "FileReport", "analyze_paths", "analyze_source", "normalize_module"]
+__all__ = [
+    "FileContext",
+    "FileReport",
+    "analyze_paths",
+    "analyze_source",
+    "analyze_sources",
+    "iter_python_files",
+    "normalize_module",
+]
 
 #: Reserved code for files the analyzer cannot parse at all.
 SYNTAX_ERROR_CODE = "CCS000"
@@ -113,7 +125,8 @@ def analyze_source(
     return FileReport(path=path, module=mod, findings=findings, suppressed=suppressed)
 
 
-def _iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Every ``.py`` file under *paths*, sorted, ``__pycache__`` excluded."""
     out: List[Path] = []
     for item in paths:
         p = Path(item)
@@ -126,16 +139,81 @@ def _iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
     return out
 
 
+def _route_flow_findings(
+    reports: List[FileReport],
+    items: Sequence[Tuple[str, str, Optional[str]]],
+    flow_rules: Sequence[FlowRule],
+) -> None:
+    """Run whole-program rules and merge their findings into *reports*.
+
+    The program is built from the already-read sources (one parse set for
+    the whole run); each finding passes through its own file's inline
+    suppressions, and ``applies_to`` filters on the finding's module so
+    per-rule scope/allow behave identically to per-file rules.
+    """
+    from .flow.program import Program
+
+    program = Program.from_sources(items)
+    sources = {path: text for path, text, _ in items}
+    by_path = {report.path: report for report in reports}
+    extra: Dict[str, List[Finding]] = {}
+    for rule in flow_rules:
+        for finding in rule.check_program(program):
+            if rule.applies_to(finding.module):
+                extra.setdefault(finding.path, []).append(finding)
+    for path, found in extra.items():
+        report = by_path.get(path)
+        if report is None:
+            continue
+        suppressions = parse_suppressions(sources.get(path, ""))
+        for finding in found:
+            if suppressions.is_suppressed(finding.code, finding.line):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+        report.findings.sort(key=Finding.sort_key)
+        report.suppressed.sort(key=Finding.sort_key)
+
+
 def analyze_paths(
     paths: Sequence[Union[str, Path]],
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[FileReport]:
-    """Analyze every ``.py`` file under *paths* (files or directories)."""
+    """Analyze every ``.py`` file under *paths* (files or directories).
+
+    Per-file rules run on each file; flow rules run once over the whole
+    set.  Passing an explicit *rules* list restricts both kinds.
+    """
     active_rules = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in active_rules if not r.whole_program]
+    flow_rules = [r for r in active_rules if isinstance(r, FlowRule)]
     reports: List[FileReport] = []
-    for file_path in _iter_python_files(paths):
+    items: List[Tuple[str, str, Optional[str]]] = []
+    for file_path in iter_python_files(paths):
         text = file_path.read_text(encoding="utf-8")
-        reports.append(
-            analyze_source(text, str(file_path), rules=active_rules)
-        )
+        items.append((str(file_path), text, None))
+        reports.append(analyze_source(text, str(file_path), rules=file_rules))
+    if flow_rules:
+        _route_flow_findings(reports, items, flow_rules)
+    return reports
+
+
+def analyze_sources(
+    items: Sequence[Tuple[str, str, Optional[str]]],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[FileReport]:
+    """Analyze in-memory ``(path, source, module)`` triples as one program.
+
+    The flow-rule equivalent of calling :func:`analyze_source` per item:
+    per-file rules see each source alone, flow rules see them all as one
+    program.  Tests use this to build multi-file fixture programs.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in active_rules if not r.whole_program]
+    flow_rules = [r for r in active_rules if isinstance(r, FlowRule)]
+    reports: List[FileReport] = []
+    for path, text, module in items:
+        reports.append(analyze_source(text, path, module=module, rules=file_rules))
+    if flow_rules:
+        _route_flow_findings(reports, items, flow_rules)
     return reports

@@ -42,6 +42,11 @@ class Baseline:
     def empty(cls) -> "Baseline":
         return cls(Counter())
 
+    @property
+    def entries(self) -> "Counter[Tuple[str, str, str]]":
+        """The grandfathered key multiset (a copy; used by the ratchet)."""
+        return Counter(self._entries)
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Baseline":
         """Read a baseline file; a missing file is an empty baseline."""

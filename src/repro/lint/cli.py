@@ -7,15 +7,18 @@ Usage::
     ccs-lint --list-rules               # the rule catalog, one line each
     ccs-lint --write-baseline           # grandfather current findings
     ccs-lint --baseline FILE            # explicit baseline location
+    ccs-lint --format sarif             # SARIF 2.1.0 on stdout (for CI upload)
+    ccs-lint --time-budget 10           # fail if analysis exceeds N seconds
 
 Exit codes: 0 = clean (no unsuppressed, unbaselined findings),
-1 = findings, 2 = usage error.
+1 = findings (or time budget exceeded), 2 = usage error.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -23,6 +26,7 @@ from .analyzer import analyze_paths
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .finding import Finding
 from .registry import all_rules, get_rule
+from .sarif import render_sarif
 
 __all__ = ["main"]
 
@@ -76,6 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the summary line, not individual findings",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        dest="output_format",
+        help="findings output format: human-readable text (default) or SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="fail (exit 1) if the whole analysis takes longer than this",
+    )
     return parser
 
 
@@ -115,6 +133,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"ccs-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    # Elapsed wall time for the --time-budget gate; a perf timer, never a
+    # value that reaches any analyzed or journaled output.
+    # ccs-lint: ignore[CCS002] -- measures the linter's own wall time
+    # for --time-budget; never enters analyzed output.
+    started = time.perf_counter()
     reports = analyze_paths(args.paths)
     findings: List[Finding] = []
     suppressed = 0
@@ -142,7 +165,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         findings, baselined = baseline.partition(findings)
 
-    if not args.quiet:
+    if args.output_format == "sarif":
+        sys.stdout.write(render_sarif(findings))
+    elif not args.quiet:
         for finding in findings:
             print(finding.render())
 
@@ -159,6 +184,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if extras:
         summary += f" ({', '.join(extras)})"
     print(summary, file=sys.stderr)
+
+    if args.time_budget is not None:
+        # ccs-lint: ignore[CCS002] -- perf timer for the linter's own
+        # --time-budget gate.
+        elapsed = time.perf_counter() - started
+        if elapsed > args.time_budget:
+            print(
+                f"ccs-lint: analysis took {elapsed:.2f}s, over the "
+                f"{args.time_budget:.2f}s budget",
+                file=sys.stderr,
+            )
+            return 1
     return 1 if findings else 0
 
 

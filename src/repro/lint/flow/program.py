@@ -1,0 +1,159 @@
+"""The analyzed module set: sources, ASTs, names, and the import graph.
+
+A :class:`Program` is the unit every whole-program pass works on: the
+collection of modules parsed *once*, addressable both by repo-normalized
+path (``repro/service/kernel.py`` — what findings and baselines key on)
+and by dotted module name (``repro.service.kernel`` — what import
+resolution speaks).  Files that fail to parse are skipped here; the
+per-file analyzer has already reported them as CCS000.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["ModuleInfo", "Program", "dotted_name"]
+
+
+def dotted_name(module: str) -> str:
+    """Dotted module name for a repo-normalized path.
+
+    ``repro/service/kernel.py`` → ``repro.service.kernel``;
+    ``repro/lint/__init__.py`` → ``repro.lint``;
+    ``benchmarks/bench_exec.py`` → ``benchmarks.bench_exec``.
+    """
+    parts = module.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the program."""
+
+    path: str
+    module: str
+    modname: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def package(self) -> str:
+        """The dotted package this module's relative imports resolve in."""
+        if self.module.endswith("/__init__.py"):
+            return self.modname
+        head, _, _ = self.modname.rpartition(".")
+        return head
+
+
+class Program:
+    """An immutable set of parsed modules plus their import graph."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: Memo for derived analyses (call graph, purity): several flow
+        #: rules run over one program; each layer is built exactly once.
+        self.analysis_cache: Dict[str, object] = {}
+        for info in modules:
+            # First binding wins: analyzing overlapping paths must not
+            # silently replace a module with a same-named shadow.
+            self.modules.setdefault(info.modname, info)
+
+    @classmethod
+    def from_sources(
+        cls, items: Sequence[Tuple[str, str, Optional[str]]]
+    ) -> "Program":
+        """Build a program from ``(path, source, module)`` triples.
+
+        *module* is the repo-normalized module path; ``None`` derives it
+        from *path* via :func:`repro.lint.analyzer.normalize_module`.
+        Unparsable sources are skipped (CCS000 is the per-file
+        analyzer's concern).
+        """
+        from ..analyzer import normalize_module
+
+        infos: List[ModuleInfo] = []
+        for path, source, module in items:
+            mod = module if module is not None else normalize_module(path)
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                continue
+            infos.append(
+                ModuleInfo(
+                    path=path,
+                    module=mod,
+                    modname=dotted_name(mod),
+                    source=source,
+                    tree=tree,
+                )
+            )
+        return cls(infos)
+
+    @classmethod
+    def load(cls, paths: Sequence[Union[str, Path]]) -> "Program":
+        """Parse every ``.py`` file under *paths* into a program."""
+        from ..analyzer import iter_python_files
+
+        items: List[Tuple[str, str, Optional[str]]] = []
+        for file_path in iter_python_files(paths):
+            items.append((str(file_path), file_path.read_text(encoding="utf-8"), None))
+        return cls.from_sources(items)
+
+    def __contains__(self, modname: str) -> bool:
+        return modname in self.modules
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def get(self, modname: str) -> Optional[ModuleInfo]:
+        return self.modules.get(modname)
+
+    def by_module(self, module: str) -> Optional[ModuleInfo]:
+        """Look up a module by its repo-normalized path."""
+        return self.modules.get(dotted_name(module))
+
+    def resolve_prefix(self, dotted: str) -> Optional[Tuple[str, str]]:
+        """Split *dotted* into ``(program modname, remainder)``.
+
+        The longest prefix of *dotted* that names a program module wins:
+        ``repro.service.journal.Journal.append`` resolves to
+        ``("repro.service.journal", "Journal.append")``.  Returns ``None``
+        when no prefix is a program module (stdlib, numpy, …).
+        """
+        parts = dotted.split(".")
+        for k in range(len(parts), 0, -1):
+            head = ".".join(parts[:k])
+            if head in self.modules:
+                return head, ".".join(parts[k:])
+        return None
+
+    def import_edges(self) -> Dict[str, List[str]]:
+        """Module import graph restricted to program modules.
+
+        Edges point importer → imported; targets outside the program are
+        dropped.  Used by CCS010 to bound which modules a spawned worker
+        process re-imports.
+        """
+        from .callgraph import absolute_aliases
+
+        edges: Dict[str, List[str]] = {}
+        for modname, info in sorted(self.modules.items()):
+            targets: List[str] = []
+            for dotted in absolute_aliases(info).values():
+                hit = self.resolve_prefix(dotted)
+                if hit is not None and hit[0] != modname and hit[0] not in targets:
+                    targets.append(hit[0])
+            edges[modname] = sorted(targets)
+        return edges

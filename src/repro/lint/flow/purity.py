@@ -1,0 +1,107 @@
+"""Transitive purity summaries and sink-rooted reachability.
+
+Per-function :class:`~repro.lint.flow.effects.Effects` are the atoms;
+this module aggregates them over the call graph:
+
+- :func:`summarize` computes, for every function, whether any
+  nondeterminism source is reachable *through* it (its own body or any
+  transitively called program function), with a witness: the source read
+  plus the call chain that reaches it;
+- :class:`PuritySummary` answers the queries the rules ask — "is this
+  function impure, and how would I show a human why?".
+
+The propagation is a fixpoint over the (possibly cyclic) call graph,
+seeded with direct effects and iterated until no summary changes.  Every
+derived fact keeps a one-step witness (which callee it came through), so
+a full evidence chain reconstructs in O(depth) without storing paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .callgraph import CallGraph
+from .effects import Effects, SourceRead, scan_effects
+
+__all__ = ["PuritySummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class _Witness:
+    """How impurity reaches a function: directly, or via one callee."""
+
+    read: SourceRead
+    via: Optional[str]  # callee qname, None when the read is direct
+    site_line: int  # call-site line of the via edge (0 when direct)
+
+
+class PuritySummary:
+    """Direct effects plus transitive impurity for every program function."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.effects: Dict[str, Effects] = {}
+        self._impure: Dict[str, _Witness] = {}
+
+    # -------------------------------------------------------------- #
+    # queries
+
+    def effects_of(self, qname: str) -> Effects:
+        return self.effects.get(qname, Effects())
+
+    def is_impure(self, qname: str) -> bool:
+        """Whether a source read is reachable through *qname*."""
+        return qname in self._impure
+
+    def impurity_chain(self, qname: str) -> Tuple[List[str], Optional[SourceRead]]:
+        """``(call chain, source read)`` witnessing *qname*'s impurity.
+
+        The chain starts at *qname* and ends at the function whose body
+        performs the read.  Pure functions return ``([], None)``.
+        """
+        if qname not in self._impure:
+            return [], None
+        chain = [qname]
+        current = qname
+        while True:
+            witness = self._impure[current]
+            if witness.via is None:
+                return chain, witness.read
+            chain.append(witness.via)
+            current = witness.via
+
+    # -------------------------------------------------------------- #
+    # construction
+
+    def _compute(self) -> None:
+        for fn in self.graph.iter_functions():
+            effects = scan_effects(self.graph, fn)
+            self.effects[fn.qname] = effects
+            if effects.sources:
+                self._impure[fn.qname] = _Witness(
+                    read=effects.sources[0], via=None, site_line=0
+                )
+        # Fixpoint: pull impurity up one call edge at a time.  Iteration
+        # order is stable (sorted callers) so witnesses are deterministic.
+        changed = True
+        while changed:
+            changed = False
+            for qname in sorted(self.graph.edges):
+                if qname in self._impure:
+                    continue
+                for site in self.graph.callees(qname):
+                    if site.callee in self._impure:
+                        inner = self._impure[site.callee]
+                        self._impure[qname] = _Witness(
+                            read=inner.read, via=site.callee, site_line=site.line
+                        )
+                        changed = True
+                        break
+
+
+def summarize(graph: CallGraph) -> PuritySummary:
+    """Scan every function and propagate impurity to a fixpoint."""
+    summary = PuritySummary(graph)
+    summary._compute()
+    return summary

@@ -1,0 +1,341 @@
+"""Value-level taint: nondeterministic values flowing into seed sinks.
+
+CCS009 asks a *control* question — can a sink's call subtree execute a
+source read?  CCS012 asks the sharper *data* question: does the value a
+source produced reach a seed-critical argument?  ``t0 = time.time()``
+used purely for a log line is a CCS002/CCS009 matter; ``derive_seed(int(
+time.time()))`` poisons every stream derived under it, and that is what
+this module proves or rules out.
+
+The engine runs a flow-insensitive-across-branches, statement-ordered
+pass per function, tracking for each local name the set of *taint roots*
+it may carry:
+
+- ``source`` roots — a wall-clock/RNG/entropy read produced the value
+  (the :mod:`~repro.lint.flow.effects` catalog decides what counts);
+- ``param`` roots — the value derives from one of the function's own
+  parameters.
+
+A call's result conservatively carries the union of its argument roots
+(so ``int(time.time())`` stays tainted through any wrapping), plus a
+source root when the callee is itself a source or a program function
+whose return is tainted.  Two interprocedural summaries close the loop,
+each iterated to a fixpoint over the call graph:
+
+- *returns-tainted*: some return value carries a source root;
+- *param-flows-to-sink*: calling this function taints a seed sink with
+  whatever is passed for that parameter (directly or further down).
+
+A finding is emitted where a source-rooted value lands in a sink-bound
+argument position, with the full call chain to the ultimate sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from .callgraph import CallGraph, ClassInfo, FunctionInfo, function_scope
+from .effects import classify_source
+
+__all__ = ["TaintFinding", "TaintReport", "trace_taint"]
+
+#: Taint roots are strings: "source:<dotted>:<line>" or "param:<name>".
+_SOURCE_PREFIX = "source:"
+_PARAM_PREFIX = "param:"
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A nondeterministic value reaching a seed/fingerprint sink."""
+
+    fn: str  # function whose body passes the tainted value onward
+    node: ast.AST  # the call receiving the tainted argument
+    source: str  # dotted source name, e.g. "time.time"
+    source_line: int
+    sink: str  # qname of the ultimate sink
+    chain: Tuple[str, ...]  # call chain from the receiving callee to the sink
+
+    @property
+    def line(self) -> int:
+        return int(getattr(self.node, "lineno", 1))
+
+
+@dataclass
+class TaintReport:
+    """All taint findings plus the interprocedural summaries behind them."""
+
+    findings: List[TaintFinding] = field(default_factory=list)
+    returns_tainted: Dict[str, str] = field(default_factory=dict)  # qname -> source
+    param_flows: Dict[str, Dict[str, Tuple[str, Tuple[str, ...]]]] = field(
+        default_factory=dict
+    )  # qname -> param -> (sink, chain)
+
+
+def _param_names(fn: FunctionInfo, has_self: bool) -> List[str]:
+    args = fn.node.args
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    if has_self and names:
+        names = names[1:]
+    return names + [a.arg for a in args.kwonlyargs]
+
+
+class _FunctionPass:
+    """One statement-ordered taint pass over a single function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        fn: FunctionInfo,
+        report: TaintReport,
+        sinks: FrozenSet[str],
+        collect: bool,
+    ) -> None:
+        self.graph = graph
+        self.fn = fn
+        self.report = report
+        self.sinks = sinks
+        self.collect = collect
+        self.scope = function_scope(graph, fn)
+        self.resolver = graph._resolvers[fn.modname]
+        self.env: Dict[str, FrozenSet[str]] = {}
+        self.params = set(_param_names(fn, self.scope.self_name is not None))
+        self.return_sources: Set[str] = set()
+        self.new_param_flows: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+        self.new_findings: List[TaintFinding] = []
+
+    # -------------------------------------------------------------- #
+    # driving
+
+    def run(self) -> None:
+        self._exec_block(self.fn.node.body)
+
+    def _exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            roots = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, roots)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            roots = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prev = self.env.get(stmt.target.id, frozenset())
+                self.env[stmt.target.id] = prev | roots
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                roots = self._eval(stmt.value)
+                self.return_sources.update(
+                    r for r in roots if r.startswith(_SOURCE_PREFIX)
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            roots = self._eval(stmt.iter)
+            self._bind(stmt.target, roots)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                roots = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, roots)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs fold into the parent (same policy as the call
+            # graph): their bodies run through the same environment.
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, (ast.Assert,)):
+            self._eval(stmt.test)
+
+    def _bind(self, target: ast.expr, roots: FrozenSet[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = roots
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, roots)
+        # Attribute/subscript stores: no tracking (objects are opaque).
+
+    # -------------------------------------------------------------- #
+    # expression evaluation
+
+    def _eval(self, node: ast.expr) -> FrozenSet[str]:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in self.params:
+                return frozenset({f"{_PARAM_PREFIX}{node.id}"})
+            return frozenset()
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            dotted = self.resolver.resolve_dotted(node)
+            if dotted is not None:
+                read = classify_source(dotted, node)
+                if read is not None:
+                    return frozenset(
+                        {f"{_SOURCE_PREFIX}{read.dotted}:{read.line}"}
+                    )
+            return self._eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return frozenset()
+        roots: Set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                roots.update(self._eval(child))
+            elif isinstance(child, ast.comprehension):
+                self._bind(child.target, self._eval(child.iter))
+                for cond in child.ifs:
+                    self._eval(cond)
+        return frozenset(roots)
+
+    def _eval_call(self, node: ast.Call) -> FrozenSet[str]:
+        arg_roots: List[FrozenSet[str]] = [self._eval(a) for a in node.args]
+        kw_roots: Dict[str, FrozenSet[str]] = {
+            kw.arg: self._eval(kw.value) for kw in node.keywords if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:  # **kwargs splat
+                arg_roots.append(self._eval(kw.value))
+
+        result: Set[str] = set()
+        for roots in arg_roots:
+            result.update(roots)
+        for roots in kw_roots.values():
+            result.update(roots)
+
+        # Is the callee itself a source?
+        dotted = self.resolver.resolve_dotted(node.func)
+        if dotted is not None:
+            read = classify_source(dotted, node)
+            if read is not None:
+                result.add(f"{_SOURCE_PREFIX}{read.dotted}:{read.line}")
+
+        target = self.scope.resolve_callable(node.func)
+        callee: Optional[FunctionInfo] = None
+        if isinstance(target, FunctionInfo):
+            callee = target
+        elif isinstance(target, ClassInfo):
+            init = self.graph.method_on(target, "__init__")
+            callee = init
+        if callee is not None:
+            if callee.qname in self.report.returns_tainted:
+                src = self.report.returns_tainted[callee.qname]
+                result.add(f"{_SOURCE_PREFIX}{src}:{int(getattr(node, 'lineno', 1))}")
+            self._check_sink_call(node, callee, arg_roots, kw_roots)
+        return frozenset(result)
+
+    # -------------------------------------------------------------- #
+    # sink checking
+
+    def _check_sink_call(
+        self,
+        node: ast.Call,
+        callee: FunctionInfo,
+        arg_roots: List[FrozenSet[str]],
+        kw_roots: Dict[str, FrozenSet[str]],
+    ) -> None:
+        callee_params = _param_names(callee, callee.cls is not None)
+        flows = self.report.param_flows.get(callee.qname, {})
+        is_direct_sink = callee.qname in self.sinks
+
+        positional: List[Tuple[Optional[str], FrozenSet[str]]] = []
+        for k, roots in enumerate(arg_roots):
+            name = callee_params[k] if k < len(callee_params) else None
+            positional.append((name, roots))
+        for name, roots in kw_roots.items():
+            positional.append((name, roots))
+
+        for name, roots in positional:
+            sinkward: Optional[Tuple[str, Tuple[str, ...]]] = None
+            if is_direct_sink:
+                sinkward = (callee.qname, (callee.qname,))
+            elif name is not None and name in flows:
+                sink, chain = flows[name]
+                sinkward = (sink, (callee.qname,) + chain)
+            if sinkward is None:
+                continue
+            sink, chain = sinkward
+            for root in sorted(roots):
+                if root.startswith(_SOURCE_PREFIX):
+                    _, src, line = root.split(":", 2)
+                    if self.collect:
+                        self.new_findings.append(
+                            TaintFinding(
+                                fn=self.fn.qname,
+                                node=node,
+                                source=src,
+                                source_line=int(line),
+                                sink=sink,
+                                chain=chain,
+                            )
+                        )
+                elif root.startswith(_PARAM_PREFIX):
+                    param = root[len(_PARAM_PREFIX):]
+                    if param not in self.new_param_flows:
+                        self.new_param_flows[param] = (sink, chain)
+
+
+def trace_taint(graph: CallGraph, sink_qnames: Sequence[str]) -> TaintReport:
+    """Run the taint engine over *graph* toward the given sink functions.
+
+    *sink_qnames* name program functions every argument of which is
+    seed-critical (e.g. ``repro.rng.derive_seed``).  The report carries
+    the findings plus the fixpoint summaries (exposed for tests).
+    """
+    report = TaintReport()
+    sinks = frozenset(q for q in sink_qnames if q in graph.functions)
+
+    # Fixpoint over the two summaries; findings only on the final pass.
+    for _ in range(len(graph.functions) + 2):
+        changed = False
+        for fn in graph.iter_functions():
+            run = _FunctionPass(graph, fn, report, sinks, collect=False)
+            run.run()
+            if run.return_sources and fn.qname not in report.returns_tainted:
+                first = sorted(run.return_sources)[0]
+                _, src, _line = first.split(":", 2)
+                report.returns_tainted[fn.qname] = src
+                changed = True
+            if run.new_param_flows:
+                known = report.param_flows.setdefault(fn.qname, {})
+                for param, flow in run.new_param_flows.items():
+                    if param not in known:
+                        known[param] = flow
+                        changed = True
+        if not changed:
+            break
+
+    seen: Set[Tuple[str, int, str, str]] = set()
+    for fn in graph.iter_functions():
+        run = _FunctionPass(graph, fn, report, sinks, collect=True)
+        run.run()
+        for finding in run.new_findings:
+            key = (finding.fn, finding.line, finding.source, finding.sink)
+            if key not in seen:
+                seen.add(key)
+                report.findings.append(finding)
+    return report

@@ -1,0 +1,73 @@
+"""The baseline ratchet: the grandfather list may shrink, never grow.
+
+CI usage (the lint job)::
+
+    git show origin/main:.ccs-lint-baseline.json > /tmp/baseline-main.json
+    python -m repro.lint.ratchet /tmp/baseline-main.json .ccs-lint-baseline.json
+
+Exit 0 when the proposed baseline is a sub-multiset of the reference
+(equal or burned down); exit 1 listing every added entry otherwise.  A
+missing reference file counts as empty — a branch can never use "main
+had no baseline yet" to smuggle one in.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+
+__all__ = ["added_entries", "main"]
+
+
+def added_entries(
+    reference: Baseline, proposed: Baseline
+) -> List[Tuple[Tuple[str, str, str], int]]:
+    """Entries (with multiplicities) in *proposed* beyond *reference*.
+
+    Each item is ``(finding key, how many more than the reference
+    allows)``; empty means the ratchet holds.
+    """
+    added: List[Tuple[Tuple[str, str, str], int]] = []
+    for key, count in sorted(proposed.entries.items()):
+        extra = count - reference.entries.get(key, 0)
+        if extra > 0:
+            added.append((key, extra))
+    return added
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 2:
+        print(
+            "usage: python -m repro.lint.ratchet REFERENCE_BASELINE PROPOSED_BASELINE",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        reference = Baseline.load(Path(args[0]))
+        proposed = Baseline.load(Path(args[1]))
+    except (ValueError, OSError) as exc:
+        print(f"ratchet: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    added = added_entries(reference, proposed)
+    if not added:
+        print(
+            f"ratchet: ok ({len(proposed)} entries, reference {len(reference)})",
+            file=sys.stderr,
+        )
+        return 0
+    print(
+        "ratchet: baseline grew — fix the findings instead of grandfathering them:",
+        file=sys.stderr,
+    )
+    for (code, module, snippet), extra in added:
+        note = f" (x{extra})" if extra > 1 else ""
+        print(f"  {code} {module}: {snippet}{note}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

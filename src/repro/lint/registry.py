@@ -21,8 +21,9 @@ from .finding import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .analyzer import FileContext
+    from .flow.program import ModuleInfo, Program
 
-__all__ = ["Rule", "all_rules", "get_rule", "register"]
+__all__ = ["FlowRule", "Rule", "all_rules", "get_rule", "register"]
 
 #: code -> rule class; populated by the :func:`register` decorator.
 _REGISTRY: Dict[str, Type["Rule"]] = {}
@@ -39,6 +40,8 @@ class Rule:
     scope: Optional[Tuple[str, ...]] = None
     #: Module paths exempt by design (the invariant's implementation site).
     allow: Tuple[str, ...] = ()
+    #: Whole-program rules run once over a :class:`Program`, not per file.
+    whole_program: bool = False
 
     def applies_to(self, module: str) -> bool:
         """Whether this rule runs on *module* (a repo-normalized path)."""
@@ -73,6 +76,44 @@ class Rule:
         """The rule's docstring, dedented — the ``--explain`` text."""
         doc = cls.__doc__ or "(no documentation)"
         return inspect.cleandoc(doc)
+
+
+class FlowRule(Rule):
+    """Base class for whole-program (cross-file) rules.
+
+    A flow rule sees the entire :class:`~repro.lint.flow.program.Program`
+    at once — call graph, purity summaries, taint — and yields findings
+    that may anchor in any module.  The analyzer routes each finding
+    through that file's inline suppressions exactly like a per-file
+    finding, and ``applies_to`` filters by the *finding's* module, so
+    ``scope``/``allow`` keep their usual meaning.
+    """
+
+    whole_program: bool = True
+
+    def check(self, tree: ast.Module, ctx: "FileContext") -> Iterator[Finding]:
+        """Flow rules have no per-file pass."""
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings over the whole program; overridden by subclasses."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type checkers
+
+    def finding_at(self, info: "ModuleInfo", node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at *node* inside module *info*."""
+        line = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0)) + 1
+        snippet = info.lines[line - 1] if 0 < line <= len(info.lines) else ""
+        return Finding(
+            path=info.path,
+            module=info.module,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            snippet=snippet,
+        )
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:

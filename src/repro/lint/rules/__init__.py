@@ -18,6 +18,10 @@ from . import (  # noqa: F401  (imports register the rules)
     ccs006_unordered_iteration,
     ccs007_canonical_json,
     ccs008_array_numeric,
+    ccs009_impure_sink_path,
+    ccs010_shared_worker_state,
+    ccs011_unjournaled_mutation,
+    ccs012_tainted_seed,
 )
 
 __all__ = [
@@ -29,4 +33,8 @@ __all__ = [
     "ccs006_unordered_iteration",
     "ccs007_canonical_json",
     "ccs008_array_numeric",
+    "ccs009_impure_sink_path",
+    "ccs010_shared_worker_state",
+    "ccs011_unjournaled_mutation",
+    "ccs012_tainted_seed",
 ]

@@ -37,6 +37,43 @@ BANNED_DATETIME = frozenset(
     }
 )
 
+#: time-module members that read the clock only when the time argument is
+#: omitted: ``time.gmtime()`` formats *now*, ``time.gmtime(0)`` is pure.
+CLOCK_DEFAULT_MEMBERS = frozenset({"gmtime", "localtime", "ctime", "asctime"})
+
+#: ``time.strftime(fmt)`` reads the clock; ``time.strftime(fmt, t)`` is pure.
+STRFTIME_MEMBER = "strftime"
+
+#: Monotonic/CPU timers: still banned in library code, but *allowed* in
+#: the perf-timer scopes below — measuring latency is what benchmarks do.
+PERF_TIMER_MEMBERS = frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def reads_clock_by_default(member: str, node: ast.AST) -> bool:
+    """Whether a ``time.<member>`` call reads the clock via defaulting.
+
+    True for ``gmtime``/``localtime``/``ctime``/``asctime`` called with no
+    arguments and for ``strftime`` called with the format only — in every
+    case the omitted time argument defaults to *now*.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    n_args = len(node.args) + len(node.keywords)
+    if member in CLOCK_DEFAULT_MEMBERS:
+        return n_args == 0
+    if member == STRFTIME_MEMBER:
+        return n_args <= 1
+    return False
+
 
 @register
 class WallClockRule(Rule):
@@ -59,8 +96,13 @@ class WallClockRule(Rule):
 
     **Approved fix.** Inside the service: take ``clock.now`` (a
     :class:`ServiceClock`) as input.  Inside experiment tasks: use
-    ``repro.experiments.exec.kinds.perf_timer``.  Benchmarks and scripts
-    outside ``src/`` are not in scope.
+    ``repro.experiments.exec.kinds.perf_timer``.  In ``benchmarks/`` and
+    ``examples/`` the monotonic perf timers (``perf_counter`` family) are
+    allowed — measuring latency is their job — but wall-*date* reads
+    (``time.time``, ``datetime.now``, zero-argument ``gmtime``/
+    ``localtime``/``ctime``/``asctime``, format-only ``strftime``) stay
+    banned everywhere: a date formatted into a benchmark artifact diffs
+    run to run.
 
     **Allowlisted.** ``repro/experiments/exec/kinds.py`` — the single
     env-gated timer.
@@ -69,18 +111,23 @@ class WallClockRule(Rule):
     code = "CCS002"
     title = "wall-clock read (time.*/datetime.now) in deterministic library code"
     allow = ("repro/experiments/exec/kinds.py",)
+    #: Module-path prefixes where the perf-timer family is fair game.
+    perf_timer_scopes: Tuple[str, ...] = ("benchmarks/", "examples/")
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         from .helpers import collect_import_aliases, resolve_dotted
 
         aliases = collect_import_aliases(tree)
         findings: List[Finding] = []
+        perf_ok = any(ctx.module.startswith(p) for p in self.perf_timer_scopes)
 
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.level == 0:
                 if node.module == "time":
                     for item in node.names:
-                        if item.name in BANNED_TIME_MEMBERS:
+                        if item.name in BANNED_TIME_MEMBERS and not (
+                            perf_ok and item.name in PERF_TIMER_MEMBERS
+                        ):
                             findings.append(
                                 self.finding(
                                     ctx,
@@ -90,11 +137,25 @@ class WallClockRule(Rule):
                                     "exec.kinds.perf_timer)",
                                 )
                             )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted is not None and dotted.startswith("time."):
+                    member = dotted.split(".", 1)[1]
+                    if reads_clock_by_default(member, node):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"{dotted}() with the time argument omitted formats "
+                                "*now* — a wall-clock read; pass an explicit "
+                                "timestamp (or thread logical time through)",
+                            )
+                        )
             elif isinstance(node, (ast.Attribute, ast.Name)):
                 dotted = resolve_dotted(node, aliases)
                 if dotted is None:
                     continue
-                message = self._message_for(dotted)
+                message = self._message_for(dotted, perf_ok)
                 if message is not None:
                     findings.append(self.finding(ctx, node, message))
 
@@ -110,10 +171,12 @@ class WallClockRule(Rule):
             yield finding
 
     @staticmethod
-    def _message_for(dotted: str) -> Optional[str]:
+    def _message_for(dotted: str, perf_ok: bool = False) -> Optional[str]:
         if dotted.startswith("time."):
             member = dotted.split(".", 1)[1]
             if member in BANNED_TIME_MEMBERS:
+                if perf_ok and member in PERF_TIMER_MEMBERS:
+                    return None
                 return (
                     f"{dotted}() reads the host clock; deterministic code must use "
                     "ServiceClock (service) or exec.kinds.perf_timer (tasks)"

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 emission for ccs-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+UIs ingest: ``ccs-lint --format sarif | upload-sarif`` turns findings
+into inline PR annotations.  The emitter is deliberately minimal — one
+``run``, the full rule catalog in the driver (so every result can carry
+a ``ruleIndex``), one physical location per result — and deterministic:
+the same findings always serialize to the same bytes (sorted keys,
+sorted results, trailing newline).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .finding import Finding
+from .registry import Rule, all_rules
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Reserved syntax-error code (CCS000) has no registered Rule class.
+_SYNTAX_RULE = {
+    "id": "CCS000",
+    "name": "SyntaxError",
+    "shortDescription": {"text": "file cannot be parsed"},
+    "fullDescription": {
+        "text": (
+            "The analyzer could not parse this file; every other rule is "
+            "blind to it until the syntax error is fixed."
+        )
+    },
+}
+
+
+def _rule_entry(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.explanation()},
+    }
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for *findings*, as a plain dict."""
+    catalog: List[Dict[str, Any]] = [_SYNTAX_RULE]
+    catalog.extend(_rule_entry(rule) for rule in all_rules())
+    index = {entry["id"]: k for k, entry in enumerate(catalog)}
+
+    results: List[Dict[str, Any]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        result: Dict[str, Any] = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _uri(finding.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in index:
+            result["ruleIndex"] = index[finding.code]
+        if finding.snippet:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            region["snippet"] = {"text": finding.snippet}
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "ccs-lint",
+                        "rules": catalog,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """Deterministic JSON text of the SARIF document (sorted keys)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n"

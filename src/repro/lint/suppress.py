@@ -64,6 +64,12 @@ def parse_suppressions(source: str) -> Suppressions:
     suppressions.
     """
     by_line: Dict[int, FrozenSet[str]] = {}
+    # A suppression comment on the final line of a file with no trailing
+    # newline must still tokenize: some tokenizer versions error on (or
+    # drop) an unterminated last line, so normalize before tokenizing.
+    # Line numbers are unaffected — nothing is added before the comment.
+    if source and not source.endswith("\n"):
+        source = source + "\n"
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):

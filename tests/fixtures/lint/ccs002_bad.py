@@ -1,6 +1,7 @@
 """CCS002 positives: wall-clock reads inside deterministic code."""
 import datetime
 import time
+import time as _t
 from datetime import datetime as dt
 from time import perf_counter
 
@@ -12,3 +13,18 @@ def stamp():
     day = datetime.datetime.now()
     utc = dt.utcnow()
     return started, tick, mono, day, utc
+
+
+def renamed_module_alias():
+    # `import time as _t` must not hide the read.
+    return _t.monotonic(), _t.perf_counter()
+
+
+def defaulted_to_now():
+    # The time argument omitted: every one of these formats *now*.
+    a = time.gmtime()
+    b = time.localtime()
+    c = time.ctime()
+    d = time.asctime()
+    e = time.strftime("%Y-%m-%d")
+    return a, b, c, d, e

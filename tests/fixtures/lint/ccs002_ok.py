@@ -9,3 +9,13 @@ def measure(clock, events):
     for event in events:
         clock.advance(event.t)
     return clock.now, horizon
+
+
+def format_explicit(t):
+    # With an explicit time argument these are pure formatting calls.
+    a = time.gmtime(t)
+    b = time.localtime(t)
+    c = time.ctime(t)
+    d = time.asctime(time.gmtime(t))
+    e = time.strftime("%Y-%m-%d", time.gmtime(t))
+    return a, b, c, d, e

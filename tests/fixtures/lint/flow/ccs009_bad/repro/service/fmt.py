@@ -1,0 +1,7 @@
+"""Middle of the chain: pure-looking formatter, one call from the leak."""
+from .meta import record_meta
+
+
+def stamp(seq, event, t, data):
+    meta = record_meta(event)
+    return f"{seq} {event} {t} {meta} {data}\n"

@@ -1,0 +1,13 @@
+"""Flow fixture: Journal.append whose formatting helper is impure."""
+from .fmt import stamp
+
+
+class Journal:
+    def __init__(self, fh):
+        self._fh = fh
+        self._seq = 0
+
+    def append(self, event, t, data):
+        line = stamp(self._seq, event, t, data)
+        self._seq += 1
+        self._fh.write(line)

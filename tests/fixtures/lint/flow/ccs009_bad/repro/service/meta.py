@@ -1,0 +1,10 @@
+"""Bottom of the chain: entropy read no per-file rule covers.
+
+``uuid.uuid4`` is not a clock (CCS002) and not the global RNG (CCS001):
+only whole-program reachability from ``Journal.append`` exposes it.
+"""
+import uuid
+
+
+def record_meta(event):
+    return f"{event}:{uuid.uuid4().hex}"

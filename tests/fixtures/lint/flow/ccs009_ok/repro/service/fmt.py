@@ -1,0 +1,7 @@
+"""Middle of the chain: same shape as the bad fixture, but pure."""
+from .meta import record_meta
+
+
+def stamp(seq, event, t, data):
+    meta = record_meta(event, seq)
+    return f"{seq} {event} {t} {meta} {data}\n"

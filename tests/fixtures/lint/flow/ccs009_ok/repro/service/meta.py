@@ -1,0 +1,5 @@
+"""Bottom of the chain: identity derived from inputs only."""
+
+
+def record_meta(event, seq):
+    return f"{event}:{seq:08d}"

@@ -1,0 +1,13 @@
+"""Bottom of the chain: per-process state a worker reaches two hops down."""
+
+_CACHE = {}
+
+
+def remember(key, value):
+    _CACHE[key] = value
+    return value
+
+
+def merge(items, acc=[]):
+    acc.extend(items)
+    return acc

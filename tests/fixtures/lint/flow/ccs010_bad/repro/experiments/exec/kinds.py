@@ -1,0 +1,9 @@
+"""Top of the chain: the worker itself looks clean in isolation."""
+from .helper import merge, remember
+from .task import task_kind
+
+
+@task_kind("point")
+def point(payload):
+    value = remember(payload["key"], payload["value"])
+    return merge([value])

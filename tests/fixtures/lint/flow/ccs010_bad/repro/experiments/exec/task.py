@@ -1,0 +1,11 @@
+"""Flow fixture: the task-kind registry (import-time writes are legal)."""
+
+_KINDS = {}
+
+
+def task_kind(name):
+    def deco(fn):
+        _KINDS[name] = fn
+        return fn
+
+    return deco

@@ -1,0 +1,13 @@
+"""Bottom of the chain (clean): state flows through arguments and returns."""
+
+
+def remember(cache, key, value):
+    out = dict(cache)
+    out[key] = value
+    return out
+
+
+def merge(items, acc=None):
+    result = list(acc) if acc is not None else []
+    result.extend(items)
+    return result

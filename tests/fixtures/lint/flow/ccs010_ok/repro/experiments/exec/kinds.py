@@ -1,0 +1,9 @@
+"""Top of the chain (clean): everything arrives and leaves in the payload."""
+from .helper import merge, remember
+from .task import task_kind
+
+
+@task_kind("point")
+def point(payload):
+    cache = remember(payload.get("cache", {}), payload["key"], payload["value"])
+    return {"cache": cache, "merged": merge([payload["value"]])}

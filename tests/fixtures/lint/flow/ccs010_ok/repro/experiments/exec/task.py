@@ -1,0 +1,11 @@
+"""Flow fixture (clean): registry written only by the decorator."""
+
+_KINDS = {}
+
+
+def task_kind(name):
+    def deco(fn):
+        _KINDS[name] = fn
+        return fn
+
+    return deco

@@ -1,0 +1,9 @@
+"""Flow fixture: the journal exists — the mutating path just skips it."""
+
+
+class Journal:
+    def __init__(self, fh):
+        self._fh = fh
+
+    def append(self, event, t, data):
+        self._fh.write(f"{event} {t} {data}\n")

@@ -1,0 +1,24 @@
+"""Flow fixture: public method mutates two hops down, never journals."""
+from typing import Optional
+
+from .journal import Journal
+
+
+class ChargingService:
+    def __init__(self, journal: Optional[Journal] = None):
+        self.journal = journal
+        self.pending = []
+        self.accepted = 0
+
+    def submit(self, request):
+        return self._admit(request)
+
+    def _admit(self, request):
+        if request.get("energy", 0) <= 0:
+            return False
+        self._apply(request)
+        return True
+
+    def _apply(self, request):
+        self.pending.append(request)
+        self.accepted += 1

@@ -1,0 +1,9 @@
+"""Flow fixture (clean): the journal, appended on every mutating path."""
+
+
+class Journal:
+    def __init__(self, fh):
+        self._fh = fh
+
+    def append(self, event, t, data):
+        self._fh.write(f"{event} {t} {data}\n")

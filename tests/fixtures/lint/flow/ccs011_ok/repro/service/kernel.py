@@ -1,0 +1,43 @@
+"""Flow fixture (clean): every mutating public method journals or replays."""
+from typing import Optional
+
+from .journal import Journal
+
+
+class ChargingService:
+    def __init__(self, journal: Optional[Journal] = None):
+        self.journal = journal
+        self.pending = []
+        self.accepted = 0
+
+    def submit(self, request):
+        self._journal("submit", request)
+        return self._admit(request)
+
+    def counts(self):
+        return {"pending": len(self.pending), "accepted": self.accepted}
+
+    def reload(self, path):
+        return ChargingService.recover(path)
+
+    @classmethod
+    def recover(cls, path):
+        kernel = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                kernel._admit({"energy": 1, "line": line})
+        return kernel
+
+    def _journal(self, event, data):
+        if self.journal is not None:
+            self.journal.append(event, 0, data)
+
+    def _admit(self, request):
+        if request.get("energy", 0) <= 0:
+            return False
+        self._apply(request)
+        return True
+
+    def _apply(self, request):
+        self.pending.append(request)
+        self.accepted += 1

@@ -1,0 +1,10 @@
+"""Bottom of the chain: host identity no per-file rule covers.
+
+``uuid.getnode`` is neither the global RNG (CCS001) nor a clock
+(CCS002); only value taint shows its result becoming the seed.
+"""
+import uuid
+
+
+def host_token():
+    return int(uuid.getnode())

@@ -1,0 +1,14 @@
+"""Top of the chain: the tainted value crosses two files on its way in."""
+from repro.rng import derive_seed
+
+from .hostid import host_token
+
+
+def seed_with(root, trial):
+    return derive_seed(root, "trial", trial)
+
+
+def make_seed(trial):
+    token = host_token()
+    salted = token ^ 0x5DEECE66D
+    return seed_with(salted, trial)

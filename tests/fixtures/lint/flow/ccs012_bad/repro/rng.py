@@ -1,0 +1,7 @@
+"""Flow fixture: the seed-derivation sink."""
+import hashlib
+
+
+def derive_seed(root, *path):
+    digest = hashlib.sha256(repr((root,) + path).encode()).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,7 @@
+"""Flow fixture (clean): seeds derive from declared configuration only."""
+from repro.rng import derive_seed
+
+
+def make_seed(config, trial):
+    root = config["seed_root"]
+    return derive_seed(root, "trial", trial)

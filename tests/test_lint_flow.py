@@ -1,0 +1,490 @@
+"""Tests for the whole-program determinism analysis (``repro.lint.flow``).
+
+Covers the engine layers (program, call graph, purity, taint), the four
+cross-file rules CCS009–CCS012 on multi-file fixture programs under
+``tests/fixtures/lint/flow/``, SARIF output, the CLI's ``--format sarif``
+and ``--time-budget`` flags, the baseline ratchet, and the robustness
+guarantees (syntax errors degrade to CCS000, ``--write-baseline`` is
+idempotent, suppressions on a final line without a trailing newline).
+
+The fixture programs are deliberately *invisible* to the per-file rules:
+each violation only exists across a call chain spanning several files,
+which is exactly what the flow engine is for.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.analyzer import analyze_paths, analyze_source, analyze_sources
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.flow import (
+    Program,
+    analyze_program,
+    build_callgraph,
+    dotted_name,
+    summarize,
+    trace_taint,
+)
+from repro.lint.ratchet import added_entries, main as ratchet_main
+from repro.lint.registry import all_rules
+from repro.lint.rules.ccs009_impure_sink_path import ImpureSinkPathRule
+from repro.lint.rules.ccs010_shared_worker_state import SharedWorkerStateRule
+from repro.lint.rules.ccs011_unjournaled_mutation import UnjournaledMutationRule
+from repro.lint.rules.ccs012_tainted_seed import TaintedSeedRule
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+FLOW_FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint" / "flow"
+
+FLOW_RULES = (
+    ImpureSinkPathRule,
+    SharedWorkerStateRule,
+    UnjournaledMutationRule,
+    TaintedSeedRule,
+)
+
+
+def flow_items(name):
+    """``(path, source, module)`` triples for one fixture program."""
+    base = FLOW_FIXTURES / name
+    items = []
+    for path in sorted(base.rglob("*.py")):
+        module = path.relative_to(base).as_posix()
+        items.append((str(path), path.read_text(encoding="utf-8"), module))
+    assert items, f"fixture program {name} is empty"
+    return items
+
+
+def flow_program(name):
+    return Program.from_sources(flow_items(name))
+
+
+def analyze_flow(name, rules=None):
+    """All findings (across files) for one fixture program."""
+    reports = analyze_sources(flow_items(name), rules=rules)
+    findings = [f for r in reports for f in r.findings]
+    suppressed = [f for r in reports for f in r.suppressed]
+    return findings, suppressed
+
+
+def chain_depth(message):
+    """Call-chain hops rendered in a flow finding message."""
+    return message.count(" -> ")
+
+
+# ---------------------------------------------------------------------- #
+# engine: program layer
+
+
+def test_dotted_name_conversions():
+    assert dotted_name("repro/service/kernel.py") == "repro.service.kernel"
+    assert dotted_name("repro/lint/__init__.py") == "repro.lint"
+    assert dotted_name("benchmarks/bench_exec.py") == "benchmarks.bench_exec"
+
+
+def test_program_from_sources_skips_unparsable():
+    items = [
+        ("good.py", "x = 1\n", "pkg/good.py"),
+        ("bad.py", "def broken(:\n", "pkg/bad.py"),
+    ]
+    program = Program.from_sources(items)
+    assert "pkg.good" in program
+    assert "pkg.bad" not in program
+
+
+def test_program_resolve_prefix_longest_match():
+    program = flow_program("ccs009_bad")
+    hit = program.resolve_prefix("repro.service.journal.Journal.append")
+    assert hit == ("repro.service.journal", "Journal.append")
+
+
+def test_analyze_program_is_memoized():
+    program = flow_program("ccs009_bad")
+    assert analyze_program(program) is analyze_program(program)
+
+
+# ---------------------------------------------------------------------- #
+# engine: call graph
+
+
+def callee_names(graph, qname):
+    return {site.callee for site in graph.callees(qname)}
+
+
+def test_callgraph_resolves_cross_module_chain():
+    graph = build_callgraph(flow_program("ccs009_bad"))
+    assert "repro.service.fmt.stamp" in callee_names(
+        graph, "repro.service.journal.Journal.append"
+    )
+    assert "repro.service.meta.record_meta" in callee_names(
+        graph, "repro.service.fmt.stamp"
+    )
+
+
+def test_callgraph_annotated_param_store_binds_attribute():
+    # `self.journal = journal` with `journal: Optional[Journal]` in the
+    # __init__ signature makes `self.journal.append(...)` resolve.
+    graph = build_callgraph(flow_program("ccs011_ok"))
+    assert "repro.service.journal.Journal.append" in callee_names(
+        graph, "repro.service.kernel.ChargingService._journal"
+    )
+
+
+def test_callgraph_class_qualified_and_cls_calls_resolve():
+    graph = build_callgraph(flow_program("ccs011_ok"))
+    # `ChargingService.recover(path)` — same-module class-qualified call.
+    assert "repro.service.kernel.ChargingService.recover" in callee_names(
+        graph, "repro.service.kernel.ChargingService.reload"
+    )
+    # `cls()` inside the classmethod constructs the owner.
+    assert "repro.service.kernel.ChargingService.__init__" in callee_names(
+        graph, "repro.service.kernel.ChargingService.recover"
+    )
+
+
+def test_callgraph_decorator_subtree_is_not_an_edge():
+    # @task_kind("point") runs at import time; the worker must not be
+    # charged with calling (or reaching the effects of) its decorator.
+    graph = build_callgraph(flow_program("ccs010_bad"))
+    worker = "repro.experiments.exec.kinds.point"
+    assert worker in graph.functions
+    assert "repro.experiments.exec.task.task_kind" not in callee_names(graph, worker)
+
+
+def test_callgraph_reachable_from_records_witness_chains():
+    graph = build_callgraph(flow_program("ccs009_bad"))
+    root = "repro.service.journal.Journal.append"
+    chains = graph.reachable_from([root])
+    assert chains[root] == (root,)
+    assert chains["repro.service.meta.record_meta"] == (
+        root,
+        "repro.service.fmt.stamp",
+        "repro.service.meta.record_meta",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# engine: purity and taint
+
+
+def test_purity_transitive_impurity_with_witness():
+    graph = build_callgraph(flow_program("ccs009_bad"))
+    purity = summarize(graph)
+    sink = "repro.service.journal.Journal.append"
+    assert purity.is_impure(sink)
+    chain, read = purity.impurity_chain(sink)
+    assert chain[0] == sink
+    assert chain[-1] == "repro.service.meta.record_meta"
+    assert read is not None and read.dotted == "uuid.uuid4"
+
+
+def test_purity_clean_program_is_pure():
+    graph = build_callgraph(flow_program("ccs009_ok"))
+    purity = summarize(graph)
+    assert not purity.is_impure("repro.service.journal.Journal.append")
+
+
+def test_taint_flows_through_returns_and_params():
+    # host_token()'s return taints `token` in another file; the wrapper
+    # seed_with() carries it into derive_seed through a parameter.
+    graph = build_callgraph(flow_program("ccs012_bad"))
+    report = trace_taint(graph, ("repro.rng.derive_seed",))
+    assert "repro.experiments.hostid.host_token" in report.returns_tainted
+    sources = {f.source for f in report.findings}
+    assert "uuid.getnode" in sources
+    (finding,) = [f for f in report.findings if f.source == "uuid.getnode"]
+    assert finding.fn == "repro.experiments.seeding.make_seed"
+    assert "repro.experiments.seeding.seed_with" in finding.chain
+
+
+def test_taint_clean_program_has_no_findings():
+    graph = build_callgraph(flow_program("ccs012_ok"))
+    report = trace_taint(graph, ("repro.rng.derive_seed",))
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------- #
+# rules: CCS009–CCS012 on multi-file fixture programs
+
+
+def test_ccs009_fires_across_three_files():
+    findings, _ = analyze_flow("ccs009_bad")
+    assert sorted({f.code for f in findings}) == ["CCS009"]
+    (finding,) = findings
+    assert finding.module == "repro/service/meta.py"
+    assert "uuid.uuid4" in finding.message
+    assert "Journal.append" in finding.message
+    assert chain_depth(finding.message) >= 2
+
+
+def test_ccs009_clean_program():
+    findings, _ = analyze_flow("ccs009_ok")
+    assert findings == []
+
+
+def test_ccs010_flags_cache_and_mutable_default():
+    findings, _ = analyze_flow("ccs010_bad")
+    assert sorted({f.code for f in findings}) == ["CCS010"]
+    assert len(findings) == 2
+    assert {f.module for f in findings} == {"repro/experiments/exec/helper.py"}
+    messages = " | ".join(f.message for f in findings)
+    assert "_CACHE" in messages
+    assert "mutable default" in messages
+    assert "kinds.point" in messages  # the worker the state is reachable from
+
+
+def test_ccs010_clean_program():
+    findings, _ = analyze_flow("ccs010_ok")
+    assert findings == []
+
+
+def test_ccs011_flags_unjournaled_public_mutation():
+    findings, _ = analyze_flow("ccs011_bad")
+    assert sorted({f.code for f in findings}) == ["CCS011"]
+    (finding,) = findings
+    assert finding.module == "repro/service/kernel.py"
+    assert "ChargingService.submit" in finding.message
+    assert chain_depth(finding.message) >= 2  # submit -> _admit -> _apply
+
+
+def test_ccs011_journaled_and_replay_paths_are_clean():
+    findings, _ = analyze_flow("ccs011_ok")
+    assert findings == []
+
+
+def test_ccs012_flags_tainted_seed_derivation():
+    findings, _ = analyze_flow("ccs012_bad")
+    assert sorted({f.code for f in findings}) == ["CCS012"]
+    (finding,) = findings
+    assert finding.module == "repro/experiments/seeding.py"
+    assert "uuid.getnode" in finding.message
+    assert "derive_seed" in finding.message
+
+
+def test_ccs012_clean_program():
+    findings, _ = analyze_flow("ccs012_ok")
+    assert findings == []
+
+
+@pytest.mark.parametrize(
+    "name", ["ccs009_bad", "ccs010_bad", "ccs011_bad", "ccs012_bad"]
+)
+def test_flow_violations_are_invisible_to_per_file_rules(name):
+    """The fixtures only violate *cross-file* properties by construction."""
+    file_rules = [r for r in all_rules() if not r.whole_program]
+    findings, _ = analyze_flow(name, rules=file_rules)
+    assert findings == []
+
+
+def test_flow_finding_routes_through_inline_suppression():
+    items = []
+    for path, source, module in flow_items("ccs009_bad"):
+        if module == "repro/service/meta.py":
+            line = '    return f"{event}:{uuid.uuid4().hex}"'
+            source = source.replace(
+                line, line + "  # ccs-lint: ignore[CCS009] -- test fixture"
+            )
+            assert "ignore[CCS009]" in source
+        items.append((path, source, module))
+    reports = analyze_sources(items)
+    assert [f for r in reports for f in r.findings] == []
+    suppressed = [f for r in reports for f in r.suppressed]
+    assert [f.code for f in suppressed] == ["CCS009"]
+
+
+def test_flow_rule_allow_list_filters_on_module():
+    rule = ImpureSinkPathRule()
+    rule.allow = ("repro/service/meta.py",)
+    findings, _ = analyze_flow("ccs009_bad", rules=[rule])
+    assert findings == []
+
+
+# ---------------------------------------------------------------------- #
+# gate: the real tree holds the cross-file properties
+
+
+def test_src_tree_has_no_flow_findings():
+    rules = [cls() for cls in FLOW_RULES]
+    reports = analyze_paths([SRC], rules=rules)
+    findings = [f for r in reports for f in r.findings]
+    assert findings == [], "\n".join(
+        f"{f.code} {f.module}:{f.line} {f.message}" for f in findings
+    )
+
+
+# ---------------------------------------------------------------------- #
+# SARIF
+
+
+def sample_findings():
+    findings, _ = analyze_flow("ccs009_bad")
+    more, _ = analyze_flow("ccs010_bad")
+    return findings + more
+
+
+def test_sarif_document_structure():
+    doc = to_sarif(sample_findings())
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "ccs-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert len(rule_ids) == len(set(rule_ids))
+    assert rule_ids == sorted(rule_ids)
+    assert "CCS000" in rule_ids  # the synthetic syntax-error rule
+    for result in run["results"]:
+        assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert location["region"]["startLine"] >= 1
+        assert result["message"]["text"]
+
+
+def test_sarif_render_is_deterministic():
+    findings = sample_findings()
+    first = render_sarif(findings)
+    second = render_sarif(list(reversed(findings)))
+    assert first == second
+    assert first.endswith("\n")
+    json.loads(first)  # well-formed
+
+
+def test_cli_format_sarif(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nrandom.seed(0)\n", encoding="utf-8")
+    code = lint_main([str(bad), "--no-baseline", "--format", "sarif"])
+    assert code == 1
+    out = capsys.readouterr().out
+    doc = json.loads(out)
+    assert doc["version"] == SARIF_VERSION
+    assert {r["ruleId"] for r in doc["runs"][0]["results"]}
+
+
+def test_cli_format_sarif_clean_tree(tmp_path, capsys):
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(ok), "--no-baseline", "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------- #
+# CLI: --time-budget
+
+
+def test_cli_time_budget_generous(tmp_path, capsys):
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(ok), "--no-baseline", "--time-budget", "60"]) == 0
+
+
+def test_cli_time_budget_exceeded(tmp_path, capsys):
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(ok), "--no-baseline", "--time-budget", "0.0"]) == 1
+    assert "budget" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# robustness
+
+
+def test_syntax_error_degrades_to_ccs000(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n", encoding="utf-8")
+    (tmp_path / "fine.py").write_text("import random\n", encoding="utf-8")
+    # Library API: a structured finding, not an exception — and the flow
+    # rules still run over the files that *did* parse.
+    reports = analyze_paths([tmp_path])
+    codes = sorted(f.code for r in reports for f in r.findings)
+    assert "CCS000" in codes
+    assert "CCS001" in codes
+    # CLI: clean exit discipline, no traceback on stdout.
+    assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "CCS000" in out
+    assert "Traceback" not in out
+
+
+def test_write_baseline_is_idempotent(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nrandom.seed(7)\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    argv = [str(bad), "--baseline", str(baseline), "--write-baseline"]
+    assert lint_main(argv) == 0
+    first = baseline.read_bytes()
+    assert lint_main(argv) == 0
+    assert baseline.read_bytes() == first
+
+
+def test_suppression_on_final_line_without_newline():
+    source = "import random  # ccs-lint: ignore[CCS001] -- seeded via repro.rng"
+    assert not source.endswith("\n")
+    report = analyze_source(source, "snippet.py")
+    assert report.findings == []
+    assert [f.code for f in report.suppressed] == ["CCS001"]
+
+
+# ---------------------------------------------------------------------- #
+# baseline ratchet
+
+
+def write_baseline_doc(path, entries):
+    doc = {
+        "version": 1,
+        "findings": [
+            {"code": c, "module": m, "content": s} for c, m, s in entries
+        ],
+    }
+    path.write_text(json.dumps(doc), encoding="utf-8")
+
+
+ENTRY = ("CCS001", "repro/a.py", "import random")
+
+
+def test_ratchet_holds_when_baseline_shrinks(tmp_path, capsys):
+    ref = tmp_path / "ref.json"
+    prop = tmp_path / "prop.json"
+    write_baseline_doc(ref, [ENTRY])
+    write_baseline_doc(prop, [])
+    assert ratchet_main([str(ref), str(prop)]) == 0
+    assert "ratchet: ok" in capsys.readouterr().err
+
+
+def test_ratchet_fails_when_baseline_grows(tmp_path, capsys):
+    ref = tmp_path / "ref.json"
+    prop = tmp_path / "prop.json"
+    write_baseline_doc(ref, [])
+    write_baseline_doc(prop, [ENTRY])
+    assert ratchet_main([str(ref), str(prop)]) == 1
+    err = capsys.readouterr().err
+    assert "CCS001" in err and "import random" in err
+
+
+def test_ratchet_missing_reference_counts_as_empty(tmp_path):
+    prop = tmp_path / "prop.json"
+    write_baseline_doc(prop, [ENTRY])
+    assert ratchet_main([str(tmp_path / "absent.json"), str(prop)]) == 1
+    write_baseline_doc(prop, [])
+    assert ratchet_main([str(tmp_path / "absent.json"), str(prop)]) == 0
+
+
+def test_ratchet_respects_multiplicity(tmp_path):
+    ref = tmp_path / "ref.json"
+    prop = tmp_path / "prop.json"
+    write_baseline_doc(ref, [ENTRY])
+    write_baseline_doc(prop, [ENTRY, ENTRY])
+    added = added_entries(Baseline.load(ref), Baseline.load(prop))
+    assert added == [(ENTRY, 1)]
+    assert ratchet_main([str(ref), str(prop)]) == 1
+
+
+def test_ratchet_usage_and_bad_file_exit_two(tmp_path, capsys):
+    assert ratchet_main([]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}", encoding="utf-8")
+    assert ratchet_main([str(bad), str(bad)]) == 2
