@@ -10,7 +10,7 @@ JOBS ?= 1
 # Task-result cache directory used by run-all (re-runs resume from it).
 CACHE_DIR ?= .ccs-bench-cache
 
-.PHONY: test lint lint-flow typecheck bench bench-smoke bench-hotpath bench-large bench-exec bench-service bench-shard golden golden-experiments run-all serve-smoke chaos-smoke chaos shard-smoke
+.PHONY: test lint lint-flow typecheck bench bench-smoke bench-hotpath bench-large bench-exec bench-service bench-shard bench-recovery golden golden-experiments run-all serve-smoke chaos-smoke chaos shard-smoke recovery-smoke
 
 # Tier-1 gate: the full unit/property/golden suite.
 test:
@@ -74,6 +74,11 @@ bench-service:
 bench-shard:
 	$(PYTHON) benchmarks/bench_shard.py
 
+# Measure crash recovery (snapshot + suffix replay vs full replay) and
+# rewrite benchmarks/BENCH_recovery.json.
+bench-recovery:
+	$(PYTHON) benchmarks/bench_recovery.py
+
 # End-to-end daemon smoke: generated stream -> journal -> metrics, then
 # crash-recover from the journal and verify byte-identical state.
 serve-smoke:
@@ -94,6 +99,23 @@ chaos-smoke:
 		--shards 4 --halo 12 --journal .chaos-smoke-shards \
 		--fault-plan seed:13 --check-recovery
 	rm -rf .chaos-smoke-shards
+	$(PYTHON) -m repro.service --n 150 --rate 0.5 --seed 7 --chargers 8 \
+		--shards 4 --halo 12 --journal .chaos-smoke-supervised \
+		--snapshot-every 25 --fault-plan seed:13 --supervise --check-recovery
+	rm -rf .chaos-smoke-supervised
+
+# Self-healing smoke (tier-1 marker, <5 s): supervised chaos — shard
+# kills, snapshot corruption, crash-looping recoveries — converging
+# byte-identical with zero operator calls, then an end-to-end supervised
+# daemon run recovered via --recover-only (see docs/RECOVERY.md).
+recovery-smoke:
+	$(PYTHON) -m pytest -q -m recovery_smoke tests/test_shard_supervisor.py
+	$(PYTHON) -m repro.service --n 100 --rate 0.5 --seed 7 --chargers 8 \
+		--shards 4 --halo 12 --journal .recovery-smoke \
+		--snapshot-every 20 --fault-plan seed:3 --supervise
+	$(PYTHON) -m repro.service --chargers 8 --shards 4 \
+		--journal .recovery-smoke --recover-only
+	rm -rf .recovery-smoke
 
 # Sharded-service smoke (tier-1 marker): a 4-shard replay checked against
 # the live facade plus the 1-shard byte-identity spot check, then an

@@ -1,0 +1,189 @@
+"""Benchmark crash recovery: snapshot + suffix replay vs full replay.
+
+Runs the same seeded request stream through two journaled daemons — one
+bare (recovery must replay every record) and one with periodic
+checksummed snapshots + prefix compaction (recovery loads the newest
+snapshot and replays only the suffix; see ``docs/RECOVERY.md``) — then
+times :meth:`~repro.service.kernel.ChargingService.recover` against each
+journal and checks the two recovered states are byte-identical to the
+live daemon's (schedule and metrics snapshot).
+
+Reported per size:
+
+- full-replay and snapshot recovery wall time (best of ``ROUNDS``),
+- the speedup ratio (the tentpole claim: snapshots make recovery
+  O(events since last snapshot), not O(journal)),
+- records replayed on the snapshot path vs the journal's record count,
+- byte-identity of both recovered states.
+
+Two entry points:
+
+- ``pytest benchmarks/bench_recovery.py --benchmark-only`` — the n=1000
+  snapshot recovery timed under pytest-benchmark;
+- ``PYTHONPATH=src python benchmarks/bench_recovery.py`` — standalone,
+  rewrites ``benchmarks/BENCH_recovery.json`` (checked in).  Wall-clock
+  numbers are host-dependent context, not CI-enforced thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.geometry import Field, Point
+from repro.service import ChargingService, ServiceConfig, generate_requests
+from repro.wpt import Charger
+
+HERE = Path(__file__).parent
+RESULT_FILE = HERE / "BENCH_recovery.json"
+
+SIZES = (500, 1000, 2000)
+SEED = 42
+RATE = 2.0  # requests/s of logical time
+FIELD = 400.0
+N_CHARGERS = 8
+SNAPSHOT_EVERY = 200
+ROUNDS = 3
+
+
+def make_chargers():
+    side = int(N_CHARGERS ** 0.5) or 1
+    chargers = []
+    for i in range(N_CHARGERS):
+        r, c = divmod(i, side)
+        chargers.append(
+            Charger(
+                charger_id=f"c{i}",
+                position=Point(
+                    FIELD * (c + 1) / (side + 1),
+                    FIELD * (r + 1) / (side + 2),
+                ),
+                capacity=10,
+            )
+        )
+    return chargers
+
+
+def build_journal(n: int, path: Path, snapshot_every=None):
+    """Drive the stream into a journal; return (schedule, metrics)."""
+    requests = generate_requests(
+        n, rate=RATE, field=Field(FIELD, FIELD), rng=SEED
+    )
+    service = ChargingService(
+        make_chargers(),
+        config=ServiceConfig(),
+        journal_path=path,
+        journal_sync=False,
+        snapshot_every=snapshot_every,
+    )
+    for request in requests:
+        service.submit(request)
+    service.drain()
+    schedule = service.final_schedule()
+    metrics = service.metrics_snapshot()
+    service.journal.close()
+    return schedule, metrics
+
+
+def time_recover(path: Path, snapshot_every=None, rounds: int = ROUNDS):
+    """Best-of-*rounds* recovery wall time; returns (seconds, last service)."""
+    best = float("inf")
+    service = None
+    for _ in range(rounds):
+        if service is not None:
+            service.journal.close()
+        t0 = time.perf_counter()
+        service = ChargingService.recover(
+            path,
+            make_chargers(),
+            config=ServiceConfig(),
+            journal_sync=False,
+            snapshot_every=snapshot_every,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, service
+
+
+def run_once(n: int) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        plain = Path(tmp) / "plain.jsonl"
+        snapped = Path(tmp) / "snapped.jsonl"
+        schedule, metrics = build_journal(n, plain)
+        schedule2, metrics2 = build_journal(n, snapped, SNAPSHOT_EVERY)
+        assert schedule2 == schedule and metrics2 == metrics
+
+        full_s, full = time_recover(plain)
+        snap_s, snap = time_recover(snapped, SNAPSHOT_EVERY)
+        identical = (
+            full.final_schedule() == schedule
+            and snap.final_schedule() == schedule
+            and full.metrics_snapshot() == metrics
+            and snap.metrics_snapshot() == metrics
+        )
+        counters = snap.observability_snapshot()["counters"]
+        full_counters = full.observability_snapshot()["counters"]
+        full.journal.close()
+        snap.journal.close()
+    return {
+        "n": n,
+        "journal_records": full_counters["recovery.records_replayed"],
+        "full_replay_s": round(full_s, 4),
+        "snapshot_recovery_s": round(snap_s, 4),
+        "speedup": round(full_s / snap_s, 1),
+        "records_replayed_from_snapshot": counters["recovery.records_replayed"],
+        "snapshot_used": bool(counters["recovery.snapshot_used"]),
+        "recovered_byte_identical": identical,
+    }
+
+
+def test_snapshot_recovery_benchmark(benchmark):
+    """pytest-benchmark entry: time one n=1000 snapshot recovery."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "snapped.jsonl"
+        schedule, _metrics = build_journal(1000, path, SNAPSHOT_EVERY)
+
+        def run():
+            _s, service = time_recover(path, SNAPSHOT_EVERY, rounds=1)
+            return service
+
+        service = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert service.final_schedule() == schedule
+        service.journal.close()
+
+
+def main() -> int:
+    results = []
+    for n in SIZES:
+        result = run_once(n)
+        results.append(result)
+        print(
+            f"n={n:5d}: full={result['full_replay_s']:7.4f}s  "
+            f"snapshot={result['snapshot_recovery_s']:7.4f}s  "
+            f"speedup={result['speedup']:5.1f}x  "
+            f"replayed={result['records_replayed_from_snapshot']}"
+            f"/{result['journal_records']}  "
+            f"identical={result['recovered_byte_identical']}"
+        )
+    doc = {
+        "benchmark": "journal recovery: snapshot + suffix replay vs full replay",
+        "config": {
+            "rate_req_per_s": RATE,
+            "field_m": FIELD,
+            "chargers": N_CHARGERS,
+            "snapshot_every": SNAPSHOT_EVERY,
+            "rounds": ROUNDS,
+            "seed": SEED,
+        },
+        "results": results,
+        "python": sys.version.split()[0],
+    }
+    RESULT_FILE.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

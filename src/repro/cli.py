@@ -267,6 +267,38 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "With --shards > 1, seed:N generates shard kill/recover events "
         "instead of journal faults",
     )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a checksummed state snapshot roughly every N journal "
+        "records and compact the covered journal prefix, bounding recovery "
+        "to the suffix replay (see docs/RECOVERY.md; default off)",
+    )
+    parser.add_argument(
+        "--snapshot-keep",
+        type=int,
+        default=2,
+        metavar="K",
+        help="snapshot files retained per journal (default 2; compaction "
+        "needs at least 2 so one corrupt snapshot never strands recovery)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="with --shards > 1: run the fault plan through the shard "
+        "supervisor (automatic failover with seed-derived backoff, "
+        "degraded-mode routing on escalation, supervision journal) "
+        "instead of the kill-and-recover chaos driver",
+    )
+    parser.add_argument(
+        "--recover-only",
+        action="store_true",
+        help="skip the run: recover a daemon from --journal, report its "
+        "state, and exit — nonzero with a one-line structured error when "
+        "the journal directory is corrupt beyond repair",
+    )
     return parser
 
 
@@ -293,12 +325,16 @@ def _grid_chargers(k: int, side: float):
     return chargers
 
 
-def _load_fault_plan(spec: str, requests, chargers, n_shards: int = 1):
+def _load_fault_plan(
+    spec: str, requests, chargers, n_shards: int = 1, supervised: bool = False
+):
     """Resolve ``--fault-plan``: a JSON file path or ``seed:N``.
 
     With ``n_shards > 1`` a generated plan swaps journal faults (which
     assume a single kernel) for ``shard_kill`` events drawn per shard via
-    ``derive_seed(seed, "shard", sid)``.
+    ``derive_seed(seed, "shard", sid)``; ``supervised`` widens the mix to
+    the full self-healing chaos set (snapshot corruption, crashes
+    mid-snapshot, crash-looping recoveries).
     """
     from .faults import FaultPlan
 
@@ -314,8 +350,11 @@ def _load_fault_plan(spec: str, requests, chargers, n_shards: int = 1):
                 requests=requests,
                 journal_faults=0,
             )
-            kills = FaultPlan.generate_shard_kills(seed, n_shards, horizon)
-            return FaultPlan(list(plan.events) + list(kills.events))
+            if supervised:
+                chaos = FaultPlan.generate_supervised(seed, n_shards, horizon)
+            else:
+                chaos = FaultPlan.generate_shard_kills(seed, n_shards, horizon)
+            return FaultPlan(list(plan.events) + list(chaos.events))
         return FaultPlan.generate(
             seed,
             charger_ids=[c.charger_id for c in chargers],
@@ -324,15 +363,72 @@ def _load_fault_plan(spec: str, requests, chargers, n_shards: int = 1):
     return FaultPlan.load(spec)
 
 
+def _structured_error(exc: BaseException) -> None:
+    """One machine-parsable line on stderr for unrecoverable failures."""
+    print(
+        json.dumps(
+            {"error": type(exc).__name__, "message": str(exc)},
+            sort_keys=True,
+        ),
+        file=sys.stderr,
+    )
+
+
+def _recover_only(args, chargers, config) -> int:
+    """The ``--recover-only`` path: rebuild from the journal and report.
+
+    Exit 0 with a state summary on success; exit 3 with a one-line
+    structured error (JSON on stderr) when recovery is impossible —
+    corruption beyond repair, a manifest schema mismatch, or a config
+    that does not match the journal's ``open`` header.
+    """
+    from .errors import ServiceError
+    from .service import ChargingService
+
+    try:
+        if args.shards > 1:
+            from .shard import ShardedService
+
+            service = ShardedService.recover(
+                args.journal, chargers, config=config, journal_sync=False,
+                snapshot_every=args.snapshot_every,
+                snapshot_keep=args.snapshot_keep,
+            )
+        else:
+            service = ChargingService.recover(
+                args.journal, chargers, config=config, journal_sync=False,
+                snapshot_every=args.snapshot_every,
+                snapshot_keep=args.snapshot_keep,
+            )
+    except ServiceError as exc:
+        _structured_error(exc)
+        return 3
+    counts = service.counts()
+    sessions = service.final_schedule()
+    print(f"recovered: {len(sessions)} sessions")
+    print("  " + "  ".join(f"{state}={n}" for state, n in sorted(counts.items())))
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(service.metrics_snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_json}", file=sys.stderr)
+    if args.shards > 1:
+        service.close()
+    elif service.journal is not None:
+        service.journal.close()
+    return 0
+
+
 def _serve_sharded(args, requests, chargers, config) -> int:
     """The ``--shards N > 1`` path: a sharded service, one journal per shard."""
     from .geometry import Field
-    from .shard import ShardedService, drive_sharded
+    from .shard import ShardedService, drive_sharded, drive_supervised
 
     fault_plan = None
     if args.fault_plan:
         fault_plan = _load_fault_plan(
-            args.fault_plan, requests, chargers, n_shards=args.shards
+            args.fault_plan, requests, chargers, n_shards=args.shards,
+            supervised=args.supervise,
         )
         if fault_plan.journal_faults():
             print(
@@ -341,9 +437,20 @@ def _serve_sharded(args, requests, chargers, config) -> int:
                 file=sys.stderr,
             )
             return 2
-        if fault_plan.shard_kills() and not args.journal:
-            print("shard_kill faults require --journal", file=sys.stderr)
+        if fault_plan.supervisor_events() and not args.journal:
+            print("shard chaos events require --journal", file=sys.stderr)
             return 2
+        if not args.supervise:
+            beyond_kills = [
+                e for e in fault_plan.supervisor_events()
+                if e.kind != "shard_kill"
+            ]
+            if beyond_kills or fault_plan.recovery_crashes():
+                print(
+                    "snapshot/recovery chaos events require --supervise",
+                    file=sys.stderr,
+                )
+                return 2
 
     field = Field(args.field, args.field)
     service = ShardedService(
@@ -353,10 +460,26 @@ def _serve_sharded(args, requests, chargers, config) -> int:
         halo=args.halo,
         config=config,
         journal_dir=args.journal,
+        snapshot_every=args.snapshot_every,
+        snapshot_keep=args.snapshot_keep,
     )
-    service, stats = drive_sharded(
-        service, requests, fault_plan, advance_to=args.duration
-    )
+    if args.supervise:
+        service, supervisor, stats = drive_supervised(
+            service, requests, fault_plan, seed=args.seed,
+            advance_to=args.duration,
+        )
+        supervisor.close()
+        print(
+            f"supervisor: {supervisor.stats['failures']} failures, "
+            f"{supervisor.stats['restarts']} restarts, "
+            f"{supervisor.stats['recoveries']} recoveries, "
+            f"{supervisor.stats['escalations']} escalations "
+            f"(logical backoff {supervisor.stats['total_backoff']:.1f} s)"
+        )
+    else:
+        service, stats = drive_sharded(
+            service, requests, fault_plan, advance_to=args.duration
+        )
     if fault_plan is not None:
         print(
             f"faults: {len(fault_plan)} scheduled, {stats['kills']} shard "
@@ -385,8 +508,18 @@ def _serve_sharded(args, requests, chargers, config) -> int:
         print(f"wrote {args.metrics_json}", file=sys.stderr)
 
     if args.check_recovery:
+        from .errors import ServiceError
+
         service.close()
-        recovered = ShardedService.recover(args.journal, chargers, config=config)
+        try:
+            recovered = ShardedService.recover(
+                args.journal, chargers, config=config,
+                snapshot_every=args.snapshot_every,
+                snapshot_keep=args.snapshot_keep,
+            )
+        except ServiceError as exc:
+            _structured_error(exc)
+            return 3
         ok = (
             recovered.final_schedule() == sessions
             and recovered.metrics_snapshot() == service.metrics_snapshot()
@@ -416,6 +549,31 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.snapshot_every is not None and args.snapshot_every < 1:
+        print(
+            f"--snapshot-every must be >= 1, got {args.snapshot_every}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.snapshot_keep < 1:
+        print(f"--snapshot-keep must be >= 1, got {args.snapshot_keep}", file=sys.stderr)
+        return 2
+    if args.supervise and args.shards < 2:
+        print("--supervise requires --shards > 1", file=sys.stderr)
+        return 2
+    if args.recover_only and not args.journal:
+        print("--recover-only requires --journal", file=sys.stderr)
+        return 2
+
+    if args.recover_only:
+        chargers = _grid_chargers(args.chargers, args.field)
+        config = ServiceConfig(
+            epoch=args.epoch,
+            window=args.window,
+            queue_limit=args.queue_limit,
+            max_active=args.max_active,
+        )
+        return _recover_only(args, chargers, config)
 
     if args.trace:
         requests = read_trace(args.trace)
@@ -469,11 +627,17 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     elif fault_plan is not None:
         from .faults import drive
 
-        service = ChargingService(chargers, config=config, journal_path=args.journal)
+        service = ChargingService(
+            chargers, config=config, journal_path=args.journal,
+            snapshot_every=args.snapshot_every, snapshot_keep=args.snapshot_keep,
+        )
         drive(service, requests, fault_plan, advance_to=args.duration)
         print(f"faults: {len(fault_plan)} scheduled")
     else:
-        service = ChargingService(chargers, config=config, journal_path=args.journal)
+        service = ChargingService(
+            chargers, config=config, journal_path=args.journal,
+            snapshot_every=args.snapshot_every, snapshot_keep=args.snapshot_keep,
+        )
         for request in requests:
             service.submit(request)
         if args.duration is not None:
@@ -497,8 +661,18 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.metrics_json}", file=sys.stderr)
 
     if args.check_recovery:
+        from .errors import ServiceError
+
         service.journal.close()
-        recovered = ChargingService.recover(args.journal, chargers, config=config)
+        try:
+            recovered = ChargingService.recover(
+                args.journal, chargers, config=config,
+                snapshot_every=args.snapshot_every,
+                snapshot_keep=args.snapshot_keep,
+            )
+        except ServiceError as exc:
+            _structured_error(exc)
+            return 3
         ok = (
             recovered.final_schedule() == sessions
             and recovered.metrics_snapshot() == service.metrics_snapshot()

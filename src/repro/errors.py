@@ -21,6 +21,11 @@ __all__ = [
     "ServiceError",
     "JournalError",
     "JournalWriteError",
+    "SnapshotError",
+    "RecoveryError",
+    "LiveJournalError",
+    "ShardFailedError",
+    "ShardUnavailableError",
     "ClockError",
     "TaskFailedError",
     "InjectedFaultError",
@@ -100,6 +105,77 @@ class JournalWriteError(JournalError):
     journal stays a valid record prefix.  The daemon that catches this is
     expected to stop and be recovered from the journal.
     """
+
+
+class SnapshotError(JournalError):
+    """A kernel state snapshot is unreadable, corrupt, or version-skewed.
+
+    Raised by :func:`repro.service.snapshot.load_snapshot` when a snapshot
+    file fails its checksum, carries an unsupported schema version, or is
+    structurally damaged (e.g. a half-written file left by a crash during
+    the snapshot write).  Recovery treats this as "snapshot does not
+    exist" and falls back to the next older snapshot, then to full
+    journal replay — a bad snapshot must never poison recovery.
+    """
+
+
+class RecoveryError(JournalError):
+    """Recovery cannot proceed at all — corruption beyond repair.
+
+    Raised when no recovery path exists: the journal's retained prefix
+    starts past seq 0 (it was compacted) and no valid snapshot covers the
+    gap, or a shard manifest carries an unsupported schema version.
+    Unlike a torn tail (silently dropped) this is not survivable by
+    replay; the operator must restore files from elsewhere.  ``ccs-serve``
+    turns this into a one-line structured error and a nonzero exit.
+    """
+
+
+class LiveJournalError(JournalError):
+    """Recovery was attempted on a journal that is still being written.
+
+    A :class:`~repro.shard.service.ShardedService` registers its journal
+    directory while open and deregisters it on :meth:`close`; recovering
+    a directory another live service object in this process still owns
+    would interleave two writers on the same files.  A daemon killed by a
+    crash never deregisters cleanly — but its process is gone, so a fresh
+    process recovering the same directory proceeds normally.
+    """
+
+
+class ShardFailedError(ServiceError):
+    """A shard kernel died mid-call (its journal append failed or a crash
+    was injected).  Carries the shard id, the shard's logical clock at
+    failure, and the underlying cause so a supervisor can recover exactly
+    that kernel and retry the interrupted input.
+    """
+
+    def __init__(self, shard: int, at: float, cause: BaseException) -> None:
+        self.shard = int(shard)
+        self.at = float(at)
+        self.cause = cause
+        super().__init__(
+            f"shard {self.shard} failed at t={self.at!r}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class ShardUnavailableError(ServiceError):
+    """No live shard can serve a request (degraded-mode routing).
+
+    Raised by the router when every candidate shard of a request is down,
+    or when its sticky shard is down (stickiness is preserved across the
+    outage, so the request is *not* silently reassigned).  The facade
+    turns this into a typed ``rejected.shard_unavailable`` outcome.
+    """
+
+    def __init__(self, request_id: str, shards: Sequence[int]) -> None:
+        self.request_id = str(request_id)
+        self.shards = list(shards)
+        super().__init__(
+            f"request {self.request_id!r}: no live shard among candidates "
+            f"{self.shards}"
+        )
 
 
 class ClockError(ServiceError):

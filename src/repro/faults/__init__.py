@@ -12,7 +12,8 @@ Layout:
 
 - :mod:`.plan` — :class:`FaultEvent` / :class:`FaultPlan`: the schedule
   of charger outages/recoveries, cancellations, no-shows, journal write
-  failures, and worker crashes.  Built on
+  failures, worker crashes, shard kills, snapshot corruption, crashes
+  mid-snapshot-write, and crash-looping recoveries.  Built on
   :func:`repro.rng.derive_seed`; never wall-clock or global RNG.
 - :mod:`.journal` — :class:`FaultyJournal`: a service journal whose
   appends fail on cue (clean ``ENOSPC`` or a torn mid-record write).
@@ -31,10 +32,11 @@ state diagram.
 from .driver import apply_event, drive, drive_with_recovery, merge_timeline
 from .executor import FaultyExecutor
 from .journal import FaultyJournal
-from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .plan import FAULT_KINDS, SUPERVISOR_KINDS, FaultEvent, FaultPlan
 
 __all__ = [
     "FAULT_KINDS",
+    "SUPERVISOR_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultyJournal",

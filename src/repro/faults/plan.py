@@ -25,6 +25,19 @@ Event kinds:
 ``shard_kill``          shard *target* (id as str) is killed at ``t`` and
                         immediately recovered from its journal; ``mode``
                         ``"torn"`` first damages the journal tail
+``snapshot_corrupt``    shard *target*'s newest state snapshot file is
+                        garbled at ``t`` — recovery must detect the
+                        checksum failure and fall back (older snapshot,
+                        then full replay), never trust it
+``crash_in_snapshot``   shard *target* "dies mid-snapshot-write" at
+                        ``t``: a half-written ``*.tmp`` sibling is left
+                        next to the journal and the shard is killed;
+                        recovery must ignore the litter
+``recovery_crash``      shard *target*'s *recovery itself* crashes on its
+                        first ``count`` attempts (the replay journal's
+                        writes fail); ``mode`` picks ``enospc``/``torn``
+                        — the supervisor's crash-loop backoff/escalation
+                        path
 ======================  ================================================
 
 Kernel events land at logical-clock times; journal faults key on the
@@ -54,7 +67,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..errors import ConfigurationError
 from ..rng import derive_seed, ensure_rng
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "SUPERVISOR_KINDS", "FaultEvent", "FaultPlan"]
 
 FAULT_KINDS = (
     "charger_down",
@@ -64,6 +77,16 @@ FAULT_KINDS = (
     "journal_write",
     "worker_crash",
     "shard_kill",
+    "snapshot_corrupt",
+    "crash_in_snapshot",
+    "recovery_crash",
+)
+
+#: Kinds the *supervised* sharded chaos driver consumes as timeline
+#: items (``recovery_crash`` is armed per shard instead — it keys on
+#: recovery attempts, not on a time).
+SUPERVISOR_KINDS = frozenset(
+    {"shard_kill", "snapshot_corrupt", "crash_in_snapshot"}
 )
 
 #: Kinds the service kernel consumes as input events.
@@ -110,6 +133,15 @@ class FaultEvent:
         if self.kind == "shard_kill" and self.mode not in (None, "torn"):
             raise ConfigurationError(
                 f"shard_kill mode must be None (clean) or 'torn', got {self.mode!r}"
+            )
+        if self.kind == "recovery_crash" and self.mode not in (None, "enospc", "torn"):
+            raise ConfigurationError(
+                f"recovery_crash mode must be None, 'enospc', or 'torn', "
+                f"got {self.mode!r}"
+            )
+        if self.kind in ("snapshot_corrupt", "crash_in_snapshot") and self.mode is not None:
+            raise ConfigurationError(
+                f"{self.kind} takes no mode, got {self.mode!r}"
             )
         if self.count < 1:
             raise ConfigurationError(f"fault count must be >= 1, got {self.count}")
@@ -192,6 +224,32 @@ class FaultPlan:
     def shard_kills(self) -> List[FaultEvent]:
         """``shard_kill`` events in time order, for the sharded chaos driver."""
         return [e for e in self.events if e.kind == "shard_kill"]
+
+    def supervisor_events(self) -> List[FaultEvent]:
+        """Timeline events the supervised driver consumes
+        (``shard_kill`` / ``snapshot_corrupt`` / ``crash_in_snapshot``),
+        in time order."""
+        return [e for e in self.events if e.kind in SUPERVISOR_KINDS]
+
+    def recovery_crashes(self) -> Dict[int, Dict[int, str]]:
+        """``{shard id: {seq: mode}}`` arming per-shard *recovery* crashes.
+
+        A ``recovery_crash`` event with ``count=N`` arms replay-journal
+        write failures at record seqs ``1..N``: each recovery attempt of
+        that shard pops exactly one armed seq (earlier seqs were consumed
+        by earlier attempts), so the shard's recovery fails N times and
+        then succeeds — the crash-loop shape the supervisor's backoff and
+        escalation are built against.  Mode defaults to ``"enospc"``.
+        """
+        armed: Dict[int, Dict[int, str]] = {}
+        for e in self.events:
+            if e.kind != "recovery_crash":
+                continue
+            per = armed.setdefault(int(e.target), {})
+            start = max(per) if per else 0
+            for k in range(start + 1, start + int(e.count) + 1):
+                per[k] = e.mode or "enospc"
+        return armed
 
     # ------------------------------------------------------------------ #
     # (de)serialization
@@ -436,6 +494,78 @@ class FaultPlan:
                         kind="shard_kill",
                         target=str(sid),
                         mode="torn" if rng.random() < torn_prob else None,
+                    )
+                )
+        return cls(events)
+
+    @classmethod
+    def generate_supervised(
+        cls,
+        seed: int,
+        n_shards: int,
+        horizon: float,
+        *,
+        kill_prob: float = 0.5,
+        torn_prob: float = 0.5,
+        snapshot_corrupt_prob: float = 0.3,
+        snapshot_crash_prob: float = 0.2,
+        recovery_crash_prob: float = 0.3,
+        max_recovery_crashes: int = 2,
+    ) -> "FaultPlan":
+        """Draw the self-healing chaos mix, one keyed stream per shard.
+
+        Extends :meth:`generate_shard_kills` with the snapshot/recovery
+        fault categories: each shard independently draws a kill (torn or
+        clean), a snapshot corruption shortly before it, a
+        crash-during-snapshot-write, and up to ``max_recovery_crashes``
+        crashes of its recovery replay.  Every coin comes from
+        ``derive_seed(seed, "supervised", shard)``, so the plan for shard
+        *s* is a pure function of ``(seed, s)`` — stable under any shard
+        count.
+        """
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if not (math.isfinite(horizon) and horizon > 0.0):
+            raise ConfigurationError(
+                f"horizon must be finite and positive, got {horizon}"
+            )
+        events: List[FaultEvent] = []
+        for sid in range(n_shards):
+            rng = ensure_rng(derive_seed(int(seed), "supervised", sid))
+            if rng.random() < kill_prob:
+                t_kill = float(rng.uniform(horizon * 0.25, horizon))
+                events.append(
+                    FaultEvent(
+                        t=t_kill,
+                        kind="shard_kill",
+                        target=str(sid),
+                        mode="torn" if rng.random() < torn_prob else None,
+                    )
+                )
+                if rng.random() < snapshot_corrupt_prob:
+                    events.append(
+                        FaultEvent(
+                            t=float(rng.uniform(0.0, t_kill)),
+                            kind="snapshot_corrupt",
+                            target=str(sid),
+                        )
+                    )
+                if rng.random() < recovery_crash_prob:
+                    events.append(
+                        FaultEvent(
+                            t=0.0,
+                            kind="recovery_crash",
+                            target=str(sid),
+                            count=int(rng.integers(1, max_recovery_crashes + 1)),
+                            mode="enospc" if rng.random() < 0.5 else "torn",
+                        )
+                    )
+            if rng.random() < snapshot_crash_prob:
+                events.append(
+                    FaultEvent(
+                        t=float(rng.uniform(0.0, horizon)),
+                        kind="crash_in_snapshot",
+                        target=str(sid),
                     )
                 )
         return cls(events)

@@ -16,6 +16,9 @@ Layout:
 - :mod:`.kernel` — the :class:`ChargingService` event loop;
 - :mod:`.journal` — append-only checksummed JSONL durability, with
   :meth:`ChargingService.recover` crash recovery;
+- :mod:`.snapshot` — checksummed, atomically-written state snapshots
+  keyed to a journal seq, bounding recovery to the suffix replay (see
+  ``docs/RECOVERY.md``);
 - :mod:`.metrics` — deterministic counters / gauges / histograms;
 - :mod:`.loadgen` — seeded Poisson / burst / diurnal request streams;
 - :mod:`.policy` — adapter running the daemon under the online harness.
@@ -26,8 +29,16 @@ semantics.
 
 from .admission import AdmissionController, AdmissionDecision, earliest_departure
 from .clock import ServiceClock
-from .journal import Journal, record_checksum
+from .journal import Journal, JournalRead, record_checksum
 from .kernel import ChargingService, ServiceConfig
+from .snapshot import (
+    SNAPSHOT_SCHEMA,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_path,
+    write_snapshot,
+)
 from .loadgen import (
     PROFILES,
     generate_clustered_requests,
@@ -47,9 +58,16 @@ __all__ = [
     "earliest_departure",
     "ServiceClock",
     "Journal",
+    "JournalRead",
     "record_checksum",
     "ChargingService",
     "ServiceConfig",
+    "SNAPSHOT_SCHEMA",
+    "snapshot_path",
+    "list_snapshots",
+    "write_snapshot",
+    "load_snapshot",
+    "prune_snapshots",
     "PROFILES",
     "generate_requests",
     "generate_keyed_requests",

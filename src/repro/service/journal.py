@@ -21,14 +21,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, TextIO, Tuple, Union
 
 from ..errors import JournalError, JournalWriteError
 from ..experiments.exec.task import canonical_json
 
-__all__ = ["Journal", "record_checksum"]
+__all__ = ["Journal", "JournalRead", "record_checksum"]
+
+_LOG = logging.getLogger("repro.service.journal")
 
 #: Journal line-format version; bump on layout changes.
 JOURNAL_SCHEMA = 1
@@ -43,6 +46,20 @@ INPUT_EVENTS = frozenset(
 
 #: Hex digits of SHA-256 kept per record (collision-detection, not crypto).
 _SHA_LEN = 16
+
+
+class JournalRead(NamedTuple):
+    """Everything :meth:`Journal.read` learns about a journal file.
+
+    ``base_seq`` is the seq of the first retained record (0 unless the
+    journal was compacted); ``dropped_bytes`` counts everything after the
+    longest valid prefix — 0 on a clean file, > 0 exactly when ``torn``.
+    """
+
+    records: List[Dict[str, Any]]
+    torn: bool
+    dropped_bytes: int
+    base_seq: int
 
 
 def record_checksum(seq: int, t: float, event: str, data: Dict[str, Any]) -> str:
@@ -154,55 +171,161 @@ class Journal:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # compaction and recovery seeding
+
+    def seed(self, records: Sequence[Dict[str, Any]]) -> None:
+        """Write already-checksummed records verbatim into an empty journal.
+
+        Recovery's snapshot fast path uses this to carry the retained
+        journal prefix into the replay journal without re-deriving it;
+        appends then continue from the last seeded seq.  Goes through
+        :meth:`_write` one record at a time with ``self.seq`` set to the
+        record being written, so fault injectors see seeded records
+        exactly like appended ones.
+        """
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        if self.seq != 0 or self._fh.tell() != 0:
+            raise JournalError(
+                f"journal {self.path}: can only seed an empty journal "
+                f"(seq={self.seq})"
+            )
+        for doc in records:
+            self.seq = int(doc["seq"])
+            line = json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+            offset = self._fh.tell()
+            try:
+                self._write(line)
+            except OSError as exc:
+                self._restore(offset)
+                raise JournalWriteError(
+                    f"journal {self.path}: seeding record seq={self.seq} "
+                    f"failed: {exc}"
+                ) from exc
+            self.seq += 1
+
+    def truncate_prefix(self, min_seq: int) -> int:
+        """Compact: drop records with ``seq < min_seq``; returns the count.
+
+        Rewrites the file to a sibling temp and swaps it in atomically, so
+        a crash mid-compaction leaves either the old or the new journal,
+        never a hybrid.  Always keeps at least one record — the first
+        retained seq is how a reader learns where a compacted journal
+        starts, so the file must never go empty.  ``seq`` (the next append)
+        is unaffected.
+        """
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._fh.flush()
+        read = Journal.read(self.path)
+        kept = [r for r in read.records if r["seq"] >= min_seq]
+        if not kept and read.records:
+            kept = [read.records[-1]]
+        dropped = len(read.records) - len(kept)
+        if dropped <= 0:
+            return 0
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for doc in kept:
+                fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return dropped
+
+    # ------------------------------------------------------------------ #
     # reading
 
     @staticmethod
-    def read_records(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], bool]:
-        """Longest valid record prefix of the file, plus a torn-tail flag.
+    def read(path: Union[str, Path]) -> JournalRead:
+        """Longest valid record prefix plus everything recovery wants to know.
 
-        Returns ``(records, torn)`` where *torn* is true when anything
-        after the valid prefix had to be discarded (truncated line, bad
-        checksum, seq gap).  A missing file reads as an empty journal.
+        The first record may carry any seq (a compacted journal starts at
+        its compaction point); records after it must be dense.  Anything
+        past the valid prefix — truncated line, bad checksum, seq gap —
+        is discarded, counted in ``dropped_bytes``, and logged as a
+        structured warning so torn tails are observable rather than
+        silent.  A missing file reads as an empty journal.
         """
         path = Path(path)
         records: List[Dict[str, Any]] = []
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                raw = fh.read()
+            raw = path.read_bytes()
         except FileNotFoundError:
-            return [], False
+            return JournalRead([], False, 0, 0)
 
-        expected_seq = 0
-        lines = raw.split("\n")
+        torn = False
+        consumed = 0
+        expected_seq: Optional[int] = None
+        lines = raw.split(b"\n")
         for k, line in enumerate(lines):
-            if line == "":
+            if line == b"":
                 # The final newline leaves one empty tail element; anything
                 # else empty mid-file is damage.
                 torn = k != len(lines) - 1
-                return records, torn
+                break
             try:
                 doc = json.loads(line)
-            except json.JSONDecodeError:
-                return records, True
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                torn = True
+                break
             if not isinstance(doc, dict):
-                return records, True
+                torn = True
+                break
             try:
                 seq, t, event, data, sha = (
                     doc["seq"], doc["t"], doc["event"], doc["data"], doc["sha"],
                 )
             except KeyError:
-                return records, True
-            if seq != expected_seq:
-                return records, True
+                torn = True
+                break
+            if not isinstance(seq, int) or isinstance(seq, bool):
+                torn = True
+                break
+            if expected_seq is None:
+                if seq < 0:
+                    torn = True
+                    break
+            elif seq != expected_seq:
+                torn = True
+                break
             try:
                 want = record_checksum(seq, t, event, data)
             except (TypeError, ValueError):
-                return records, True
+                torn = True
+                break
             if sha != want:
-                return records, True
+                torn = True
+                break
             records.append(doc)
-            expected_seq += 1
-        return records, False
+            consumed += len(line) + 1
+            expected_seq = seq + 1
+        # ``max`` guards the no-final-newline edge: a last record whose
+        # newline (and nothing else) was chopped still parses, and its
+        # ``consumed`` accounting assumes the newline was there.
+        dropped = max(0, len(raw) - consumed)
+        base_seq = int(records[0]["seq"]) if records else 0
+        if torn and dropped > 0:
+            _LOG.warning(
+                "journal.torn_tail %s",
+                json.dumps(
+                    {
+                        "dropped_bytes": dropped,
+                        "kept_records": len(records),
+                        "path": str(path),
+                    },
+                    sort_keys=True,
+                ),
+            )
+        return JournalRead(records, torn, dropped, base_seq)
+
+    @staticmethod
+    def read_records(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], bool]:
+        """Compatibility wrapper over :meth:`read`: ``(records, torn)``."""
+        read = Journal.read(path)
+        return read.records, read.torn
 
     @staticmethod
     def input_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

@@ -68,8 +68,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..core import Device
 from ..core.costsharing import CostSharingScheme, EgalitarianSharing
-from ..errors import ConfigurationError, ServiceError
+from ..errors import ConfigurationError, RecoveryError, ServiceError, SnapshotError
+from ..geometry import Point
 from ..mobility import MobilityModel
 from ..wpt import Charger
 from .admission import REASON_CHARGER_FAILED, AdmissionController
@@ -78,6 +80,7 @@ from .journal import JOURNAL_SCHEMA, Journal
 from .metrics import Metrics
 from .plan import IncrementalPlanner
 from .request import ChargingRequest, RequestRecord, RequestState
+from .snapshot import list_snapshots, load_snapshot, prune_snapshots, write_snapshot
 
 __all__ = ["ServiceConfig", "ChargingService"]
 
@@ -162,14 +165,30 @@ class ChargingService:
         journal_path: Optional[Union[str, Path]] = None,
         journal: Optional[Journal] = None,
         journal_sync: bool = True,
+        snapshot_every: Optional[int] = None,
+        snapshot_keep: int = 2,
+        compact: bool = True,
     ):
         """``journal_path`` opens a fresh journal there; ``journal`` hands
         in a pre-built one instead (fault injection / tests).
         ``journal_sync`` controls fsync-per-append; it is an operational
         knob, deliberately *not* part of :class:`ServiceConfig` (which is
         pinned into the journal header), so a daemon and its recovery can
-        differ on it.
+        differ on it.  ``snapshot_every`` (operational too, same reason)
+        turns on automatic state snapshots roughly every that many journal
+        records — taken only at quiescent points, i.e. at the end of a
+        public input method; ``snapshot_keep`` bounds how many snapshot
+        files survive pruning, and ``compact`` lets a successful snapshot
+        truncate the journal prefix the oldest retained snapshot covers.
         """
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1 or None, got {snapshot_every}"
+            )
+        if snapshot_keep < 1:
+            raise ConfigurationError(
+                f"snapshot_keep must be >= 1, got {snapshot_keep}"
+            )
         if journal is not None and journal_path is not None:
             raise ConfigurationError("pass journal_path or journal, not both")
         self.config = config if config is not None else ServiceConfig()
@@ -224,6 +243,14 @@ class ChargingService:
             )
         if self.journal is not None:
             self.journal.append("open", 0.0, self._open_payload())
+        #: Automatic snapshot cadence (None = off); see :meth:`write_snapshot`.
+        self.snapshot_every = snapshot_every
+        self.snapshot_keep = int(snapshot_keep)
+        self.compact = bool(compact)
+        self._last_snapshot_seq = 0
+        #: Set during recovery replay: the replay journal lives at a temp
+        #: path, so auto-snapshots must wait until it commits home.
+        self._snapshots_paused = False
         # Pre-register every metric so empty snapshots are fully shaped.
         for name in (
             "submitted", "admitted", "rejected", "grouped", "expired",
@@ -231,6 +258,17 @@ class ChargingService:
             "refolded", "charger_failures", "charger_recoveries",
         ):
             self.metrics.counter(name)
+        # Observability-only instruments: fault-history dependent, so they
+        # stay out of the deterministic snapshot (see Metrics docstring).
+        for name in (
+            "journal.recovered_bytes_dropped",
+            "journal.compacted_records",
+            "snapshots_written",
+            "recovery.snapshot_used",
+            "recovery.snapshot_fallbacks",
+            "recovery.records_replayed",
+        ):
+            self.metrics.counter(name, operational=True)
         self.metrics.histogram("admission_latency", _LATENCY_BUCKETS)
         self.metrics.histogram("time_to_charge", _CHARGE_BUCKETS)
         self.metrics.histogram("cost_vs_quote", _RATIO_BUCKETS)
@@ -284,6 +322,7 @@ class ChargingService:
             self.metrics.counter("rejected").inc()
             self.metrics.counter(f"rejected.{REASON_CHARGER_FAILED}").inc()
             self._update_gauges()
+            self._maybe_snapshot()
             return record.state
         record.quote, record.quote_charger = quote, quote_charger
         duplicate = self._device_in_service(request.device.device_id)
@@ -317,6 +356,7 @@ class ChargingService:
             )
             self.metrics.counter("admitted").inc()
         self._update_gauges()
+        self._maybe_snapshot()
         return record.state
 
     def advance(self, to: float) -> None:
@@ -333,6 +373,7 @@ class ChargingService:
             return
         self._journal("advance", t, {})
         self._advance_to(t)
+        self._maybe_snapshot()
 
     # ------------------------------------------------------------------ #
     # fault inputs (see docs/FAULTS.md)
@@ -365,6 +406,7 @@ class ChargingService:
         for index in self.planner.evacuate_charger(j):
             self._evacuate(index, t, cause=charger_id)
         self._update_gauges()
+        self._maybe_snapshot()
         return True
 
     def restore_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
@@ -387,6 +429,7 @@ class ChargingService:
         self.metrics.counter("charger_recoveries").inc()
         self.planner.restore_charger(j)
         self._update_gauges()
+        self._maybe_snapshot()
         return True
 
     def cancel(
@@ -451,6 +494,7 @@ class ChargingService:
         self.metrics.counter("cancelled").inc()
         self.metrics.counter(f"cancelled.{reason}").inc()
         self._update_gauges()
+        self._maybe_snapshot()
         return record.state
 
     def _charger_of(self, charger_id: str) -> int:
@@ -537,6 +581,7 @@ class ChargingService:
             self._process_completions(self._completions[0][0])
         self.clock.advance(max(self.clock.now, t0, boundary))
         self._update_gauges()
+        self._maybe_snapshot()
 
     # ------------------------------------------------------------------ #
     # the epoch machine
@@ -836,6 +881,209 @@ class ChargingService:
         """Deterministic plain-dict snapshot of every metric."""
         return self.metrics.snapshot()
 
+    def observability_snapshot(self) -> Dict[str, Any]:
+        """Every metric *including* the operational (fault-history) ones.
+
+        For human-facing reports only — two byte-identical runs can differ
+        here (one crashed and recovered, the other did not).
+        """
+        return self.metrics.snapshot(operational=True)
+
+    # ------------------------------------------------------------------ #
+    # state snapshots (see docs/RECOVERY.md)
+
+    def state(self) -> Dict[str, Any]:
+        """The kernel's exact deterministic state as plain JSON data.
+
+        Everything replay would reconstruct, captured directly —
+        including history-accumulated floats like the structure's running
+        total cost, which must be restored bit-exactly because switch
+        decisions compare against it (JSON round-trips finite floats
+        exactly, so storing them is safe).  Operational metrics are
+        excluded; they describe fault history, not kernel state.  Only
+        meaningful at a quiescent point (between input events).
+        """
+        st = self.planner.structure
+        inst = self.planner.instance
+        return {
+            "open": self._open_payload(),
+            "clock": self.clock.now,
+            "epoch_index": self._epoch_index,
+            "session_seq": self._session_seq,
+            "avail_dirty": self._avail_dirty,
+            "queue": list(self._queue),
+            "evacuating": list(self._evacuating),
+            "completions": [list(pair) for pair in sorted(self._completions)],
+            "sessions": [dict(s) for s in self._sessions],
+            "opened_at": [[cid, t] for cid, t in sorted(self._opened_at.items())],
+            "rid_of_index": [
+                [i, rid] for i, rid in sorted(self._rid_of_index.items())
+            ],
+            "fault_keys": sorted(list(key) for key in self._fault_keys),
+            "requests": [
+                {
+                    "request": record.request.to_dict(),
+                    "state": record.state,
+                    "quote": record.quote,
+                    "quote_charger": record.quote_charger,
+                    "reason": record.reason,
+                    "device_index": record.device_index,
+                    "grouped_at": record.grouped_at,
+                    "departed_at": record.departed_at,
+                    "completed_at": record.completed_at,
+                    "session_seq": record.session_seq,
+                    "realized_cost": record.realized_cost,
+                }
+                for record in self.requests.values()
+            ],
+            "planner": {
+                "devices": [
+                    {
+                        "id": d.device_id,
+                        "x": float(d.position.x),
+                        "y": float(d.position.y),
+                        "demand": float(d.demand),
+                        "moving_rate": float(d.moving_rate),
+                        "speed": float(d.speed),
+                    }
+                    for d in inst.devices
+                ],
+                "up": list(inst._up),
+                "ceiling": [
+                    [i, c] for i, c in sorted(self.planner.ceiling.items())
+                ],
+                "ops": dict(self.planner.ops),
+                "coalitions": [
+                    [cid, st._coalitions[cid].charger,
+                     sorted(st._coalitions[cid].members)]
+                    for cid in sorted(st._coalitions)
+                ],
+                "next_cid": st._next_cid,
+                "total_cost": st._total_cost,
+                "version": st._version,
+            },
+            "metrics": self.metrics.state(),
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite this (freshly constructed) kernel from a :meth:`state`.
+
+        Derived structures — matrix rows, coalition aggregates, Zobrist
+        hashes — are *recomputed* through the same deterministic paths the
+        live run used (``add_device``, ``_create``); only irreducible
+        history is copied verbatim, with the structure's accumulated
+        ``_total_cost`` overwritten last because ``+=``/``-=`` history
+        makes it bit-different from a fresh recomputation.
+        """
+        planner_state = state["planner"]
+        inst = self.planner.instance
+        st = self.planner.structure
+        for dev in planner_state["devices"]:
+            index = inst.add_device(
+                Device(
+                    device_id=dev["id"],
+                    position=Point(float(dev["x"]), float(dev["y"])),
+                    demand=float(dev["demand"]),
+                    moving_rate=float(dev["moving_rate"]),
+                    speed=float(dev["speed"]),
+                )
+            )
+            st.register_device(index)
+        for j, up in enumerate(planner_state["up"]):
+            inst.set_available(j, bool(up))
+        for cid, charger, members in planner_state["coalitions"]:
+            st._next_cid = int(cid)
+            st._create(int(charger), set(int(i) for i in members))
+        st._next_cid = int(planner_state["next_cid"])
+        st._total_cost = float(planner_state["total_cost"])
+        st._version = int(planner_state["version"])
+        self.planner.ceiling = {
+            int(i): float(c) for i, c in planner_state["ceiling"]
+        }
+        self.planner.ops = {k: int(v) for k, v in planner_state["ops"].items()}
+        self.clock = ServiceClock(float(state["clock"]))
+        self._epoch_index = int(state["epoch_index"])
+        self._session_seq = int(state["session_seq"])
+        self._avail_dirty = bool(state["avail_dirty"])
+        self._queue = [str(rid) for rid in state["queue"]]
+        self._evacuating = [str(rid) for rid in state["evacuating"]]
+        self._completions = [
+            (float(completes), int(seq)) for completes, seq in state["completions"]
+        ]
+        heapq.heapify(self._completions)
+        self._sessions = [dict(s) for s in state["sessions"]]
+        self._opened_at = {int(cid): float(t) for cid, t in state["opened_at"]}
+        self._rid_of_index = {int(i): str(rid) for i, rid in state["rid_of_index"]}
+        self._fault_keys = {
+            (str(event), str(target), float(t))
+            for event, target, t in state["fault_keys"]
+        }
+        self.requests = {}
+        for entry in state["requests"]:
+            record = RequestRecord(ChargingRequest.from_dict(entry["request"]))
+            record.state = entry["state"]
+            record.quote = entry["quote"]
+            record.quote_charger = entry["quote_charger"]
+            record.reason = entry["reason"]
+            record.device_index = entry["device_index"]
+            record.grouped_at = entry["grouped_at"]
+            record.departed_at = entry["departed_at"]
+            record.completed_at = entry["completed_at"]
+            record.session_seq = entry["session_seq"]
+            record.realized_cost = entry["realized_cost"]
+            self.requests[record.request.request_id] = record
+        self.metrics.restore(state["metrics"])
+        self._update_gauges()
+
+    # ccs-lint: ignore[CCS011] -- deliberately unjournaled: a snapshot is an
+    # *observation* of kernel state, not an input; `_last_snapshot_seq` only
+    # paces the next observation, and recovery rebuilds deterministic state
+    # without it (byte-identity is asserted by the recovery tests).
+    def write_snapshot(self) -> Path:
+        """Persist the current state, prune old snapshots, maybe compact.
+
+        Pins the snapshot to the journal's next append seq (``state ==
+        replay of records < seq``), keeps the newest :attr:`snapshot_keep`
+        snapshot files, and — when :attr:`compact` — truncates the journal
+        prefix the *oldest surviving* snapshot covers, so every retained
+        snapshot still has its replay suffix on disk.  Compaction needs at
+        least *two* surviving snapshots: the truncated journal's base is
+        only replayable from a snapshot, so there must be a second one to
+        fall back to when the newest turns out corrupt — one bad snapshot
+        must never cost the whole journal (with ``snapshot_keep=1`` the
+        journal is simply never compacted).  Pure observability from the
+        determinism contract's point of view: nothing here is journaled,
+        and the deterministic state is untouched.
+        """
+        if self.journal is None:
+            raise ServiceError("snapshots need a journal to pin against")
+        seq = self.journal.seq
+        path = write_snapshot(self.journal.path, seq, self.state())
+        self._last_snapshot_seq = seq
+        self.metrics.counter("snapshots_written", operational=True).inc()
+        prune_snapshots(self.journal.path, self.snapshot_keep)
+        if self.compact:
+            remaining = list_snapshots(self.journal.path)
+            if len(remaining) >= 2:
+                oldest = min(s for s, _p in remaining)
+                dropped = self.journal.truncate_prefix(oldest)
+                if dropped:
+                    self.metrics.counter(
+                        "journal.compacted_records", operational=True
+                    ).inc(dropped)
+        return path
+
+    def _maybe_snapshot(self) -> None:
+        """Auto-snapshot at a quiescent point when the cadence is due."""
+        if (
+            self.snapshot_every is None
+            or self.journal is None
+            or self._snapshots_paused
+        ):
+            return
+        if self.journal.seq - self._last_snapshot_seq >= self.snapshot_every:
+            self.write_snapshot()
+
     # ------------------------------------------------------------------ #
     # durability
 
@@ -849,56 +1097,133 @@ class ChargingService:
         config: Optional[ServiceConfig] = None,
         journal_sync: bool = True,
         journal_factory: Optional[Any] = None,
+        snapshot_every: Optional[int] = None,
+        snapshot_keep: int = 2,
+        compact: bool = True,
     ) -> "ChargingService":
         """Rebuild a killed daemon from its journal, exactly.
 
         Reads the longest valid record prefix (a torn tail from ``kill
-        -9`` is dropped), replays the *input* records (``submit`` /
-        ``drain``) through a fresh kernel — every other transition is
-        re-derived deterministically — and atomically rewrites the journal
-        file to the canonical replayed form.  The returned service is
+        -9`` is dropped and surfaced via the operational
+        ``journal.recovered_bytes_dropped`` counter), then takes the
+        cheapest sound path back:
+
+        1. **Snapshot fast path** — the newest valid snapshot whose seq
+           falls inside the surviving prefix restores the kernel state
+           directly; the prefix records below it are carried into the
+           replay journal verbatim and only the *suffix* inputs are
+           replayed.  Recovery cost is O(events since that snapshot).
+        2. **Fallback chain** — a snapshot that fails its checksum,
+           schema, or range check is skipped (never trusted, never
+           repaired) and the next older one is tried.
+        3. **Full replay** — with no usable snapshot, every input record
+           replays through a fresh kernel, exactly as before snapshots
+           existed.  If the journal was *compacted* (its first record's
+           seq is past 0) this rung is gone, and a typed
+           :class:`~repro.errors.RecoveryError` says so.
+
+        Whichever path runs, the journal is atomically rewritten to the
+        canonical replayed form and the returned service is
         byte-equivalent (journal, metrics snapshot, session log) to one
-        that processed the same inputs without interruption, and keeps
-        appending to the same journal path.
+        that processed the same inputs without interruption.
 
         Construction arguments are code, not data: pass the same chargers
-        and configuration the dead daemon ran with.  The journal's ``open``
-        header is checked against them and a
-        :class:`~repro.errors.ServiceError` is raised on mismatch.
+        and configuration the dead daemon ran with.  The journal's
+        ``open`` header (or the snapshot's embedded copy) is checked
+        against them and a :class:`~repro.errors.ServiceError` is raised
+        on mismatch.
 
         ``journal_factory`` (``path -> Journal``), when given, builds the
         replay journal at the temp path — the hook the fault harness uses
         to keep injected write failures armed across a recovery (record
         numbering is stable because recovery converges byte-identical).
         """
-        records, _torn = Journal.read_records(journal_path)
+        read = Journal.read(journal_path)
+        records = read.records
+        end = read.base_seq + len(records)
         tmp_path = str(journal_path) + ".recover"
-        if journal_factory is not None:
+
+        def _make_journal() -> Journal:
+            if journal_factory is not None:
+                journal: Journal = journal_factory(tmp_path)
+                return journal
+            return Journal(tmp_path, sync=journal_sync)
+
+        chosen: Optional[Tuple[int, Dict[str, Any]]] = None
+        fallbacks = 0
+        for sseq, spath in list_snapshots(journal_path):
+            if sseq > end or sseq < read.base_seq:
+                # Ahead of the surviving prefix (its suffix records are
+                # lost for good) or behind the compaction point (its
+                # suffix is incomplete): unusable regardless of integrity.
+                continue
+            try:
+                _seq, sstate = load_snapshot(spath)
+            except SnapshotError:
+                fallbacks += 1
+                continue
+            chosen = (sseq, sstate)
+            break
+        if chosen is None and read.base_seq > 0:
+            raise RecoveryError(
+                f"journal {journal_path} was compacted to seq "
+                f"{read.base_seq} and no usable snapshot covers the gap; "
+                "full replay is impossible"
+            )
+
+        if chosen is not None:
+            sseq, sstate = chosen
             service = cls(
                 chargers,
                 mobility=mobility,
                 scheme=scheme,
                 config=config,
-                journal=journal_factory(tmp_path),
+                snapshot_every=snapshot_every,
+                snapshot_keep=snapshot_keep,
+                compact=compact,
             )
+            ours = service._open_payload()
+            if sstate.get("open") != ours:
+                raise ServiceError(
+                    "snapshot was written by a differently configured "
+                    f"service: {sstate.get('open')} != {ours}"
+                )
+            service._snapshots_paused = True
+            service.journal = _make_journal()
+            service.journal.seed([r for r in records if r["seq"] < sseq])
+            # The seeded prefix can be empty (snapshot at the compaction
+            # point); the next append must continue at the snapshot seq
+            # either way.
+            service.journal.seq = sseq
+            service._restore_state(sstate)
+            replay = [
+                r for r in Journal.input_records(records) if r["seq"] >= sseq
+            ]
+            service.metrics.counter(
+                "recovery.snapshot_used", operational=True
+            ).inc()
         else:
             service = cls(
                 chargers,
                 mobility=mobility,
                 scheme=scheme,
                 config=config,
-                journal_path=tmp_path,
-                journal_sync=journal_sync,
+                journal=_make_journal(),
+                snapshot_every=snapshot_every,
+                snapshot_keep=snapshot_keep,
+                compact=compact,
             )
-        if records and records[0]["event"] == "open":
-            ours = service._open_payload()
-            if records[0]["data"] != ours:
-                service.journal.close()
-                raise ServiceError(
-                    "journal was written by a differently configured service: "
-                    f"{records[0]['data']} != {ours}"
-                )
-        for record in Journal.input_records(records):
+            service._snapshots_paused = True
+            if records and records[0]["event"] == "open":
+                ours = service._open_payload()
+                if records[0]["data"] != ours:
+                    service.journal.close()
+                    raise ServiceError(
+                        "journal was written by a differently configured "
+                        f"service: {records[0]['data']} != {ours}"
+                    )
+            replay = Journal.input_records(records)
+        for record in replay:
             event = record["event"]
             if event == "submit":
                 service.submit(ChargingRequest.from_dict(record["data"]))
@@ -920,4 +1245,17 @@ class ChargingService:
             else:
                 service.drain()
         service.journal.commit_to(journal_path)
+        service._snapshots_paused = False
+        service._last_snapshot_seq = chosen[0] if chosen is not None else 0
+        if read.dropped_bytes:
+            service.metrics.counter(
+                "journal.recovered_bytes_dropped", operational=True
+            ).inc(read.dropped_bytes)
+        if fallbacks:
+            service.metrics.counter(
+                "recovery.snapshot_fallbacks", operational=True
+            ).inc(fallbacks)
+        service.metrics.counter(
+            "recovery.records_replayed", operational=True
+        ).inc(len(replay))
         return service

@@ -13,7 +13,7 @@ JSON-dumped) — the one format shared by tests, the CLI report, and the
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Set, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "Metrics", "merge_snapshots"]
 
@@ -99,46 +99,158 @@ class Histogram:
         buckets["inf"] = self.counts[-1]
         return {"buckets": buckets, "count": self.total, "sum": self.sum}
 
+    def state(self) -> Dict[str, Any]:
+        """Exact internal state, losslessly restorable (unlike ``snapshot``,
+        whose ``le_%g`` bucket keys drop bound precision)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Overwrite this histogram's contents from a :meth:`state` dict.
+
+        The stored bounds must match this histogram's — buckets are fixed
+        at construction, so skew means the snapshot belongs to different
+        code and must not be silently rebinned.
+        """
+        bounds = tuple(float(b) for b in state["bounds"])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram state bounds {list(bounds)} != registered "
+                f"bounds {list(self.bounds)}"
+            )
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram state has {len(counts)} buckets, expected "
+                f"{len(self.counts)}"
+            )
+        self.counts = counts
+        self.total = int(state["total"])
+        self.sum = float(state["sum"])
+
 
 class Metrics:
-    """A registry of named counters, gauges, and histograms."""
+    """A registry of named counters, gauges, and histograms.
+
+    Instruments registered with ``operational=True`` are *observability*
+    metrics — counts of crash recoveries, dropped journal bytes, snapshot
+    writes — whose values depend on fault history rather than on the
+    input event stream alone.  They are excluded from :meth:`snapshot`
+    (the byte-reproducibility contract) and from :meth:`state` (the crash
+    snapshot payload), and show up only in ``snapshot(operational=True)``.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._operational: Set[str] = set()
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, operational: bool = False) -> Counter:
         """Get (or lazily create) the counter *name*."""
+        if operational:
+            self._operational.add(name)
         try:
             return self._counters[name]
         except KeyError:
             c = self._counters[name] = Counter()
             return c
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, operational: bool = False) -> Gauge:
         """Get (or lazily create) the gauge *name*."""
+        if operational:
+            self._operational.add(name)
         try:
             return self._gauges[name]
         except KeyError:
             g = self._gauges[name] = Gauge()
             return g
 
-    def histogram(self, name: str, bounds: Sequence[float] = ()) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = (),
+        operational: bool = False,
+    ) -> Histogram:
         """Get the histogram *name*, creating it with *bounds* on first use."""
+        if operational:
+            self._operational.add(name)
         try:
             return self._histograms[name]
         except KeyError:
             h = self._histograms[name] = Histogram(bounds)
             return h
 
-    def snapshot(self) -> Dict[str, Any]:
-        """Everything, as plain nested dicts (deterministic content)."""
+    def _keep(self, name: str, operational: bool) -> bool:
+        return operational or name not in self._operational
+
+    def snapshot(self, operational: bool = False) -> Dict[str, Any]:
+        """Everything deterministic, as plain nested dicts.
+
+        Pass ``operational=True`` to include the observability instruments
+        too (for human-facing reports, never for byte-identity checks).
+        """
         return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {k: h.snapshot() for k, h in sorted(self._histograms.items())},
+            "counters": {
+                k: c.value
+                for k, c in sorted(self._counters.items())
+                if self._keep(k, operational)
+            },
+            "gauges": {
+                k: g.value
+                for k, g in sorted(self._gauges.items())
+                if self._keep(k, operational)
+            },
+            "histograms": {
+                k: h.snapshot()
+                for k, h in sorted(self._histograms.items())
+                if self._keep(k, operational)
+            },
         }
+
+    def state(self) -> Dict[str, Any]:
+        """Exact deterministic contents for a crash snapshot.
+
+        Operational instruments are omitted: their values describe the
+        *previous process's* fault history, which a restored kernel does
+        not inherit (and must not, or snapshot-restored and fully-replayed
+        kernels would diverge).
+        """
+        return {
+            "counters": {
+                k: c.value
+                for k, c in sorted(self._counters.items())
+                if k not in self._operational
+            },
+            "gauges": {
+                k: g.value
+                for k, g in sorted(self._gauges.items())
+                if k not in self._operational
+            },
+            "histograms": {
+                k: h.state()
+                for k, h in sorted(self._histograms.items())
+                if k not in self._operational
+            },
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Overwrite instrument values from a :meth:`state` dict.
+
+        Instruments are created on demand with the stored histogram
+        bounds; pre-registered instruments keep their registration (and
+        their bounds are checked against the stored ones).
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value = int(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).value = float(value)
+        for name, hstate in state.get("histograms", {}).items():
+            self.histogram(name, hstate["bounds"]).restore(hstate)
 
     @staticmethod
     def merge(labeled: Mapping[str, "Metrics"]) -> Dict[str, Any]:

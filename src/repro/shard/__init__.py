@@ -22,7 +22,12 @@ Layout:
   the PR 2 executor (serial == parallel, byte-identical);
 - :mod:`.driver` — :func:`drive_sharded`: chaos driving with
   ``shard_kill`` fault events (kill + recover one shard, others keep
-  serving).
+  serving);
+- :mod:`.supervisor` — :class:`ShardSupervisor` /
+  :func:`drive_supervised`: self-healing — automatic failover with
+  seed-derived backoff, crash-loop escalation into degraded-mode
+  routing, and a checksummed supervision journal (see
+  ``docs/RECOVERY.md``).
 
 Degenerate-case guarantee: ``n_shards=1`` is byte-identical — journal,
 metrics snapshot, final schedule — to the unsharded service on every
@@ -33,6 +38,7 @@ from .driver import drive_sharded, sharded_timeline
 from .partition import GridPartition, grid_shape
 from .router import SpatialRouter
 from .service import ShardedService, merge_final_schedules, shard_journal_name
+from .supervisor import ShardSupervisor, drive_supervised, supervised_timeline
 from .tasks import SHARD_REPLAY_KIND, partition_timeline, replay_sharded
 
 __all__ = [
@@ -47,4 +53,7 @@ __all__ = [
     "replay_sharded",
     "drive_sharded",
     "sharded_timeline",
+    "ShardSupervisor",
+    "drive_supervised",
+    "supervised_timeline",
 ]

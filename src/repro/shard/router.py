@@ -23,6 +23,18 @@ a recovery re-feed) goes to the same shard, recorded in
 recovery.  Byte-identical replay follows: feed the same inputs in the
 same order and every route decision recurs exactly.
 
+**Degraded mode.**  A shard marked down (:meth:`SpatialRouter.mark_down`
+— supervisor escalation, or an operator) is excluded from routing: a
+border device is quoted only against its surviving candidates, and a
+request whose *every* candidate is down — or whose sticky shard is down
+— raises :class:`~repro.errors.ShardUnavailableError` for the facade to
+turn into a typed ``rejected.shard_unavailable`` outcome.  Stickiness is
+never broken by an outage: a request already assigned to the down shard
+is *not* silently re-routed elsewhere, because its state lives in that
+shard's journal and nowhere else.  The down set is explicit input, not
+discovered state, so routing stays a pure function of ``(request,
+partition, availability, down set)`` and replay stays byte-identical.
+
 The router quotes through each shard's ``planner`` — any object with
 ``quote(device) -> (cost, charger_index)`` raising
 :class:`~repro.errors.ServiceError` when no charger is available.  The
@@ -33,9 +45,9 @@ place); the offline timeline partitioner passes standalone
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Set
 
-from ..errors import ServiceError
+from ..errors import ServiceError, ShardUnavailableError
 from ..service.request import ChargingRequest
 from .partition import GridPartition
 
@@ -58,10 +70,23 @@ class SpatialRouter:
         self.planners: Dict[int, object] = dict(planners)
         #: Sticky request → shard map (the routing history).
         self.assignment: Dict[str, int] = {}
+        #: Shards currently out of service (degraded mode); explicit
+        #: input via :meth:`mark_down` / :meth:`mark_up`, never inferred.
+        self.down: Set[int] = set()
 
     def shards(self) -> List[int]:
         """Sorted ids of the routable (charger-owning) shards."""
         return sorted(self.planners)
+
+    def mark_down(self, shard: int) -> None:
+        """Take *shard* out of routing (it must exist to be down)."""
+        if shard not in self.planners:
+            raise ServiceError(f"cannot mark unknown shard {shard} down")
+        self.down.add(shard)
+
+    def mark_up(self, shard: int) -> None:
+        """Return *shard* to routing (a no-op if it was not down)."""
+        self.down.discard(shard)
 
     def candidates(self, request: ChargingRequest) -> List[int]:
         """Routable candidate shards for *request*, sorted.
@@ -87,16 +112,27 @@ class SpatialRouter:
         the request routes to the lowest candidate so that kernel rejects
         it with ``charger_failed`` — the same terminal answer the
         unsharded service gives when nothing can quote.
+
+        Degraded mode: shards in :attr:`down` are excluded before any
+        quoting; when nothing live survives — or the sticky shard is down
+        — :class:`~repro.errors.ShardUnavailableError` is raised and *no*
+        assignment is recorded (the request may route normally once the
+        shard is back).
         """
         known = self.assignment.get(request.request_id)
         if known is not None:
+            if known in self.down:
+                raise ShardUnavailableError(request.request_id, [known])
             return known
         cands = self.candidates(request)
-        if len(cands) == 1:
-            sid = cands[0]
+        live = [s for s in cands if s not in self.down]
+        if not live:
+            raise ShardUnavailableError(request.request_id, cands)
+        if len(live) == 1:
+            sid = live[0]
         else:
             best: Optional[tuple] = None
-            for s in cands:
+            for s in live:
                 try:
                     quote, _ = self.planners[s].quote(request.device)  # type: ignore[attr-defined]
                 except ServiceError:
@@ -104,7 +140,7 @@ class SpatialRouter:
                 key = (float(quote), s)
                 if best is None or key < best:
                     best = key
-            sid = best[1] if best is not None else cands[0]
+            sid = best[1] if best is not None else live[0]
         self.assignment[request.request_id] = sid
         return sid
 

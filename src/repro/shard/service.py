@@ -34,15 +34,24 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Union
 
 from ..core.costsharing import CostSharingScheme
-from ..errors import ConfigurationError, ServiceError
+from ..errors import (
+    ConfigurationError,
+    InjectedFaultError,
+    JournalWriteError,
+    LiveJournalError,
+    RecoveryError,
+    ServiceError,
+    ShardFailedError,
+    ShardUnavailableError,
+)
 from ..geometry import Field
 from ..mobility import MobilityModel
 from ..service.kernel import ChargingService, ServiceConfig
-from ..service.metrics import merge_snapshots
-from ..service.request import ChargingRequest
+from ..service.metrics import Metrics, merge_snapshots
+from ..service.request import ChargingRequest, RequestState
 from ..wpt import Charger
 from .partition import GridPartition
 from .router import SpatialRouter
@@ -53,6 +62,15 @@ __all__ = ["ShardedService", "merge_final_schedules", "shard_journal_name"]
 MANIFEST_SCHEMA = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: Resolved journal directories owned by live :class:`ShardedService`
+#: objects in this process.  Registered at construction, released by
+#: :meth:`ShardedService.close`; :meth:`ShardedService.recover` refuses a
+#: registered directory (:class:`~repro.errors.LiveJournalError`) —
+#: recovering files another in-process writer still appends to would
+#: interleave two journals.  A crashed *process* never deregisters, but
+#: its registry died with it, so post-crash recovery is unaffected.
+_LIVE_DIRS: Set[str] = set()
 
 
 def shard_journal_name(shard: int) -> str:
@@ -105,12 +123,18 @@ class ShardedService:
         config: Optional[ServiceConfig] = None,
         journal_dir: Optional[Union[str, Path]] = None,
         journal_sync: bool = True,
+        snapshot_every: Optional[int] = None,
+        snapshot_keep: int = 2,
+        compact: bool = True,
         _recovered: Optional[Dict[int, ChargingService]] = None,
     ):
         """Partition *field* (default: a square covering the chargers)
         into *n_shards* cells and start one kernel per charger-owning
         cell.  ``journal_dir``, when given, holds one journal per shard
         plus a partition manifest; ``None`` runs journal-less (benchmarks).
+        ``snapshot_every`` / ``snapshot_keep`` / ``compact`` are handed to
+        every kernel (see :class:`~repro.service.kernel.ChargingService`):
+        each shard snapshots and compacts its own journal independently.
         """
         if not chargers:
             raise ConfigurationError("a sharded service needs at least one charger")
@@ -121,6 +145,9 @@ class ShardedService:
         self.scheme = scheme
         self.config = config
         self.journal_sync = bool(journal_sync)
+        self.snapshot_every = snapshot_every
+        self.snapshot_keep = int(snapshot_keep)
+        self.compact = bool(compact)
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.shard_chargers: Dict[int, List[Charger]] = (
             self.partition.assign_chargers(chargers)
@@ -152,6 +179,9 @@ class ShardedService:
                     config=config,
                     journal_path=path,
                     journal_sync=journal_sync,
+                    snapshot_every=snapshot_every,
+                    snapshot_keep=snapshot_keep,
+                    compact=compact,
                 )
         if not self.kernels:
             raise ConfigurationError(
@@ -161,6 +191,28 @@ class ShardedService:
             self.partition,
             {sid: kernel.planner for sid, kernel in self.kernels.items()},
         )
+        #: Request ids rejected while no live shard could take them,
+        #: mapped to why (``"sticky"`` / ``"unrouted"``).  Their terminal
+        #: answer stays ``rejected`` even after the shard returns —
+        #: facade-level bookkeeping, never journaled (these requests
+        #: reached no kernel).
+        self._unrouted: Dict[str, str] = {}
+        #: Facade-level operational metrics (degraded-mode outcomes,
+        #: shard failures).  Like the kernels' operational instruments,
+        #: these depend on fault history and stay out of
+        #: :meth:`metrics_snapshot`; see :meth:`observability_snapshot`.
+        self.ops = Metrics()
+        for name in (
+            "rejected.shard_unavailable",
+            "rejected.shard_unavailable.sticky",
+            "rejected.shard_unavailable.unrouted",
+            "inputs.dropped_shard_down",
+            "shard_failures",
+        ):
+            self.ops.counter(name, operational=True)
+        self._closed = False
+        if self.journal_dir is not None:
+            _LIVE_DIRS.add(str(self.journal_dir.resolve()))
 
     # ------------------------------------------------------------------ #
     # manifest
@@ -190,36 +242,92 @@ class ShardedService:
     # ------------------------------------------------------------------ #
     # the kernel-compatible input API
 
+    def _call_shard(self, sid: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke one kernel method, converting its death into a typed error.
+
+        A kernel whose journal append fails (``JournalWriteError``) or
+        that hits an injected crash (``InjectedFaultError``) is *dead* —
+        its in-memory state ran ahead of its journal.  The facade
+        surfaces that as :class:`~repro.errors.ShardFailedError` carrying
+        the shard id, its logical clock, and the cause, so a
+        :class:`~repro.shard.supervisor.ShardSupervisor` can recover
+        exactly that kernel and retry the interrupted input.
+        """
+        kernel = self.kernels[sid]
+        try:
+            return getattr(kernel, method)(*args, **kwargs)
+        except (JournalWriteError, InjectedFaultError) as exc:
+            self.ops.counter("shard_failures", operational=True).inc()
+            raise ShardFailedError(sid, kernel.clock.now, exc) from exc
+
+    # ccs-lint: ignore[CCS011] -- the degraded-mode rejection record
+    # (self._unrouted) is deliberately unjournaled: a rejected-unavailable
+    # request reached no kernel, so there is no journal to own it.  The
+    # answer is facade-local operational state — lost on whole-service
+    # recovery by design, never part of the byte-identical replay contract.
     def submit(self, request: ChargingRequest) -> str:
         """Route and submit one request; returns its resulting state.
 
         Idempotent like the kernel's ``submit``: a known request id
-        re-routes to its sticky shard, whose kernel no-ops.
+        re-routes to its sticky shard, whose kernel no-ops.  While no
+        live shard can take the request (its shard is down, or every
+        candidate is), the answer is a typed ``rejected`` — counted under
+        ``rejected.shard_unavailable`` — and that answer is terminal:
+        re-submitting after the shard returns still rejects, because the
+        original decision must be stable under recovery re-feeds.
         """
-        sid = self.router.route(request)
-        return self.kernels[sid].submit(request)
+        rid = request.request_id
+        if rid in self._unrouted:
+            return RequestState.REJECTED
+        try:
+            sid = self.router.route(request)
+        except ShardUnavailableError:
+            reason = (
+                "sticky" if self.router.shard_of(rid) is not None else "unrouted"
+            )
+            self._unrouted[rid] = reason
+            self.ops.counter("rejected.shard_unavailable", operational=True).inc()
+            self.ops.counter(
+                f"rejected.shard_unavailable.{reason}", operational=True
+            ).inc()
+            return RequestState.REJECTED
+        return self._call_shard(sid, "submit", request)
 
     def advance(self, to: float) -> None:
-        """Advance every shard's logical clock to *to*, in shard order."""
+        """Advance every *live* shard's logical clock to *to*, in shard
+        order.  Down shards are skipped; recovery advances them when they
+        rejoin (their journals carry their own clocks)."""
         for sid in sorted(self.kernels):
-            self.kernels[sid].advance(to)
+            if sid in self.router.down:
+                continue
+            self._call_shard(sid, "advance", to)
 
     def drain(self) -> None:
-        """Drain every shard (fold, depart, complete), in shard order."""
+        """Drain every live shard (fold, depart, complete), in shard order."""
         for sid in sorted(self.kernels):
-            self.kernels[sid].drain()
+            if sid in self.router.down:
+                continue
+            self._call_shard(sid, "drain")
 
     def fail_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
-        """Charger outage, delivered to the owning shard's kernel."""
-        return self.kernels[self._owner_of(charger_id)].fail_charger(
-            charger_id, at=at
-        )
+        """Charger outage, delivered to the owning shard's kernel.
+
+        Returns ``False`` without delivering when that shard is down —
+        there is no kernel to journal the input (counted under
+        ``inputs.dropped_shard_down``)."""
+        sid = self._owner_of(charger_id)
+        if sid in self.router.down:
+            self.ops.counter("inputs.dropped_shard_down", operational=True).inc()
+            return False
+        return self._call_shard(sid, "fail_charger", charger_id, at=at)
 
     def restore_charger(self, charger_id: str, at: Optional[float] = None) -> bool:
         """Charger recovery, delivered to the owning shard's kernel."""
-        return self.kernels[self._owner_of(charger_id)].restore_charger(
-            charger_id, at=at
-        )
+        sid = self._owner_of(charger_id)
+        if sid in self.router.down:
+            self.ops.counter("inputs.dropped_shard_down", operational=True).inc()
+            return False
+        return self._call_shard(sid, "restore_charger", charger_id, at=at)
 
     def cancel(
         self,
@@ -231,7 +339,10 @@ class ShardedService:
         sid = self.router.shard_of(request_id)
         if sid is None:
             return None
-        return self.kernels[sid].cancel(request_id, at=at, reason=reason)
+        if sid in self.router.down:
+            self.ops.counter("inputs.dropped_shard_down", operational=True).inc()
+            return None
+        return self._call_shard(sid, "cancel", request_id, at=at, reason=reason)
 
     def _owner_of(self, charger_id: str) -> int:
         try:
@@ -244,17 +355,27 @@ class ShardedService:
 
     def request_state(self, request_id: str) -> str:
         """Lifecycle state of *request_id* (KeyError when never routed)."""
+        if request_id in self._unrouted:
+            return RequestState.REJECTED
         sid = self.router.shard_of(request_id)
         if sid is None:
             raise KeyError(request_id)
         return self.kernels[sid].request_state(request_id)
 
     def counts(self) -> Dict[str, int]:
-        """Requests per lifecycle state, summed across shards."""
+        """Requests per lifecycle state, summed across shards.
+
+        Requests rejected because no live shard could take them reached
+        no kernel; they are counted into ``rejected`` here so the totals
+        match what :meth:`submit` answered."""
         total: Dict[str, int] = {}
         for sid in sorted(self.kernels):
             for state, n in self.kernels[sid].counts().items():
                 total[state] = total.get(state, 0) + n
+        if self._unrouted:
+            total[RequestState.REJECTED] = (
+                total.get(RequestState.REJECTED, 0) + len(self._unrouted)
+            )
         return total
 
     def final_schedule(self) -> List[Dict[str, Any]]:
@@ -289,16 +410,70 @@ class ShardedService:
             }
         )
 
+    def observability_snapshot(self) -> Dict[str, Any]:
+        """Everything — deterministic *and* operational — for humans.
+
+        Merges every kernel's full snapshot (including its operational
+        recovery/snapshot counters) with the facade's own instruments
+        under the ``facade`` label.  Never byte-stable across fault
+        histories; use :meth:`metrics_snapshot` for that.
+        """
+        labeled = {
+            f"shard-{sid:04d}": self.kernels[sid].observability_snapshot()
+            for sid in sorted(self.kernels)
+        }
+        labeled["facade"] = self.ops.snapshot(operational=True)
+        return merge_snapshots(labeled)
+
     def close(self) -> None:
-        """Close every shard journal (idempotent)."""
+        """Close every shard journal and release the journal directory.
+
+        Idempotent: the first call does the work, every later call is a
+        no-op — so ``finally: service.close()`` blocks compose and a
+        close after :meth:`mark_shard_down` / partial failure is safe.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for kernel in self.kernels.values():
             if kernel.journal is not None:
                 kernel.journal.close()
+        if self.journal_dir is not None:
+            _LIVE_DIRS.discard(str(self.journal_dir.resolve()))
+
+    # ------------------------------------------------------------------ #
+    # degraded mode
+
+    def mark_shard_down(self, shard: int) -> None:
+        """Take *shard* out of routing and clock advancement.
+
+        The supervisor escalates to this after its restart budget; an
+        operator can call it directly.  Interior submissions for the
+        shard then reject ``shard_unavailable``; border devices route to
+        their surviving candidates; the shard's journal and sticky
+        assignments are untouched, ready for :meth:`recover_shard`.
+        """
+        if shard not in self.kernels:
+            raise ServiceError(f"no kernel for shard {shard}")
+        self.router.mark_down(shard)
+
+    def mark_shard_up(self, shard: int) -> None:
+        """Return *shard* to routing (no-op when it was not down)."""
+        self.router.mark_up(shard)
+
+    def shards_down(self) -> List[int]:
+        """Sorted ids of the shards currently out of service."""
+        return sorted(self.router.down)
 
     # ------------------------------------------------------------------ #
     # durability
 
-    def kill_and_recover_shard(self, shard: int, torn: bool = False) -> ChargingService:
+    def kill_and_recover_shard(
+        self,
+        shard: int,
+        torn: bool = False,
+        journal_factory: Optional[Callable[[str], Any]] = None,
+    ) -> ChargingService:
         """Kill shard *shard*'s kernel and rebuild it from its journal.
 
         The in-memory kernel is abandoned (its journal closed) and
@@ -310,6 +485,11 @@ class ShardedService:
         stream (idempotent) to converge — exactly the
         :func:`repro.faults.driver.drive_with_recovery` discipline, per
         shard.  Returns the recovered kernel.
+
+        The dead kernel is replaced only when recovery *succeeds* — on a
+        crash mid-recovery (``journal_factory`` is the fault harness's
+        hook for injecting those) the facade still maps the shard id, so
+        a supervisor can simply retry this call.
         """
         if self.journal_dir is None:
             raise ServiceError("cannot recover a journal-less shard")
@@ -320,7 +500,6 @@ class ShardedService:
         assert kernel.journal is not None
         path = Path(kernel.journal.path)
         kernel.journal.close()
-        del self.kernels[shard]
         if torn:
             _tear_tail(path)
         recovered = ChargingService.recover(
@@ -330,6 +509,10 @@ class ShardedService:
             scheme=self.scheme,
             config=self.config,
             journal_sync=self.journal_sync,
+            journal_factory=journal_factory,
+            snapshot_every=self.snapshot_every,
+            snapshot_keep=self.snapshot_keep,
+            compact=self.compact,
         )
         self.kernels[shard] = recovered
         self.router.planners[shard] = recovered.planner
@@ -344,23 +527,49 @@ class ShardedService:
         scheme: Optional[CostSharingScheme] = None,
         config: Optional[ServiceConfig] = None,
         journal_sync: bool = True,
+        snapshot_every: Optional[int] = None,
+        snapshot_keep: int = 2,
+        compact: bool = True,
     ) -> "ShardedService":
         """Rebuild a killed sharded service from its journal directory.
 
         Reads the manifest for the partition shape, recovers every shard
         kernel from its own journal (each replay is the single-kernel
-        :meth:`ChargingService.recover`), and rebuilds the router's
-        sticky assignment from the ``submit`` records in each journal.
-        Construction arguments are code, not data — pass the same
-        chargers/config the dead service ran with; the manifest and each
-        journal's ``open`` header are checked against them.
+        :meth:`ChargingService.recover` — snapshot fast path included),
+        and rebuilds the router's sticky assignment from the ``submit``
+        records in each journal.  Construction arguments are code, not
+        data — pass the same chargers/config the dead service ran with;
+        the manifest and each journal's ``open`` header are checked
+        against them.
+
+        A directory still owned by a live service object in this process
+        raises :class:`~repro.errors.LiveJournalError` (``close()`` it
+        first).  A missing, unparsable, or version-skewed manifest raises
+        :class:`~repro.errors.RecoveryError`: the partition shape cannot
+        be trusted, so no per-shard replay may start.
         """
         journal_dir = Path(journal_dir)
-        with open(journal_dir / MANIFEST_NAME, "r", encoding="utf-8") as fh:
-            manifest = json.load(fh)
-        if manifest.get("schema") != MANIFEST_SCHEMA:
-            raise ServiceError(
-                f"unsupported shard manifest schema {manifest.get('schema')!r}"
+        if str(journal_dir.resolve()) in _LIVE_DIRS:
+            raise LiveJournalError(
+                f"journal directory {journal_dir} is owned by a live service "
+                "in this process; close() it before recovering"
+            )
+        try:
+            with open(journal_dir / MANIFEST_NAME, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError as exc:
+            raise RecoveryError(
+                f"no shard manifest at {journal_dir / MANIFEST_NAME}"
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RecoveryError(
+                f"shard manifest {journal_dir / MANIFEST_NAME} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("schema") != MANIFEST_SCHEMA:
+            got = manifest.get("schema") if isinstance(manifest, dict) else manifest
+            raise RecoveryError(
+                f"unsupported shard manifest schema {got!r} "
+                f"(supported: {MANIFEST_SCHEMA})"
             )
         field = Field(manifest["field"]["width"], manifest["field"]["height"])
         service = cls(
@@ -373,9 +582,12 @@ class ShardedService:
             config=config,
             journal_sync=journal_sync,
             journal_dir=journal_dir,
+            snapshot_every=snapshot_every,
+            snapshot_keep=snapshot_keep,
+            compact=compact,
             _recovered=cls._recover_kernels(
                 journal_dir, manifest, chargers, mobility, scheme, config,
-                journal_sync,
+                journal_sync, snapshot_every, snapshot_keep, compact,
             ),
         )
         for sid in sorted(service.kernels):
@@ -392,6 +604,9 @@ class ShardedService:
         scheme: Optional[CostSharingScheme],
         config: Optional[ServiceConfig],
         journal_sync: bool,
+        snapshot_every: Optional[int] = None,
+        snapshot_keep: int = 2,
+        compact: bool = True,
     ) -> Dict[int, ChargingService]:
         by_id = {c.charger_id: c for c in chargers}
         kernels: Dict[int, ChargingService] = {}
@@ -412,6 +627,9 @@ class ShardedService:
                 scheme=scheme,
                 config=config,
                 journal_sync=journal_sync,
+                snapshot_every=snapshot_every,
+                snapshot_keep=snapshot_keep,
+                compact=compact,
             )
         return kernels
 

@@ -1,0 +1,463 @@
+"""Self-healing shard supervision: detect, back off, recover, re-feed.
+
+:class:`ShardSupervisor` sits between a driver and a
+:class:`~repro.shard.service.ShardedService` and turns shard kernel
+deaths into recoveries instead of exceptions.  The loop, per failure:
+
+1. **Detect** — the facade raises
+   :class:`~repro.errors.ShardFailedError` when a kernel's journal
+   append fails or an injected crash fires (:meth:`ShardedService._call_shard`);
+   an exogenous ``kill -9`` is delivered through :meth:`kill_shard`.
+2. **Back off** — before each restart attempt the supervisor charges a
+   *logical* backoff (exponential in the attempt, jittered from
+   ``derive_seed(seed, "backoff", shard, attempt)``).  Nothing sleeps:
+   the service clock is input-driven (CCS002), so backoff is pure
+   bookkeeping — journaled, summed in :attr:`stats`, asserted
+   deterministic by the tests.
+3. **Recover** — :meth:`ShardedService.kill_and_recover_shard` rebuilds
+   exactly the dead kernel from its journal (snapshot fast path
+   included).  A crash *during* recovery counts as a failed attempt and
+   the loop retries, up to ``max_restarts``.
+4. **Escalate** — past the restart budget the shard is marked down
+   (:meth:`ShardedService.mark_shard_down`): the router degrades around
+   it and the supervisor stops fighting.  :meth:`reset_shard` is the
+   operator's way back.
+5. **Re-feed** — after a successful recovery the supervisor replays its
+   input history through the facade.  Every kernel input is idempotent,
+   so the re-feed no-ops through surviving state and regenerates exactly
+   what a torn journal tail lost.
+
+Every step appends a record to the **supervision journal**
+(``supervisor.jsonl`` next to the shard journals, same checksummed
+format): failures, restart attempts with their backoff, recoveries,
+escalations.  Because backoff is seed-derived and every decision is a
+pure function of ``(seed, failure sequence)``, re-running the same
+timeline against the same fault plan reproduces the supervision journal
+byte-for-byte — the supervise→recover→re-feed loop is itself replayable.
+
+:func:`drive_supervised` is the chaos harness: it weaves the plan's
+``shard_kill`` / ``snapshot_corrupt`` / ``crash_in_snapshot`` events
+into the timeline, arms ``recovery_crash`` faults against the replay
+journals, and drives everything through a supervisor — converging
+byte-identical to a fault-free run with zero operator calls.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    ConfigurationError,
+    InjectedFaultError,
+    JournalWriteError,
+    ServiceError,
+    ShardFailedError,
+)
+from ..faults.driver import apply_event, merge_timeline
+from ..faults.journal import FaultyJournal
+from ..faults.plan import FaultPlan
+from ..rng import derive_seed, ensure_rng
+from ..service.journal import Journal
+from ..service.request import ChargingRequest
+from ..service.snapshot import list_snapshots, snapshot_path
+from .service import ShardedService, _tear_tail, shard_journal_name
+
+__all__ = [
+    "SUPERVISOR_JOURNAL_NAME",
+    "ShardSupervisor",
+    "drive_supervised",
+    "supervised_timeline",
+]
+
+#: The supervision journal's file name inside the journal directory.
+SUPERVISOR_JOURNAL_NAME = "supervisor.jsonl"
+
+#: ``(tag, t, payload)`` — the sharded timeline plus supervisor chaos tags.
+SupervisedTimelineItem = Tuple[str, float, Any]
+
+#: Exceptions that mean "this recovery attempt crashed; retry" — anything
+#: else (config mismatch, unrecoverable corruption) propagates to the
+#: operator, because retrying cannot fix it.
+_RETRYABLE = (JournalWriteError, InjectedFaultError)
+
+
+class ShardSupervisor:
+    """Automatic failover for one :class:`ShardedService` (module docstring)."""
+
+    def __init__(
+        self,
+        service: ShardedService,
+        seed: int = 0,
+        max_restarts: int = 3,
+        backoff_base: float = 1.0,
+        backoff_factor: float = 2.0,
+        backoff_cap: float = 60.0,
+        recovery_journal_factory: Optional[
+            Callable[[int], Optional[Callable[[str], Journal]]]
+        ] = None,
+        journal_sync: bool = False,
+    ) -> None:
+        """``recovery_journal_factory(shard)`` may return a ``path ->
+        Journal`` factory for that shard's *recovery* journal — the fault
+        harness's hook for crashing recovery itself; ``None`` (per shard
+        or overall) uses plain journals.  ``journal_sync`` is the
+        supervision journal's fsync knob."""
+        if max_restarts < 1:
+            raise ConfigurationError(
+                f"max_restarts must be >= 1, got {max_restarts}"
+            )
+        if backoff_base <= 0.0 or backoff_factor < 1.0 or backoff_cap <= 0.0:
+            raise ConfigurationError(
+                "backoff needs base > 0, factor >= 1, cap > 0; got "
+                f"base={backoff_base}, factor={backoff_factor}, cap={backoff_cap}"
+            )
+        self.service = service
+        self.seed = int(seed)
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_cap = float(backoff_cap)
+        self.recovery_journal_factory = recovery_journal_factory
+        #: Timeline items successfully applied, in order — the re-feed
+        #: source after a recovery.
+        self.history: List[SupervisedTimelineItem] = []
+        self.stats: Dict[str, Any] = {
+            "failures": 0,
+            "restarts": 0,
+            "recoveries": 0,
+            "escalations": 0,
+            "refeeds": 0,
+            "total_backoff": 0.0,
+        }
+        self._refeeding = False
+        self.journal: Optional[Journal] = None
+        if service.journal_dir is not None:
+            self.journal = Journal(
+                service.journal_dir / SUPERVISOR_JOURNAL_NAME,
+                truncate=True,
+                sync=journal_sync,
+            )
+
+    # ------------------------------------------------------------------ #
+    # the supervision loop
+
+    def backoff(self, shard: int, attempt: int) -> float:
+        """Logical backoff before restart *attempt* (1-based) of *shard*.
+
+        Exponential ``base * factor**(attempt-1)`` capped at ``cap``,
+        jittered into ``[0.5, 1.5)`` of itself by a generator keyed
+        ``derive_seed(seed, "backoff", shard, attempt)`` — a pure
+        function of its arguments, so two runs (or a run and its replay)
+        charge identical backoffs.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt is 1-based, got {attempt}")
+        base = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        rng = ensure_rng(derive_seed(self.seed, "backoff", int(shard), int(attempt)))
+        return float(base * (0.5 + rng.random()))
+
+    def handle_failure(self, exc: ShardFailedError) -> bool:
+        """Recover the failed shard; returns ``True`` on success.
+
+        Runs the restart loop — backoff, recover, retry on a crash
+        during recovery — and either brings the shard back (re-feeding
+        the processed history) or escalates after ``max_restarts``
+        attempts: the shard is marked down and ``False`` returned, with
+        the facade degrading around it.
+        """
+        sid = exc.shard
+        self.stats["failures"] += 1
+        self._log("shard_failed", exc.at, {
+            "shard": sid, "cause": type(exc.cause).__name__,
+        })
+        for attempt in range(1, self.max_restarts + 1):
+            pause = self.backoff(sid, attempt)
+            self.stats["total_backoff"] += pause
+            self.stats["restarts"] += 1
+            self._log("restart", exc.at, {
+                "shard": sid, "attempt": attempt, "backoff": pause,
+            })
+            try:
+                self.service.kill_and_recover_shard(
+                    sid, journal_factory=self._factory_for(sid)
+                )
+            except _RETRYABLE as retry_exc:
+                self._log("restart_failed", exc.at, {
+                    "shard": sid,
+                    "attempt": attempt,
+                    "cause": type(retry_exc).__name__,
+                })
+                continue
+            self.service.mark_shard_up(sid)
+            self.stats["recoveries"] += 1
+            self._log("recovered", exc.at, {"shard": sid, "attempt": attempt})
+            if not self._refeeding:
+                self.refeed()
+            return True
+        self.stats["escalations"] += 1
+        self._log("escalated", exc.at, {
+            "shard": sid, "attempts": self.max_restarts,
+        })
+        self.service.mark_shard_down(sid)
+        return False
+
+    def kill_shard(self, shard: int, torn: bool = False) -> bool:
+        """An exogenous ``kill -9`` of one shard, healed through the loop.
+
+        Closes the kernel's journal (the "crash" — nothing more lands),
+        optionally tears its tail, then runs :meth:`handle_failure` as if
+        the facade had detected the death.  Returns whether the shard
+        came back (``False`` = escalated).
+        """
+        try:
+            kernel = self.service.kernels[shard]
+        except KeyError:
+            raise ServiceError(f"no kernel for shard {shard}") from None
+        at = kernel.clock.now
+        if kernel.journal is not None:
+            path = Path(kernel.journal.path)
+            kernel.journal.close()
+            if torn:
+                _tear_tail(path)
+        return self.handle_failure(
+            ShardFailedError(shard, at, InjectedFaultError("shard killed"))
+        )
+
+    def reset_shard(self, shard: int) -> bool:
+        """Operator reset of an escalated shard: one fresh restart budget.
+
+        Re-runs the supervision loop for *shard* (which :meth:`handle_failure`
+        escalated and marked down).  On success the shard rejoins routing
+        and the history is re-fed; on another exhausted budget it stays
+        down and ``False`` returns.
+        """
+        kernel = self.service.kernels.get(shard)
+        at = kernel.clock.now if kernel is not None else 0.0
+        self._log("reset", at, {"shard": shard})
+        return self.handle_failure(
+            ShardFailedError(shard, at, ServiceError("operator reset"))
+        )
+
+    # ------------------------------------------------------------------ #
+    # driving
+
+    def apply(self, item: SupervisedTimelineItem) -> None:
+        """Apply one timeline item, healing any shard death it provokes.
+
+        The item is retried after each recovery — inputs are idempotent,
+        and after an *escalation* the retry terminates through the
+        degraded paths (rejected ``shard_unavailable``, skipped clock
+        advance) instead of failing again.
+        """
+        while True:
+            try:
+                apply_event(self.service, item)  # type: ignore[arg-type]
+            except ShardFailedError as exc:
+                self.handle_failure(exc)
+                continue
+            self.history.append(item)
+            return
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a facade method (``advance``, ``drain``, …) supervised."""
+        while True:
+            try:
+                return getattr(self.service, method)(*args, **kwargs)
+            except ShardFailedError as exc:
+                self.handle_failure(exc)
+
+    def refeed(self) -> None:
+        """Re-apply the processed history through the facade (idempotent).
+
+        Regenerates whatever journal records a torn tail lost; everything
+        still journaled no-ops.  A shard death *during* the re-feed runs
+        the restart loop again but not a nested re-feed — the outer pass
+        already covers the remaining history.
+        """
+        self.stats["refeeds"] += 1
+        self._refeeding = True
+        try:
+            for item in self.history:
+                while True:
+                    try:
+                        apply_event(self.service, item)  # type: ignore[arg-type]
+                    except ShardFailedError as exc:
+                        self.handle_failure(exc)
+                        continue
+                    break
+        finally:
+            self._refeeding = False
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def _factory_for(self, shard: int) -> Optional[Callable[[str], Journal]]:
+        if self.recovery_journal_factory is None:
+            return None
+        return self.recovery_journal_factory(shard)
+
+    def _log(self, event: str, t: float, data: Dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.append(event, t, data)
+
+    def close(self) -> None:
+        """Close the supervision journal (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# the supervised chaos harness
+
+
+def supervised_timeline(
+    requests: Sequence[ChargingRequest], plan: FaultPlan
+) -> List[SupervisedTimelineItem]:
+    """The kernel timeline with every supervisor chaos event woven in.
+
+    Like :func:`repro.shard.driver.sharded_timeline`, with
+    ``snapshot_corrupt`` and ``crash_in_snapshot`` joining ``shard_kill``
+    at priority 2 (after same-instant submissions and kernel faults);
+    the item tag is the event's kind.  Total and deterministic.
+    """
+    keyed: List[Tuple[Tuple[float, int, str, str], SupervisedTimelineItem]] = []
+    for item in merge_timeline(requests, plan):
+        tag, t, payload = item
+        if tag == "submit":
+            key = (t, 0, "submit", payload.request_id)
+        else:
+            key = (t, 1, payload.kind, payload.target)
+        keyed.append((key, item))
+    for event in plan.supervisor_events():
+        key = (float(event.t), 2, event.kind, event.target)
+        keyed.append((key, (event.kind, float(event.t), event)))
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for _key, item in keyed]
+
+
+def _corrupt_newest_snapshot(journal_path: Path) -> bool:
+    """Garble the newest snapshot file in place; ``False`` if none exists.
+
+    Truncates to half, simulating bitrot / a torn copy: the checksum no
+    longer verifies, so recovery must skip it — the fallback chain under
+    test.
+    """
+    snaps = list_snapshots(journal_path)
+    if not snaps:
+        return False
+    _seq, path = snaps[0]
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(max(1, size // 2))
+    return True
+
+
+def _litter_snapshot_tmp(journal_path: Path, seq: int) -> Path:
+    """Leave the half-written ``*.tmp`` a crash mid-snapshot-write leaves.
+
+    The temp+rename discipline means a real crash can only strand a tmp
+    sibling, never a half file under the final name; recovery must step
+    over it (``list_snapshots`` ignores tmps).
+    """
+    final = snapshot_path(journal_path, seq)
+    tmp = final.with_name(final.name + ".tmp")
+    tmp.write_text('{"schema":1,"seq":', encoding="utf-8")
+    return tmp
+
+
+def drive_supervised(
+    service: ShardedService,
+    requests: Sequence[ChargingRequest],
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    max_restarts: int = 3,
+    drain: bool = True,
+    advance_to: Optional[float] = None,
+) -> Tuple[ShardedService, ShardSupervisor, Dict[str, Any]]:
+    """Drive requests + the full self-healing chaos mix, supervised.
+
+    Consumes the plan's ``shard_kill`` (clean/torn), ``snapshot_corrupt``
+    (garble the newest snapshot before recovery needs it),
+    ``crash_in_snapshot`` (strand a half-written tmp, then kill), and
+    ``recovery_crash`` (crash the recovery replay itself, ``count``
+    times) events; kernel faults and submissions flow through
+    :meth:`ShardSupervisor.apply` so any provoked death heals in place.
+    Returns ``(service, supervisor, stats)`` — the supervisor is *not*
+    closed, so callers can assert on its journal before closing.
+
+    Convergence: when every recovery eventually succeeds (finite
+    ``recovery_crash`` budgets, ``max_restarts`` large enough), the run
+    ends byte-identical — journals, metrics, schedule — to a fault-free
+    run of the same timeline, with zero operator calls.  The chaos tests
+    assert exactly that.
+    """
+    plan = plan if plan is not None else FaultPlan()
+    armed = plan.recovery_crashes()
+
+    def recovery_factory(shard: int) -> Optional[Callable[[str], Journal]]:
+        fail_at = armed.get(shard)
+        if not fail_at:
+            return None
+
+        def make(path: str) -> Journal:
+            # The shared dict survives across attempts: fired entries
+            # stay popped, later ones stay armed.
+            return FaultyJournal(path, truncate=True, sync=False, fail_at=fail_at)
+
+        return make
+
+    supervisor = ShardSupervisor(
+        service,
+        seed=seed,
+        max_restarts=max_restarts,
+        recovery_journal_factory=recovery_factory if armed else None,
+    )
+    stats: Dict[str, Any] = {
+        "kills": 0,
+        "torn_kills": 0,
+        "skipped_kills": 0,
+        "snapshot_corruptions": 0,
+        "snapshot_crashes": 0,
+    }
+    for item in supervised_timeline(requests, plan):
+        tag, _t, payload = item
+        if tag in ("shard_kill", "snapshot_corrupt", "crash_in_snapshot"):
+            sid = int(payload.target)
+            if sid not in service.kernels or service.journal_dir is None:
+                stats["skipped_kills"] += 1
+                continue
+            journal_path = service.journal_dir / shard_journal_name(sid)
+            if tag == "snapshot_corrupt":
+                if _corrupt_newest_snapshot(journal_path):
+                    stats["snapshot_corruptions"] += 1
+                continue
+            if tag == "crash_in_snapshot":
+                _litter_snapshot_tmp(
+                    journal_path, service.kernels[sid].journal.seq  # type: ignore[union-attr]
+                )
+                stats["snapshot_crashes"] += 1
+                supervisor.kill_shard(sid, torn=False)
+                stats["kills"] += 1
+                continue
+            torn = payload.mode == "torn"
+            supervisor.kill_shard(sid, torn=torn)
+            stats["kills"] += 1
+            if torn:
+                stats["torn_kills"] += 1
+            continue
+        supervisor.apply(item)
+    if advance_to is not None:
+        supervisor.call("advance", advance_to)
+    if drain:
+        supervisor.call("drain")
+    return service, supervisor, stats

@@ -62,3 +62,99 @@ class TestServeCli:
         with open("pyproject.toml", "rb") as fh:
             cfg = tomllib.load(fh)
         assert cfg["project"]["scripts"]["ccs-serve"] == "repro.cli:serve_main"
+
+
+class TestServeRecoveryCli:
+    """``--snapshot-every`` / ``--supervise`` / ``--recover-only`` and the
+    one-line structured error contract (exit 3, JSON on stderr)."""
+
+    def _run(self, journal, extra=()):
+        return serve_main(
+            [
+                "--n", "25", "--rate", "0.4", "--seed", "7",
+                "--journal", str(journal),
+                "--snapshot-every", "10",
+                *extra,
+            ]
+        )
+
+    def test_snapshot_run_then_recover_only(self, tmp_path, capsys):
+        journal = tmp_path / "svc.jsonl"
+        assert self._run(journal, ["--check-recovery"]) == 0
+        assert "recovery check OK" in capsys.readouterr().err
+        assert list(tmp_path.glob("svc.jsonl.snap-*"))
+        assert serve_main(["--journal", str(journal), "--recover-only"]) == 0
+        assert "recovered:" in capsys.readouterr().out
+
+    def test_recover_only_sharded(self, tmp_path, capsys):
+        journal = tmp_path / "svc"
+        rc = serve_main(
+            [
+                "--n", "25", "--rate", "0.4", "--seed", "7",
+                "--shards", "4", "--journal", str(journal),
+                "--snapshot-every", "10",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = serve_main(
+            ["--shards", "4", "--journal", str(journal), "--recover-only"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered:" in out
+
+    def test_supervised_chaos_run_checks_out(self, tmp_path, capsys):
+        journal = tmp_path / "svc"
+        rc = serve_main(
+            [
+                "--n", "30", "--rate", "0.4", "--seed", "7",
+                "--shards", "4", "--journal", str(journal),
+                "--snapshot-every", "15",
+                "--fault-plan", "seed:3", "--supervise",
+                "--check-recovery",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "supervisor:" in captured.out
+        assert "recovery check OK" in captured.err
+
+    def test_corrupt_manifest_is_a_structured_error(self, tmp_path, capsys):
+        journal = tmp_path / "svc"
+        journal.mkdir()
+        (journal / "manifest.json").write_text("{oops")
+        rc = serve_main(
+            ["--shards", "4", "--journal", str(journal), "--recover-only"]
+        )
+        err = capsys.readouterr().err.strip()
+        assert rc == 3
+        doc = json.loads(err.splitlines()[-1])
+        assert doc["error"] == "RecoveryError"
+        assert "manifest" in doc["message"]
+
+    def test_unrecoverable_journal_is_a_structured_error(self, tmp_path, capsys):
+        journal = tmp_path / "svc.jsonl"
+        assert self._run(journal) == 0
+        capsys.readouterr()
+        # Compaction truncated the journal prefix; garbling every
+        # snapshot leaves nothing to recover from.
+        snaps = list(tmp_path.glob("svc.jsonl.snap-*"))
+        assert len(snaps) >= 2
+        for snap in snaps:
+            snap.write_bytes(snap.read_bytes()[:20])
+        rc = serve_main(["--journal", str(journal), "--recover-only"])
+        err = capsys.readouterr().err.strip()
+        assert rc == 3
+        doc = json.loads(err.splitlines()[-1])
+        assert doc["error"] == "RecoveryError"
+
+    def test_flag_validation(self, capsys):
+        assert serve_main(["--supervise"]) == 2
+        assert "--supervise requires --shards > 1" in capsys.readouterr().err
+        assert serve_main(["--recover-only"]) == 2
+        assert "--recover-only requires --journal" in capsys.readouterr().err
+        assert serve_main(["--snapshot-every", "0"]) == 2
+        assert "--snapshot-every must be >= 1" in capsys.readouterr().err
+        assert serve_main(["--snapshot-keep", "0"]) == 2
+        assert "--snapshot-keep must be >= 1" in capsys.readouterr().err

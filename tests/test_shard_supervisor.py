@@ -1,0 +1,390 @@
+"""Self-healing shard tests: supervisor failover, degraded routing,
+facade lifecycle, and supervised chaos convergence.
+
+The contract under test (docs/RECOVERY.md):
+
+1. **Failover**: a shard kernel death — clean or torn — heals through
+   the supervisor's backoff/recover/re-feed loop; the run converges
+   byte-identical (schedule and metrics) to a fault-free run with zero
+   operator calls.
+2. **Backoff**: logical, seed-derived, a pure function of
+   ``(seed, shard, attempt)`` — never a wall-clock sleep.
+3. **Escalation**: past the restart budget the shard is marked down and
+   the router degrades: interior requests get typed
+   ``rejected.shard_unavailable`` answers, border devices re-route to
+   the cheapest surviving candidate, sticky assignments to a down shard
+   raise rather than silently reassign.
+4. **Lifecycle**: ``close()`` is idempotent; recovering a *live* journal
+   directory is a typed :class:`~repro.errors.LiveJournalError`; a
+   missing/corrupt/version-skewed manifest is a typed
+   :class:`~repro.errors.RecoveryError`.
+5. **Replayability**: the supervision journal is byte-identical across
+   runs of the same timeline + plan + seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    LiveJournalError,
+    RecoveryError,
+    ServiceError,
+    ShardUnavailableError,
+)
+from repro.faults import FaultPlan, FaultyJournal
+from repro.faults.plan import SUPERVISOR_KINDS
+from repro.geometry import Field, Point
+from repro.service import RequestState, ServiceConfig, generate_requests
+from repro.shard import ShardedService, ShardSupervisor, drive_supervised
+from repro.shard.driver import drive_sharded
+from repro.shard.service import MANIFEST_NAME
+from repro.shard.supervisor import SUPERVISOR_JOURNAL_NAME
+from repro.wpt import Charger
+
+FIELD = Field(100.0, 100.0)
+CONFIG = ServiceConfig(epoch=30.0, window=120.0)
+
+
+def make_chargers():
+    return [
+        Charger(charger_id="c0", position=Point(25.0, 25.0)),
+        Charger(charger_id="c1", position=Point(75.0, 25.0)),
+        Charger(charger_id="c2", position=Point(25.0, 75.0)),
+        Charger(charger_id="c3", position=Point(75.0, 75.0)),
+    ]
+
+
+def make_stream(n=30, seed=7):
+    return generate_requests(
+        n, rate=0.2, deadline_slack=900.0, max_price_factor=1.3, rng=seed
+    )
+
+
+def make_service(journal_dir, n_shards=4, halo=0.0, **kw):
+    return ShardedService(
+        make_chargers(),
+        n_shards=n_shards,
+        field=FIELD,
+        halo=halo,
+        config=CONFIG,
+        journal_dir=journal_dir,
+        **kw,
+    )
+
+
+def reference_run(requests, plan=None, n_shards=4, halo=0.0, **kw):
+    """The fault-free (kernel faults only, no shard chaos) baseline."""
+    if plan is not None:
+        plan = FaultPlan([
+            e for e in plan.events
+            if e.kind not in SUPERVISOR_KINDS and e.kind != "recovery_crash"
+        ])
+    service = ShardedService(
+        make_chargers(), n_shards=n_shards, field=FIELD, halo=halo,
+        config=CONFIG, journal_dir=None, **kw,
+    )
+    service, _stats = drive_sharded(service, requests, plan)
+    return service
+
+
+class TestBackoff:
+    def test_pure_function_of_seed_shard_attempt(self, tmp_path):
+        svc = make_service(tmp_path / "a")
+        sup1 = ShardSupervisor(svc, seed=11)
+        sup2 = ShardSupervisor(svc, seed=11)
+        sup3 = ShardSupervisor(svc, seed=12)
+        series1 = [sup1.backoff(2, a) for a in range(1, 6)]
+        series2 = [sup2.backoff(2, a) for a in range(1, 6)]
+        series3 = [sup3.backoff(2, a) for a in range(1, 6)]
+        assert series1 == series2
+        assert series1 != series3
+        assert sup1.backoff(1, 1) != sup1.backoff(2, 1)
+        sup1.close(), sup2.close(), sup3.close()
+        svc.close()
+
+    def test_exponential_and_capped(self, tmp_path):
+        svc = make_service(tmp_path / "b")
+        sup = ShardSupervisor(
+            svc, seed=3, backoff_base=1.0, backoff_factor=2.0, backoff_cap=8.0
+        )
+        for attempt in range(1, 10):
+            pause = sup.backoff(0, attempt)
+            base = min(8.0, 2.0 ** (attempt - 1))
+            assert 0.5 * base <= pause < 1.5 * base
+        sup.close()
+        svc.close()
+
+    def test_validation(self, tmp_path):
+        svc = make_service(tmp_path / "c")
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(svc, max_restarts=0)
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(svc, backoff_factor=0.5)
+        sup = ShardSupervisor(svc)
+        with pytest.raises(ConfigurationError):
+            sup.backoff(0, 0)
+        sup.close()
+        svc.close()
+
+
+class TestFailover:
+    @pytest.mark.parametrize("torn", [False, True])
+    def test_kill_heals_byte_identical(self, tmp_path, torn):
+        requests = make_stream()
+        ref = reference_run(requests)
+        svc = make_service(tmp_path / "svc")
+        sup = ShardSupervisor(svc, seed=5)
+        half = len(requests) // 2
+        for r in requests[:half]:
+            sup.call("submit", r)
+        assert sup.kill_shard(1, torn=torn) is True
+        for r in requests[half:]:
+            sup.call("submit", r)
+        sup.call("drain")
+        assert sup.stats["failures"] == 1
+        assert sup.stats["recoveries"] == 1
+        assert sup.stats["escalations"] == 0
+        assert svc.shards_down() == []
+        assert svc.final_schedule() == ref.final_schedule()
+        assert svc.metrics_snapshot() == ref.metrics_snapshot()
+        sup.close()
+        svc.close()
+
+    def test_crash_loop_escalates_then_operator_reset_recovers(self, tmp_path):
+        requests = make_stream()
+        svc = make_service(tmp_path / "svc")
+        # Arm three recovery crashes against a budget of two: the
+        # supervisor must escalate, and the shared fail_at dict must keep
+        # the third crash armed for the operator's reset.
+        fail_at = {1: "enospc", 2: "enospc", 3: "enospc"}
+
+        def factory(shard):
+            if shard != 1:
+                return None
+            return lambda path: FaultyJournal(
+                path, truncate=True, sync=False, fail_at=fail_at
+            )
+
+        sup = ShardSupervisor(
+            svc, seed=5, max_restarts=2, recovery_journal_factory=factory
+        )
+        for r in requests:
+            sup.call("submit", r)
+        assert sup.kill_shard(1) is False
+        assert sup.stats["escalations"] == 1
+        assert svc.shards_down() == [1]
+        # Reset: one crash left, budget of two -> second attempt lands.
+        assert sup.reset_shard(1) is True
+        assert svc.shards_down() == []
+        assert not fail_at
+        sup.call("drain")
+        ref = reference_run(requests)
+        assert svc.final_schedule() == ref.final_schedule()
+        assert svc.metrics_snapshot() == ref.metrics_snapshot()
+        sup.close()
+        svc.close()
+
+    def test_supervision_journal_is_byte_stable(self, tmp_path):
+        requests = make_stream(20)
+        horizon = requests[-1].submitted_at + 600.0
+        plan = FaultPlan.generate_supervised(9, 4, horizon)
+        raws = []
+        for tag in ("one", "two"):
+            svc = make_service(tmp_path / tag, snapshot_every=15)
+            svc, sup, _stats = drive_supervised(svc, requests, plan, seed=9)
+            sup.close()
+            svc.close()
+            raws.append((tmp_path / tag / SUPERVISOR_JOURNAL_NAME).read_bytes())
+        assert raws[0] == raws[1]
+        assert raws[0]  # chaos actually landed something
+
+
+class TestDegradedRouting:
+    def test_interior_requests_get_typed_rejections(self, tmp_path):
+        requests = make_stream()
+        svc = make_service(tmp_path / "svc")
+        svc.mark_shard_down(0)
+        rejected = 0
+        for r in requests:
+            state = svc.submit(r)
+            owner = svc.partition.cell_of(r.device.position)
+            if owner == 0:
+                assert state == RequestState.REJECTED
+                rejected += 1
+            else:
+                assert state != RequestState.REJECTED
+        assert rejected > 0
+        ops = svc.ops.snapshot(operational=True)["counters"]
+        assert ops["rejected.shard_unavailable"] == rejected
+        assert ops["rejected.shard_unavailable.unrouted"] == rejected
+        assert svc.counts()["rejected"] == rejected
+        svc.close()
+
+    def test_rejection_is_sticky_even_after_mark_up(self, tmp_path):
+        requests = make_stream()
+        svc = make_service(tmp_path / "svc")
+        svc.mark_shard_down(0)
+        victim = next(
+            r for r in requests
+            if svc.partition.cell_of(r.device.position) == 0
+        )
+        assert svc.submit(victim) == RequestState.REJECTED
+        svc.mark_shard_up(0)
+        # The rejection was the service's answer; resubmission cannot
+        # quietly un-reject it.
+        assert svc.submit(victim) == RequestState.REJECTED
+        assert svc.request_state(victim.request_id) == RequestState.REJECTED
+        svc.close()
+
+    def test_border_devices_reroute_to_surviving_candidate(self, tmp_path):
+        requests = make_stream()
+        # A halo as wide as the field makes every device a border device
+        # with all four shards as candidates.
+        svc = make_service(tmp_path / "svc", halo=100.0)
+        svc.mark_shard_down(0)
+        for r in requests:
+            assert svc.submit(r) != RequestState.REJECTED
+            assert svc.router.shard_of(r.request_id) != 0
+        ops = svc.ops.snapshot(operational=True)["counters"]
+        assert ops["rejected.shard_unavailable"] == 0
+        svc.close()
+
+    def test_sticky_assignment_to_down_shard_raises(self, tmp_path):
+        requests = make_stream()
+        svc = make_service(tmp_path / "svc")
+        routed = next(
+            r for r in requests
+            if svc.partition.cell_of(r.device.position) == 1
+        )
+        assert svc.submit(routed) != RequestState.REJECTED
+        svc.mark_shard_down(1)
+        with pytest.raises(ShardUnavailableError):
+            svc.router.route(routed)
+        # The facade converts that into a typed sticky rejection...
+        assert svc.submit(routed) == RequestState.REJECTED
+        ops = svc.ops.snapshot(operational=True)["counters"]
+        assert ops["rejected.shard_unavailable.sticky"] == 1
+        # ...but the assignment itself survives the outage.
+        svc.mark_shard_up(1)
+        assert svc.router.shard_of(routed.request_id) == 1
+        svc.close()
+
+    def test_advance_skips_down_shards_and_inputs_drop(self, tmp_path):
+        svc = make_service(tmp_path / "svc")
+        for r in make_stream():
+            svc.submit(r)
+        svc.mark_shard_down(2)
+        before = svc.kernels[2].clock.now
+        svc.advance(500.0)
+        assert svc.kernels[2].clock.now == before
+        owner = next(
+            c.charger_id for c in make_chargers()
+            if svc.partition.cell_of(c.position) == 2
+        )
+        assert svc.fail_charger(owner, at=500.0) is False
+        ops = svc.ops.snapshot(operational=True)["counters"]
+        assert ops["inputs.dropped_shard_down"] == 1
+        svc.close()
+
+    def test_mark_down_unknown_shard_raises(self, tmp_path):
+        svc = make_service(tmp_path / "svc")
+        with pytest.raises(ServiceError):
+            svc.mark_shard_down(99)
+        svc.close()
+
+
+class TestFacadeLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        svc = make_service(tmp_path / "svc")
+        for r in make_stream(10):
+            svc.submit(r)
+        svc.drain()
+        svc.close()
+        svc.close()
+
+    def test_recovering_a_live_journal_dir_is_typed(self, tmp_path):
+        svc = make_service(tmp_path / "svc")
+        for r in make_stream(10):
+            svc.submit(r)
+        svc.drain()
+        with pytest.raises(LiveJournalError):
+            ShardedService.recover(tmp_path / "svc", make_chargers(), config=CONFIG)
+        svc.close()
+        rec = ShardedService.recover(tmp_path / "svc", make_chargers(), config=CONFIG)
+        assert rec.final_schedule() == svc.final_schedule()
+        rec.close()
+
+    @pytest.mark.parametrize("defect", ["missing", "corrupt", "schema"])
+    def test_bad_manifest_is_a_typed_recovery_error(self, tmp_path, defect):
+        svc = make_service(tmp_path / "svc")
+        for r in make_stream(10):
+            svc.submit(r)
+        svc.drain()
+        svc.close()
+        manifest = tmp_path / "svc" / MANIFEST_NAME
+        if defect == "missing":
+            manifest.unlink()
+        elif defect == "corrupt":
+            manifest.write_text("{oops")
+        else:
+            doc = json.loads(manifest.read_text())
+            doc["schema"] = 99
+            manifest.write_text(json.dumps(doc))
+        with pytest.raises(RecoveryError):
+            ShardedService.recover(tmp_path / "svc", make_chargers(), config=CONFIG)
+
+
+def run_supervised_case(tmp_path, stream_seed, chaos_seed, n=25, tag="chaos"):
+    """One supervised chaos run + its fault-free reference; assert
+    byte-identical convergence with zero escalations."""
+    requests = make_stream(n, seed=stream_seed)
+    horizon = requests[-1].submitted_at + 600.0
+    plan = FaultPlan.generate_supervised(chaos_seed, 4, horizon)
+    svc = make_service(tmp_path / f"{tag}-{stream_seed}-{chaos_seed}",
+                       snapshot_every=15)
+    svc, sup, stats = drive_supervised(svc, requests, plan, seed=chaos_seed)
+    ref = reference_run(requests, plan)
+    assert sup.stats["escalations"] == 0
+    assert svc.shards_down() == []
+    assert svc.final_schedule() == ref.final_schedule()
+    assert svc.metrics_snapshot() == ref.metrics_snapshot()
+    sup.close()
+    svc.close()
+    return stats, sup.stats
+
+
+@pytest.mark.recovery_smoke
+class TestSupervisedChaosSmoke:
+    def test_converges_byte_identical_with_zero_operator_calls(self, tmp_path):
+        # Seed 3 mixes torn + clean kills, snapshot corruption, and a
+        # crash-looping recovery (see FaultPlan.generate_supervised).
+        chaos_stats, sup_stats = run_supervised_case(tmp_path, 7, 3)
+        assert chaos_stats["kills"] > 0
+        assert sup_stats["recoveries"] == sup_stats["failures"] > 0
+
+
+class TestSupervisedChaos:
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(stream_seed=st.integers(0, 10_000), chaos_seed=st.integers(0, 10_000))
+    def test_supervised_chaos_converges(self, stream_seed, chaos_seed,
+                                        tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("supchaos")
+        run_supervised_case(tmp_path, stream_seed, chaos_seed, n=15)
+
+    @pytest.mark.chaos
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(stream_seed=st.integers(0, 1_000_000),
+           chaos_seed=st.integers(0, 1_000_000),
+           n=st.integers(10, 30))
+    def test_supervised_chaos_converges_heavy(self, stream_seed, chaos_seed, n,
+                                              tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("supchaos")
+        run_supervised_case(tmp_path, stream_seed, chaos_seed, n=n, tag="heavy")
